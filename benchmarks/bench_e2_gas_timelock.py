@@ -1,0 +1,127 @@
+"""E2 — Figure 4, Timelock row: per-phase gas operation counts.
+
+Paper: Escrow O(m) writes; Transfer O(t) writes; Validation none;
+Commit O(m·n²) signature verifications + O(m) writes.
+
+We sweep n on ring deals (where every vote travels the longest
+forwarding paths — the worst case the O(n²) bound describes), m on
+multi-pair brokered deals, and t on cliques, then power-law-fit the
+measured counts.  Expected exponents: writes ~1 in m and t; commit
+signature verifications per contract ~2 in n.
+"""
+
+from repro.analysis.costs import commit_signature_verifications
+from repro.analysis.sweep import fit_power_law, run_deal, sweep
+from repro.analysis.tables import render_table
+from repro.core.config import ProtocolKind
+from repro.workloads.generators import brokered_deal, clique_deal, ring_deal
+
+N_VALUES = [2, 3, 4, 6, 8]
+PAIR_VALUES = [1, 2, 3, 4]
+
+
+def record_for_n(n: int) -> dict:
+    spec, keys = ring_deal(n=n)
+    result = run_deal(spec, keys, ProtocolKind.TIMELOCK, seed=n)
+    assert result.all_committed()
+    gas = result.gas_by_phase()
+    sig_commit = commit_signature_verifications(result)
+    return {
+        "x": n,
+        "m": spec.m_assets,
+        "t": spec.t_transfers,
+        "escrow_writes": gas["escrow"].sstore,
+        "transfer_writes": gas["transfer"].sstore,
+        "commit_sigver_total": sig_commit,
+        "commit_sigver_per_contract": sig_commit / spec.m_assets,
+        "commit_writes": gas["commit"].sstore,
+    }
+
+
+def record_for_pairs(pairs: int) -> dict:
+    spec, keys = brokered_deal(pairs=pairs)
+    result = run_deal(spec, keys, ProtocolKind.TIMELOCK, seed=pairs)
+    assert result.all_committed()
+    gas = result.gas_by_phase()
+    return {
+        "x": pairs,
+        "m": spec.m_assets,
+        "t": spec.t_transfers,
+        "escrow_writes": gas["escrow"].sstore,
+        "transfer_writes": gas["transfer"].sstore,
+    }
+
+
+def make_report() -> str:
+    n_records = sweep(N_VALUES, record_for_n)
+    m_records = sweep(PAIR_VALUES, record_for_pairs)
+    lines = [
+        render_table(
+            ["n", "m", "escrow wr", "transfer wr", "commit sig.ver", "sig.ver/contract", "commit wr"],
+            [
+                [r["x"], r["m"], r["escrow_writes"], r["transfer_writes"],
+                 r["commit_sigver_total"], f"{r['commit_sigver_per_contract']:.1f}",
+                 r["commit_writes"]]
+                for r in n_records
+            ],
+            title="Figure 4 (Timelock row) — ring deals, sweep n",
+        ),
+        "",
+        render_table(
+            ["pairs", "m", "t", "escrow wr", "transfer wr"],
+            [
+                [r["x"], r["m"], r["t"], r["escrow_writes"], r["transfer_writes"]]
+                for r in m_records
+            ],
+            title="Figure 4 (Timelock row) — brokered deals, sweep m and t",
+        ),
+    ]
+    per_contract_exp = fit_power_law(
+        [r["x"] for r in n_records],
+        [r["commit_sigver_per_contract"] for r in n_records],
+    )
+    escrow_exp = fit_power_law(
+        [r["m"] for r in m_records], [r["escrow_writes"] for r in m_records]
+    )
+    transfer_exp = fit_power_law(
+        [r["t"] for r in m_records], [r["transfer_writes"] for r in m_records]
+    )
+    lines.append("")
+    lines.append(
+        f"fitted exponents: escrow writes ~ m^{escrow_exp:.2f} (paper: 1), "
+        f"transfer writes ~ t^{transfer_exp:.2f} (paper: 1), "
+        f"commit sig.ver/contract ~ n^{per_contract_exp:.2f} (paper worst case: 2)"
+    )
+    return "\n".join(lines)
+
+
+def test_bench_ring_n8(once):
+    record = once(record_for_n, 8)
+    assert record["commit_sigver_total"] > 0
+
+
+def test_shape_escrow_and_transfer_linear():
+    records = sweep(PAIR_VALUES, record_for_pairs)
+    escrow_exp = fit_power_law([r["m"] for r in records], [r["escrow_writes"] for r in records])
+    transfer_exp = fit_power_law([r["t"] for r in records], [r["transfer_writes"] for r in records])
+    assert 0.9 <= escrow_exp <= 1.1
+    assert 0.9 <= transfer_exp <= 1.1
+
+
+def test_shape_commit_quadratic_per_contract():
+    records = sweep(N_VALUES, record_for_n)
+    # Exact closed form on rings: per-contract sig.ver = n(n+1)/2.
+    for record in records:
+        n = record["x"]
+        assert record["commit_sigver_per_contract"] == n * (n + 1) / 2
+    exponent = fit_power_law(
+        [r["x"] for r in records],
+        [r["commit_sigver_per_contract"] for r in records],
+    )
+    assert 1.5 <= exponent <= 2.1  # quadratic shape (small-n offset)
+    print()
+    print(make_report())
+
+
+if __name__ == "__main__":
+    print(make_report())

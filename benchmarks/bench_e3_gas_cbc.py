@@ -1,0 +1,136 @@
+"""E3 — Figure 4, CBC row: commit costs O(m·(2f+1)) signature checks.
+
+Paper: CBC commit = O(m(2f+1)) signature verifications + O(m) writes;
+with k validator reconfigurations the proof carries k handover
+certificates, multiplying the cost by (k+1).  The §6.2 status-
+certificate optimization vs full block proofs is ablated here too.
+"""
+
+from repro.analysis.costs import commit_signature_verifications
+from repro.analysis.sweep import fit_power_law, run_deal, sweep
+from repro.analysis.tables import render_table
+from repro.core.config import ProofKind, ProtocolKind
+from repro.core.executor import auto_config
+from repro.workloads.generators import brokered_deal
+from repro.workloads.scenarios import ticket_broker_deal
+
+F_VALUES = [0, 1, 2, 4, 6]
+K_VALUES = [0, 1, 2, 4]
+
+
+def record_for_f(f: int) -> dict:
+    spec, keys = ticket_broker_deal(nonce=bytes([f]))
+    result = run_deal(spec, keys, ProtocolKind.CBC, validators_f=f, seed=f)
+    assert result.all_committed()
+    sig = commit_signature_verifications(result)
+    return {
+        "x": 2 * f + 1,
+        "f": f,
+        "m": spec.m_assets,
+        "commit_sigver": sig,
+        "per_contract": sig / spec.m_assets,
+        "commit_writes": result.gas_by_phase()["commit"].sstore,
+    }
+
+
+def record_for_k(k: int) -> dict:
+    spec, keys = ticket_broker_deal(nonce=bytes([50 + k]))
+    result = run_deal(
+        spec, keys, ProtocolKind.CBC, validators_f=1, reconfigurations=k, seed=k
+    )
+    assert result.all_committed()
+    return {
+        "x": k,
+        "commit_sigver": commit_signature_verifications(result),
+        "model": spec.m_assets * (k + 1) * 3,
+    }
+
+
+def record_for_m(pairs: int) -> dict:
+    spec, keys = brokered_deal(pairs=pairs)
+    result = run_deal(spec, keys, ProtocolKind.CBC, validators_f=1, seed=pairs)
+    assert result.all_committed()
+    return {
+        "x": spec.m_assets,
+        "commit_sigver": commit_signature_verifications(result),
+    }
+
+
+def proof_kind_ablation() -> dict:
+    out = {}
+    for proof_kind in (ProofKind.STATUS_CERTIFICATE, ProofKind.BLOCK_PROOF):
+        spec, keys = ticket_broker_deal(nonce=proof_kind.value.encode())
+        config = auto_config(spec, ProtocolKind.CBC, proof_kind=proof_kind)
+        result = run_deal(spec, keys, ProtocolKind.CBC, config=config, validators_f=1)
+        assert result.all_committed()
+        out[proof_kind.value] = commit_signature_verifications(result)
+    return out
+
+
+def make_report() -> str:
+    f_records = sweep(F_VALUES, record_for_f)
+    k_records = sweep(K_VALUES, record_for_k)
+    m_records = sweep([1, 2, 3, 4], record_for_m)
+    ablation = proof_kind_ablation()
+    lines = [
+        render_table(
+            ["f", "2f+1", "m", "commit sig.ver", "per contract", "commit wr"],
+            [[r["f"], r["x"], r["m"], r["commit_sigver"],
+              f"{r['per_contract']:.0f}", r["commit_writes"]] for r in f_records],
+            title="Figure 4 (CBC row) — sweep validator fault tolerance f",
+        ),
+        "",
+        render_table(
+            ["reconfigurations k", "measured sig.ver", "model m(k+1)(2f+1)"],
+            [[r["x"], r["commit_sigver"], r["model"]] for r in k_records],
+            title="Reconfiguration multiplier (k handovers)",
+        ),
+        "",
+        render_table(
+            ["m", "commit sig.ver"],
+            [[r["x"], r["commit_sigver"]] for r in m_records],
+            title="Sweep m (f=1 fixed): commit sig.ver = 3m",
+        ),
+        "",
+        f"proof-form ablation (§6.2): status certificate = "
+        f"{ablation['status']} sig.ver, full block proof = {ablation['blocks']} sig.ver",
+    ]
+    return "\n".join(lines)
+
+
+def test_bench_cbc_f4(once):
+    record = once(record_for_f, 4)
+    assert record["commit_sigver"] > 0
+
+
+def test_shape_commit_linear_in_quorum():
+    records = sweep(F_VALUES, record_for_f)
+    # Exact: per contract = 2f+1.
+    for record in records:
+        assert record["per_contract"] == record["x"]
+    exponent = fit_power_law(
+        [r["x"] for r in records], [r["commit_sigver"] for r in records]
+    )
+    assert 0.9 <= exponent <= 1.1
+
+
+def test_shape_reconfiguration_multiplier_exact():
+    for record in sweep(K_VALUES, record_for_k):
+        assert record["commit_sigver"] == record["model"]
+
+
+def test_shape_linear_in_m():
+    records = sweep([1, 2, 3, 4], record_for_m)
+    for record in records:
+        assert record["commit_sigver"] == 3 * record["x"]
+
+
+def test_shape_block_proofs_cost_more():
+    ablation = proof_kind_ablation()
+    assert ablation["blocks"] > ablation["status"]
+    print()
+    print(make_report())
+
+
+if __name__ == "__main__":
+    print(make_report())

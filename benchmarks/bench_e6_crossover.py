@@ -1,0 +1,130 @@
+"""E6 — the §9 cost crossover between the protocols.
+
+Paper: "If we assume (reasonably) that 2f+1 ... usually exceeds n ...
+it will usually be more expensive to commit a CBC deal (O(m(2f+1)))
+than a timelock deal (O(mn²)).  But one gets what one pays for."
+
+Wait — the inequality in the paper compares 2f+1 against n², per
+asset: CBC wins (is cheaper) when n² > 2f+1, i.e. for deals with many
+parties or a heavily replicated CBC the balance flips.  We sweep n at
+fixed f and f at fixed n and locate the measured crossover.
+"""
+
+from repro.analysis.costs import commit_signature_verifications
+from repro.analysis.sweep import run_deal, sweep
+from repro.analysis.tables import render_table
+from repro.core.config import ProtocolKind
+from repro.workloads.generators import ring_deal
+
+N_VALUES = [2, 3, 4, 5, 6, 8]
+F_VALUES = [1, 2, 4, 8, 12]
+FIXED_F = 4  # 2f+1 = 9 validators' signatures per proof
+FIXED_N = 3
+
+
+def record_for_n(n: int) -> dict:
+    spec, keys = ring_deal(n=n)
+    timelock = run_deal(spec, keys, ProtocolKind.TIMELOCK, seed=n)
+    spec2, keys2 = ring_deal(n=n)
+    cbc = run_deal(spec2, keys2, ProtocolKind.CBC, validators_f=FIXED_F, seed=n)
+    assert timelock.all_committed() and cbc.all_committed()
+    m = spec.m_assets
+    return {
+        "x": n,
+        "timelock_per_contract": commit_signature_verifications(timelock) / m,
+        "cbc_per_contract": commit_signature_verifications(cbc) / m,
+    }
+
+
+def record_for_f(f: int) -> dict:
+    spec, keys = ring_deal(n=FIXED_N)
+    cbc = run_deal(spec, keys, ProtocolKind.CBC, validators_f=f, seed=f)
+    spec2, keys2 = ring_deal(n=FIXED_N)
+    timelock = run_deal(spec2, keys2, ProtocolKind.TIMELOCK, seed=f)
+    assert timelock.all_committed() and cbc.all_committed()
+    m = spec.m_assets
+    return {
+        "x": 2 * f + 1,
+        "f": f,
+        "timelock_per_contract": commit_signature_verifications(timelock) / m,
+        "cbc_per_contract": commit_signature_verifications(cbc) / m,
+    }
+
+
+def crossover_n(records) -> int | None:
+    for record in records:
+        if record["timelock_per_contract"] > record["cbc_per_contract"]:
+            return record["x"]
+    return None
+
+
+def make_report() -> str:
+    n_records = sweep(N_VALUES, record_for_n)
+    f_records = sweep(F_VALUES, record_for_f)
+    lines = [
+        render_table(
+            ["n", "timelock sig.ver/contract", f"CBC sig.ver/contract (f={FIXED_F})", "cheaper"],
+            [[r["x"], f"{r['timelock_per_contract']:.0f}", f"{r['cbc_per_contract']:.0f}",
+              "timelock" if r["timelock_per_contract"] <= r["cbc_per_contract"] else "CBC"]
+             for r in n_records],
+            title="§9 crossover — sweep n at fixed f",
+        ),
+        "",
+        render_table(
+            ["2f+1", f"timelock (n={FIXED_N})", "CBC", "cheaper"],
+            [[r["x"], f"{r['timelock_per_contract']:.0f}", f"{r['cbc_per_contract']:.0f}",
+              "timelock" if r["timelock_per_contract"] <= r["cbc_per_contract"] else "CBC"]
+             for r in f_records],
+            title="§9 crossover — sweep f at fixed n",
+        ),
+    ]
+    cross = crossover_n(n_records)
+    lines.append("")
+    lines.append(
+        f"measured crossover at fixed f={FIXED_F} (2f+1={2*FIXED_F+1}): "
+        f"timelock becomes dearer from n={cross} "
+        f"(ring worst case n(n+1)/2 vs 2f+1 predicts n={_predicted_crossover()})"
+    )
+    return "\n".join(lines)
+
+
+def _predicted_crossover() -> int:
+    quorum = 2 * FIXED_F + 1
+    n = 2
+    while n * (n + 1) / 2 <= quorum:
+        n += 1
+    return n
+
+
+def test_bench_crossover_point(once):
+    records = once(lambda: sweep(N_VALUES, record_for_n))
+    assert crossover_n(records) is not None
+
+
+def test_shape_small_deals_favor_timelock():
+    record = record_for_n(2)
+    assert record["timelock_per_contract"] < record["cbc_per_contract"]
+
+
+def test_shape_large_deals_favor_cbc():
+    record = record_for_n(8)
+    assert record["timelock_per_contract"] > record["cbc_per_contract"]
+
+
+def test_shape_crossover_matches_model():
+    records = sweep(N_VALUES, record_for_n)
+    assert crossover_n(records) == _predicted_crossover()
+
+
+def test_shape_growing_f_favors_timelock():
+    records = sweep(F_VALUES, record_for_f)
+    cheaper = ["timelock" if r["timelock_per_contract"] <= r["cbc_per_contract"] else "CBC"
+               for r in records]
+    # Once the quorum outgrows the deal's vote bill, timelock stays cheaper.
+    assert cheaper[-1] == "timelock"
+    print()
+    print(make_report())
+
+
+if __name__ == "__main__":
+    print(make_report())

@@ -1,0 +1,54 @@
+"""Regenerate every experiment report in one pass.
+
+Usage::
+
+    python benchmarks/run_all.py [output-file]
+
+Writes the concatenated paper-style tables for E1..E15 (the full
+EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+EXPERIMENTS = [
+    ("E1", "bench_e1_brokered_deal"),
+    ("E2", "bench_e2_gas_timelock"),
+    ("E3", "bench_e3_gas_cbc"),
+    ("E4", "bench_e4_delay_timelock"),
+    ("E5", "bench_e5_delay_cbc"),
+    ("E6", "bench_e6_crossover"),
+    ("E7", "bench_e7_safety_gauntlet"),
+    ("E8", "bench_e8_pow_attack"),
+    ("E9", "bench_e9_dos_window"),
+    ("E10", "bench_e10_abort_cost"),
+    ("E11", "bench_e11_swap_baseline"),
+    ("E12", "bench_e12_auction"),
+    ("E13", "bench_e13_incentive_deposits"),
+    ("E14", "bench_e14_batch_verification"),
+    ("E15", "bench_e15_asynchrony"),
+]
+
+
+def main(argv: list[str]) -> int:
+    sections = []
+    for experiment_id, module_name in EXPERIMENTS:
+        started = time.monotonic()
+        module = importlib.import_module(module_name)
+        report = module.make_report()
+        elapsed = time.monotonic() - started
+        header = f"===== {experiment_id} ({module_name}, {elapsed:.1f}s) ====="
+        sections.append(f"{header}\n{report}\n")
+        print(sections[-1])
+    if len(argv) > 1:
+        with open(argv[1], "w", encoding="utf-8") as handle:
+            handle.write("\n".join(sections))
+        print(f"wrote {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,63 @@
+"""The §5.3 offline window: why timelock users want watchtowers.
+
+Timelock deals resolve by deadline arithmetic, so a party that is
+unreachable at the wrong moment can lose assets *without any safety
+violation* — failing to claim in time is itself a deviation.  Here we
+drive Alice and Carol offline right after they cast their votes:
+nobody forwards Bob's vote to the ticket chain, the ticket escrow
+times out, and Bob keeps the tickets AND collects the coins.
+
+Then we attach watchtowers (the Lightning-network mitigation the
+paper cites) and watch the same attack fizzle.
+
+Run:  python examples/offline_window.py
+"""
+
+from repro.adversary.dos import offline_window_scenario
+from repro.core.outcomes import evaluate_outcome
+
+
+def describe(result) -> None:
+    who = {result.spec.label(p): p for p in result.spec.parties}
+    tickets = result.final_holdings[("ticketchain", "tickets")]
+    coins = result.final_holdings[("coinchain", "coins")]
+    print(f"  escrow outcomes: "
+          f"tickets={result.escrow_states['bob-tickets'].value}, "
+          f"coins={result.escrow_states['carol-coins'].value}")
+    for name in ("alice", "bob", "carol"):
+        print(
+            f"  {name:5s}: {coins.get(who[name], 0):3d} coins, "
+            f"{len(tickets.get(who[name], frozenset()))} tickets"
+        )
+
+
+def main() -> None:
+    print("=== Attack: Alice and Carol DoS'd right after voting ===")
+    attacked = offline_window_scenario(offline_from=5.0)
+    describe(attacked.result)
+    report = evaluate_outcome(
+        attacked.result,
+        compliant={p for p in attacked.result.spec.parties
+                   if attacked.result.spec.label(p) == "bob"},
+    )
+    print(f"  Property 1 for compliant Bob: {report.safety_ok} "
+          "(the victims deviated by not claiming in time)")
+    print()
+
+    print("=== Same attack, victims covered by watchtowers ===")
+    defended = offline_window_scenario(offline_from=5.0, with_watchtowers=True)
+    describe(defended.result)
+    report = evaluate_outcome(defended.result)
+    print(f"  deal committed: {defended.result.all_committed()}, "
+          f"safety for everyone: {report.safety_ok}")
+    print()
+    print(
+        "The watchtower watched Bob's vote appear on the coin chain and\n"
+        "forwarded it (path-extended with its client's signature) to the\n"
+        "ticket chain before the deadline — the exchange completed as\n"
+        "agreed despite the denial-of-service."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of "Cross-chain Deals and Adversarial Commerce".
+
+Herlihy, Liskov, Shrira (VLDB 2019).  The package implements the
+cross-chain deal abstraction, both commit protocols (timelock and
+CBC), the blockchain/consensus/network substrates they run on, the
+adversary strategies the paper's properties defend against, and the
+cost/timing analyses behind its evaluation (Figures 4 and 7).
+
+Quickstart::
+
+    from repro import (
+        DealExecutor, ProtocolKind, auto_config,
+        evaluate_outcome, ticket_broker_deal, CompliantParty,
+    )
+
+    spec, keys = ticket_broker_deal()
+    parties = [CompliantParty(kp, label) for label, kp in keys.items()]
+    config = auto_config(spec, ProtocolKind.TIMELOCK)
+    result = DealExecutor(spec, parties, config).run()
+    report = evaluate_outcome(result)
+    assert report.safety_ok and result.all_committed()
+"""
+
+from repro.core.config import ProofKind, ProtocolConfig, ProtocolKind
+from repro.core.deal import Asset, DealSpec, TransferStep, deal_digraph, deal_matrix
+from repro.core.executor import DealExecutor, DealResult, auto_config
+from repro.core.outcomes import OutcomeReport, evaluate_outcome
+from repro.core.parties import CompliantParty
+from repro.workloads.scenarios import auction_deal, ticket_broker_deal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Asset",
+    "CompliantParty",
+    "DealExecutor",
+    "DealResult",
+    "DealSpec",
+    "OutcomeReport",
+    "ProofKind",
+    "ProtocolConfig",
+    "ProtocolKind",
+    "TransferStep",
+    "auction_deal",
+    "auto_config",
+    "deal_digraph",
+    "deal_matrix",
+    "evaluate_outcome",
+    "ticket_broker_deal",
+    "__version__",
+]

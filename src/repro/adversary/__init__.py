@@ -1,0 +1,52 @@
+"""Deviating parties and environment-level attacks.
+
+The paper's model places **no bound** on how many parties deviate:
+safety (Property 1) must hold for every compliant party regardless.
+This package provides the deviations the paper names, plus a few the
+protocols must obviously survive:
+
+* :mod:`repro.adversary.strategies` — party-level deviations (refuse
+  to escrow / transfer / vote / forward, crash, vote late, rescind
+  immediately, attempt double-spends);
+* :mod:`repro.adversary.mining` — the §6.2 private-mining fake
+  proof-of-abort attack against a proof-of-work CBC;
+* :mod:`repro.adversary.dos` — the §5.3 offline-window scenario where
+  a timelock participant loses assets by being driven offline;
+* :mod:`repro.adversary.watchtower` — the Lightning-style mitigation
+  the paper points to.
+"""
+
+from repro.adversary.strategies import (
+    ALL_STRATEGIES,
+    CrashAfterEscrowParty,
+    DoubleSpendAttemptParty,
+    ImmediateRescinderParty,
+    LateVoterParty,
+    NoForwardParty,
+    NoTransferParty,
+    NoVoteParty,
+    ShortChangeParty,
+    UnsatisfiedParty,
+    WalkAwayParty,
+)
+from repro.adversary.mining import PrivateMiningAttack, attack_success_rate
+from repro.adversary.dos import offline_window_scenario
+from repro.adversary.watchtower import Watchtower
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "CrashAfterEscrowParty",
+    "DoubleSpendAttemptParty",
+    "ImmediateRescinderParty",
+    "LateVoterParty",
+    "NoForwardParty",
+    "NoTransferParty",
+    "NoVoteParty",
+    "PrivateMiningAttack",
+    "ShortChangeParty",
+    "UnsatisfiedParty",
+    "WalkAwayParty",
+    "Watchtower",
+    "attack_success_rate",
+    "offline_window_scenario",
+]

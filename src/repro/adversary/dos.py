@@ -1,0 +1,92 @@
+"""The §5.3 offline-window attack on the timelock protocol.
+
+"Any timelock-based commit protocol has a window during which parties
+may lose their assets by going offline at the wrong time."  In the
+ticket-broker deal: Bob votes only on the coin blockchain (his
+incoming).  If Alice and Carol are driven offline right after casting
+their own votes, nobody forwards Bob's vote to the ticket blockchain:
+
+* the **coin** escrow collects all three votes (Bob forwards Alice's
+  and Carol's) and releases — Bob is paid;
+* the **ticket** escrow times out missing Bob's vote and refunds the
+  tickets — to Bob.
+
+Bob ends up with the tickets *and* the coins.  Technically no safety
+violation: Alice and Carol deviated by failing to act in time — but
+it is exactly the risk the paper says watchtowers exist to cover.
+:func:`offline_window_scenario` builds this run; pass
+``with_watchtowers=True`` to add :class:`~repro.adversary.watchtower.
+Watchtower` coverage for the victims and watch the deal commit
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.watchtower import Watchtower
+from repro.core.config import ProtocolKind
+from repro.core.executor import DealExecutor, DealResult, auto_config
+from repro.core.parties import CompliantParty
+from repro.sim.faults import FaultPlan, OfflineWindow
+from repro.workloads.scenarios import ticket_broker_deal
+
+
+@dataclass
+class DosScenarioResult:
+    """The outcome of one offline-window run."""
+
+    result: DealResult
+    victims: list[str]
+    offline_from: float
+    offline_until: float
+    with_watchtowers: bool
+
+
+def offline_window_scenario(
+    offline_from: float = 5.0,
+    offline_duration: float = 200.0,
+    with_watchtowers: bool = False,
+    seed: int = 0,
+) -> DosScenarioResult:
+    """Run the ticket-broker deal with Alice and Carol driven offline.
+
+    ``offline_from`` should land just after the victims cast their own
+    votes (≈ t = 5 with default timing) so those votes get out but
+    Bob's vote is never forwarded to the ticket chain.
+    """
+    spec, keys = ticket_broker_deal(nonce=b"dos")
+    parties = [CompliantParty(kp, label) for label, kp in keys.items()]
+    config = auto_config(spec, ProtocolKind.TIMELOCK)
+    victims = ["alice", "carol"]
+    plan = FaultPlan()
+    for victim in victims:
+        plan.add(
+            OfflineWindow(
+                endpoint=f"party:{victim}",
+                start=offline_from,
+                end=offline_from + offline_duration,
+            )
+        )
+    executor = DealExecutor(
+        spec, parties, config, seed=seed, fault_plan=plan
+    )
+    if with_watchtowers:
+        original_build = executor._build
+
+        def build_with_watchtowers():
+            env = original_build()
+            for victim in victims:
+                party = next(p for p in parties if p.label == victim)
+                Watchtower(party).attach(env, spec, config)
+            return env
+
+        executor._build = build_with_watchtowers
+    result = executor.run()
+    return DosScenarioResult(
+        result=result,
+        victims=victims,
+        offline_from=offline_from,
+        offline_until=offline_from + offline_duration,
+        with_watchtowers=with_watchtowers,
+    )

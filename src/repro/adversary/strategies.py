@@ -1,0 +1,205 @@
+"""Party-level deviation strategies.
+
+Each strategy subclasses :class:`~repro.core.parties.CompliantParty`
+and overrides the smallest possible hook, so the deviation is precise
+and the rest of the behaviour stays protocol-conformant.  The safety
+gauntlet (experiment E7) crosses these with random deals and both
+protocols and asserts Property 1 for the remaining compliant parties.
+"""
+
+from __future__ import annotations
+
+from repro.core.deal import Asset, TransferStep
+from repro.core.parties import CompliantParty
+from repro.crypto.keys import Address
+
+
+class WalkAwayParty(CompliantParty):
+    """Never escrows anything: joins the deal, then disappears.
+
+    The deal cannot complete; compliant parties must get refunds.
+    """
+
+    def decide_deposit(self, asset: Asset) -> bool:
+        return False
+
+
+class NoTransferParty(CompliantParty):
+    """Escrows, but never performs its tentative transfers.
+
+    Validation can never succeed for anyone, so the deal must abort
+    (timeout / abort vote) and every escrow must refund.
+    """
+
+    def decide_transfer(self, step: TransferStep) -> bool:
+        return False
+
+
+class NoVoteParty(CompliantParty):
+    """Escrows and transfers, but never votes to commit.
+
+    The classic 'griefing' deviation: the deal is fully set up and
+    then starved of one vote.  Timelock contracts must time out; CBC
+    parties must eventually vote abort.
+    """
+
+    def decide_vote(self) -> bool:
+        return False
+
+
+class NoForwardParty(CompliantParty):
+    """Votes, but never forwards other parties' votes (timelock).
+
+    Tests that forwarding by *other* motivated parties (or direct
+    voting) still completes deals, and that safety holds when it
+    cannot.
+    """
+
+    def decide_forward(self, voter: Address, to_asset_id: str) -> bool:
+        return False
+
+
+class UnsatisfiedParty(CompliantParty):
+    """Always fails validation (claims its incoming assets are wrong).
+
+    A CBC party votes abort; a timelock party simply never votes.
+    Either way the deal must abort with refunds.
+    """
+
+    def decide_validate(self) -> bool:
+        return False
+
+
+class CrashAfterEscrowParty(CompliantParty):
+    """Goes silent a fixed delay after the run starts.
+
+    ``crash_delay`` defaults to just after the escrow phase, the most
+    damaging moment: its assets are locked but it will neither
+    transfer nor vote.
+    """
+
+    def __init__(self, keypair, label, crash_delay: float = 5.0):
+        super().__init__(keypair, label)
+        self.crash_delay = crash_delay
+        self._crashed = False
+
+    def begin(self) -> None:
+        super().begin()
+        self.schedule(self.crash_delay, self._crash, "crash")
+
+    def _crash(self) -> None:
+        self._crashed = True
+
+    def is_active(self) -> bool:
+        return not self._crashed
+
+
+class LateVoterParty(CompliantParty):
+    """Delays its commit vote beyond every path deadline (timelock).
+
+    The vote arrives after ``t0 + N·Δ`` so contracts must reject it
+    and refund; nobody may lose assets to a late vote.
+    """
+
+    def _cast_votes(self) -> None:
+        deadline = self.config.t0 + (len(self.spec.parties) + 1) * self.config.delta
+        delay = max(0.0, deadline - self.env.simulator.now)
+        self.schedule(delay, super()._cast_votes, "late-vote")
+
+
+class ImmediateRescinderParty(CompliantParty):
+    """CBC deviation: votes commit and then abort immediately.
+
+    A compliant party must wait at least Δ before rescinding (§6);
+    this one does not.  The deal may commit or abort depending on CBC
+    ordering, but it must do so *uniformly* and safely.
+    """
+
+    def _vote_commit_cbc(self) -> None:
+        super()._vote_commit_cbc()
+        self._vote_abort_cbc()
+
+
+class ShortChangeParty(CompliantParty):
+    """Performs its transfers, but pays less than the deal specifies.
+
+    Every fungible step it gives is cut in half (rounded down, at
+    least 1 short).  Counterparties' validation must fail, so the deal
+    aborts and refunds.
+    """
+
+    def _submit_enabled_steps(self) -> None:
+        # Re-implement the loop with doctored amounts.
+        for index, step in self.my_steps():
+            if index in self._submitted_steps:
+                continue
+            if not self._step_enabled(step):
+                continue
+            asset = self.spec.asset(step.asset_id)
+            self._submitted_steps.add(index)
+            if asset.fungible:
+                doctored = max(0, min(step.amount - 1, step.amount // 2))
+                if doctored == 0:
+                    continue
+                self.send_tx(
+                    asset.chain_id,
+                    self.spec.escrow_contract_name(step.asset_id),
+                    "transfer",
+                    phase="transfer",
+                    to=step.receiver,
+                    amount=doctored,
+                    token_ids=(),
+                )
+            else:
+                # Ship only the first token of a multi-token step.
+                self.send_tx(
+                    asset.chain_id,
+                    self.spec.escrow_contract_name(step.asset_id),
+                    "transfer",
+                    phase="transfer",
+                    to=step.receiver,
+                    amount=0,
+                    token_ids=step.token_ids[:1],
+                )
+
+
+class DoubleSpendAttemptParty(CompliantParty):
+    """Tries to spend the same tentative balance twice.
+
+    After each legitimate transfer it submits a duplicate; the escrow
+    contract must reject the second (its C-map balance is spent).
+    Escrow is the concurrency control of adversarial commerce (§10).
+    """
+
+    def _submit_enabled_steps(self) -> None:
+        before = set(self._submitted_steps)
+        super()._submit_enabled_steps()
+        for index in self._submitted_steps - before:
+            step = self.spec.steps[index]
+            asset = self.spec.asset(step.asset_id)
+            self.send_tx(
+                asset.chain_id,
+                self.spec.escrow_contract_name(step.asset_id),
+                "transfer",
+                phase="transfer",
+                to=step.receiver,
+                amount=step.amount,
+                token_ids=step.token_ids,
+            )
+
+
+#: The strategy grid used by the E7 safety gauntlet.  Each entry is a
+#: (name, factory) pair; factories take (keypair, label).
+ALL_STRATEGIES: list[tuple[str, type[CompliantParty]]] = [
+    ("compliant", CompliantParty),
+    ("walk-away", WalkAwayParty),
+    ("no-transfer", NoTransferParty),
+    ("no-vote", NoVoteParty),
+    ("no-forward", NoForwardParty),
+    ("unsatisfied", UnsatisfiedParty),
+    ("crash-after-escrow", CrashAfterEscrowParty),
+    ("late-voter", LateVoterParty),
+    ("immediate-rescinder", ImmediateRescinderParty),
+    ("short-change", ShortChangeParty),
+    ("double-spend", DoubleSpendAttemptParty),
+]

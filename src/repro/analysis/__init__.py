@@ -1,0 +1,31 @@
+"""Cost and timing analyses behind the paper's evaluation (§7).
+
+* :mod:`repro.analysis.costs` — per-phase and per-contract gas
+  accounting, and the paper's closed-form cost model for comparison;
+* :mod:`repro.analysis.timing` — phase delays in Δ units (Figure 7);
+* :mod:`repro.analysis.tables` — ASCII renderers that print
+  paper-style tables;
+* :mod:`repro.analysis.sweep` — parameter-sweep drivers and
+  power-law fits for asymptotic shape checks.
+"""
+
+from repro.analysis.costs import (
+    CostModel,
+    gas_by_contract,
+    phase_operation_counts,
+)
+from repro.analysis.sweep import fit_power_law, run_deal, sweep
+from repro.analysis.tables import render_matrix, render_table
+from repro.analysis.timing import phase_delays_in_delta
+
+__all__ = [
+    "CostModel",
+    "fit_power_law",
+    "gas_by_contract",
+    "phase_delays_in_delta",
+    "phase_operation_counts",
+    "render_matrix",
+    "render_table",
+    "run_deal",
+    "sweep",
+]

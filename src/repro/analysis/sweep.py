@@ -1,0 +1,96 @@
+"""Parameter-sweep drivers and asymptotic-fit helpers.
+
+The paper's evaluation states asymptotics (O(m·n²), O(m·(2f+1)),
+O(n)Δ, ...).  To check them we sweep a parameter, measure the
+operation counts or delays, and fit a power law: ``fit_power_law``
+returns the least-squares exponent of ``y ~ x^e`` on log-log axes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.executor import DealExecutor, DealResult, auto_config
+from repro.core.parties import CompliantParty
+
+
+def run_deal(
+    spec,
+    keys,
+    kind: ProtocolKind,
+    seed: int = 0,
+    config: ProtocolConfig | None = None,
+    validators_f: int = 1,
+    reconfigurations: int = 0,
+    party_factory=CompliantParty,
+    **executor_kwargs,
+) -> DealResult:
+    """Build compliant parties for ``spec`` and run it once."""
+    parties = [party_factory(keypair, label) for label, keypair in keys.items()]
+    config = config or auto_config(spec, kind)
+    executor = DealExecutor(
+        spec,
+        parties,
+        config,
+        seed=seed,
+        validators_f=validators_f,
+        reconfigurations=reconfigurations,
+        **executor_kwargs,
+    )
+    return executor.run()
+
+
+def sweep(values, make_record) -> list[dict]:
+    """Run ``make_record(value)`` for each value, collecting records.
+
+    ``make_record`` returns a dict; the sweep value is added under
+    ``"x"`` if not already present.
+    """
+    records = []
+    for value in values:
+        record = make_record(value)
+        record.setdefault("x", value)
+        records.append(record)
+    return records
+
+
+def fit_power_law(xs, ys) -> float:
+    """Least-squares exponent of ``y ~ c·x^e`` (log-log fit).
+
+    Points with non-positive coordinates are dropped.  Returns NaN if
+    fewer than two usable points remain.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return float("nan")
+    log_x = np.log([p[0] for p in pairs])
+    log_y = np.log([p[1] for p in pairs])
+    exponent, _intercept = np.polyfit(log_x, log_y, 1)
+    return float(exponent)
+
+
+def fit_linear_slope(xs, ys) -> float:
+    """Least-squares slope of ``y ~ a·x + b`` (for Δ-linear checks)."""
+    if len(xs) < 2:
+        return float("nan")
+    slope, _intercept = np.polyfit(np.asarray(xs, float), np.asarray(ys, float), 1)
+    return float(slope)
+
+
+def geometric_decay_rate(values) -> float:
+    """Mean successive ratio of a positive decreasing series.
+
+    Used by E8 to show attack success decays ~geometrically with
+    confirmation depth.  Zero entries terminate the series.
+    """
+    ratios = []
+    for previous, current in zip(values, values[1:]):
+        if previous <= 0 or current <= 0:
+            break
+        ratios.append(current / previous)
+    if not ratios:
+        return 0.0
+    return float(math.exp(sum(math.log(r) for r in ratios) / len(ratios)))

@@ -1,0 +1,82 @@
+"""Phase-delay accounting (paper §7.2, Figure 7).
+
+Figure 7 states the per-phase delays in units of Δ under synchronous
+communication:
+
+=========  ======  ==========  ==========  =========  ================
+Protocol   Escrow  Transfer    Validation  Commit     Abort
+=========  ======  ==========  ==========  =========  ================
+Timelock   Δ       tΔ or Δ     Δ           O(n)Δ      O(n)Δ (timeout)
+CBC        Δ       tΔ or Δ     Δ           O(1)Δ      per-party t/o
+=========  ======  ==========  ==========  =========  ================
+
+The effective Δ of a run is the configured protocol Δ; the functions
+here convert measured milestone times into those units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.executor import DealResult
+
+
+@dataclass(frozen=True)
+class PhaseDelays:
+    """Measured phase delays of one run, in Δ units."""
+
+    escrow: float | None
+    transfer: float | None
+    validation: float | None
+    commit: float | None
+    total: float
+
+    def as_dict(self) -> dict[str, float | None]:
+        """Dictionary form for table rendering."""
+        return {
+            "escrow": self.escrow,
+            "transfer": self.transfer,
+            "validation": self.validation,
+            "commit": self.commit,
+            "total": self.total,
+        }
+
+
+def phase_delays_in_delta(result: DealResult) -> PhaseDelays:
+    """Convert the run's milestones into Δ-denominated phase delays.
+
+    * escrow: start → last deposit executed;
+    * transfer: last deposit → last tentative transfer;
+    * validation: last transfer → last party satisfied;
+    * commit: last party satisfied → last escrow released/refunded.
+    """
+    delta = result.effective_delta
+    timeline = result.timeline
+    validated_times = [
+        stats.validated_at
+        for stats in result.party_stats.values()
+        if stats.validated_at is not None
+    ]
+    validation_done = max(validated_times) if validated_times else None
+
+    def span(start: float | None, end: float | None) -> float | None:
+        if start is None or end is None:
+            return None
+        return max(0.0, end - start) / delta
+
+    escrow = span(timeline.started_at, timeline.escrow_done)
+    transfer = span(timeline.escrow_done, timeline.transfers_done)
+    validation = span(timeline.transfers_done, validation_done)
+    commit = span(validation_done, timeline.settled_at)
+    return PhaseDelays(
+        escrow=escrow,
+        transfer=transfer,
+        validation=validation,
+        commit=commit,
+        total=(timeline.settled_at or timeline.ended_at) / delta,
+    )
+
+
+def commit_latency_in_delta(result: DealResult) -> float | None:
+    """Just the commit phase, in Δ units (the Figure 7 headline)."""
+    return phase_delays_in_delta(result).commit

@@ -1,0 +1,26 @@
+"""Baselines the paper compares deals against (§8).
+
+* :mod:`repro.baselines.htlc` — hashed timelock contracts, the
+  building block of cross-chain swaps;
+* :mod:`repro.baselines.swap` — the multi-party atomic cross-chain
+  swap of Herlihy (PODC'18), the paper's principal comparator: it
+  handles direct-exchange digraphs (e.g. rings) but *cannot express*
+  brokered or auction deals, where a party transfers assets it does
+  not own at the start;
+* :mod:`repro.baselines.two_phase_commit` — classical 2PC with a
+  trusted coordinator, showing what the trust assumptions of
+  federated databases buy (no signatures, O(m) writes) and what they
+  cost (a coordinator everyone must trust).
+"""
+
+from repro.baselines.htlc import HashedTimelockContract
+from repro.baselines.swap import SwapExecutor, SwapParty, is_swap_expressible
+from repro.baselines.two_phase_commit import TwoPhaseCommitExecutor
+
+__all__ = [
+    "HashedTimelockContract",
+    "SwapExecutor",
+    "SwapParty",
+    "TwoPhaseCommitExecutor",
+    "is_swap_expressible",
+]

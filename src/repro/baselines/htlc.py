@@ -1,0 +1,112 @@
+"""Hashed timelock contracts (HTLCs).
+
+The primitive behind cross-chain swaps [BIP-199, Nolan, DeCred, ...]:
+an asset is locked under a hash ``h = H(s)`` and a deadline; the
+counterparty claims it by presenting the preimage ``s`` before the
+deadline, else the original owner takes a refund.  Claiming *reveals*
+``s`` on that chain, which is how secrets propagate through a swap
+digraph.
+
+One contract instance manages many locks (keyed by lock id), so a
+swap deploys one HTLC contract per chain, not per asset.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts import CallContext, Contract
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import Address
+
+
+class HashedTimelockContract(Contract):
+    """A registry of hashlocked, timelocked asset locks."""
+
+    EXPORTS = ("lock", "claim", "refund")
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.locks = self.storage("locks")
+
+    def lock(
+        self,
+        ctx: CallContext,
+        lock_id: str,
+        token: str,
+        recipient: Address,
+        hashlock: bytes,
+        deadline: float,
+        amount: int = 0,
+        token_ids: tuple[str, ...] = (),
+    ) -> bool:
+        """Escrow an asset under ``hashlock`` until ``deadline``.
+
+        The caller must have approved this contract on the token.
+        """
+        ctx.require(self.locks.get(lock_id) is None, "lock id already used")
+        ctx.require(bool(amount) != bool(token_ids), "amount xor token ids")
+        ctx.require(deadline > ctx.now, "deadline already passed")
+        if amount:
+            ctx.call(
+                self, token, "transfer_from", owner=ctx.sender, to=self.address, amount=amount
+            )
+        else:
+            for token_id in token_ids:
+                ctx.call(
+                    self, token, "transfer_from", owner=ctx.sender, to=self.address, token_id=token_id
+                )
+        self.locks[lock_id] = {
+            "token": token,
+            "sender": ctx.sender,
+            "recipient": recipient,
+            "hashlock": hashlock,
+            "deadline": deadline,
+            "amount": amount,
+            "token_ids": tuple(token_ids),
+            "state": "locked",
+            "preimage": None,
+        }
+        ctx.emit(self, "Locked", lock_id=lock_id, recipient=recipient, deadline=deadline)
+        return True
+
+    def claim(self, ctx: CallContext, lock_id: str, preimage: bytes) -> bool:
+        """Take the locked asset by revealing the hashlock preimage."""
+        entry = self.locks.get(lock_id)
+        ctx.require(entry is not None, "unknown lock")
+        ctx.require(entry["state"] == "locked", "lock not active")
+        ctx.require(ctx.now < entry["deadline"], "deadline passed")
+        ctx.require(ctx.sender == entry["recipient"], "only the recipient may claim")
+        ctx.require(sha256(preimage) == entry["hashlock"], "wrong preimage")
+        self._pay(ctx, entry, entry["recipient"])
+        updated = dict(entry)
+        updated["state"] = "claimed"
+        updated["preimage"] = preimage
+        self.locks[lock_id] = updated
+        # The revelation: the preimage is now public on this chain.
+        ctx.emit(self, "Claimed", lock_id=lock_id, preimage=preimage)
+        return True
+
+    def refund(self, ctx: CallContext, lock_id: str) -> bool:
+        """Return the asset to its sender after the deadline."""
+        entry = self.locks.get(lock_id)
+        ctx.require(entry is not None, "unknown lock")
+        ctx.require(entry["state"] == "locked", "lock not active")
+        ctx.require(ctx.now >= entry["deadline"], "deadline not reached")
+        self._pay(ctx, entry, entry["sender"])
+        updated = dict(entry)
+        updated["state"] = "refunded"
+        self.locks[lock_id] = updated
+        ctx.emit(self, "HtlcRefunded", lock_id=lock_id)
+        return True
+
+    def _pay(self, ctx: CallContext, entry: dict, to: Address) -> None:
+        if entry["amount"]:
+            ctx.call(self, entry["token"], "transfer", to=to, amount=entry["amount"])
+        else:
+            for token_id in entry["token_ids"]:
+                ctx.call(self, entry["token"], "transfer", to=to, token_id=token_id)
+
+    # -- off-chain inspection -------------------------------------------
+    def peek_lock(self, lock_id: str) -> dict | None:
+        """Unmetered lock state for parties and tests."""
+        entry = self.locks.peek(lock_id)
+        return dict(entry) if entry is not None else None

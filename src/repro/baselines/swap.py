@@ -1,0 +1,417 @@
+"""The atomic cross-chain swap baseline (Herlihy, PODC 2018).
+
+In a swap, "each party transfers an asset directly to another party
+and halts" (§8).  :func:`is_swap_expressible` captures that test: a
+deal is a swap iff every asset is moved by exactly one step whose
+giver is the asset's original owner.  The ticket-broker deal fails it
+(Alice transfers tickets she never owned; two steps touch each
+asset), and so does the §9 auction — the paper's core motivation.
+
+For swap-expressible *cycle* digraphs we run the PODC'18 protocol on
+the HTLC substrate:
+
+1. the **leader** (a feedback vertex; for a ring, any single party)
+   picks a secret ``s`` and hashlock ``h = H(s)``;
+2. contracts deploy along the ring starting at the leader, each party
+   locking its outgoing asset for its successor once its own incoming
+   lock is visible; the lock from party *i* to *i+1* times out at
+   ``t0 + (N - i)·Δ`` (deadlines shrink along the deployment order);
+3. the leader claims its incoming lock by revealing ``s``; claims
+   propagate backwards around the ring, each revelation unlocking the
+   previous hop before its deadline.
+
+This gives the E11 comparison: swaps and timelock deals have the same
+asymptotic gas shape on rings (each contract verifies just one
+hashlock, cheaper constants), but swaps simply reject the brokered
+and auction workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.htlc import HashedTimelockContract
+from repro.chain.gas import GasBreakdown
+from repro.chain.ledger import Chain
+from repro.chain.tokens import FungibleToken, NonFungibleToken
+from repro.chain.tx import Receipt, Transaction
+from repro.core.deal import DealSpec
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import Address, KeyPair, Wallet
+from repro.errors import SwapError
+from repro.sim.network import SynchronousNetwork
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+
+def is_swap_expressible(spec: DealSpec) -> bool:
+    """Whether the deal is a direct-exchange swap (§8's criterion).
+
+    Every asset must be transferred by exactly one step, and that
+    step's giver must be the asset's original owner — no party may
+    move value it did not bring to the deal.
+    """
+    steps_by_asset: dict[str, list] = {}
+    for step in spec.steps:
+        steps_by_asset.setdefault(step.asset_id, []).append(step)
+    for asset in spec.assets:
+        steps = steps_by_asset.get(asset.asset_id, [])
+        if len(steps) != 1:
+            return False
+        step = steps[0]
+        if step.giver != asset.owner:
+            return False
+        if asset.fungible and step.amount != asset.amount:
+            return False
+        if not asset.fungible and set(step.token_ids) != set(asset.token_ids):
+            return False
+    return True
+
+
+def ring_order(spec: DealSpec) -> list[Address]:
+    """The parties in ring order (leader first), or raise SwapError.
+
+    The PODC'18 protocol handles general strongly connected digraphs
+    with multiple leaders; this implementation covers the single-cycle
+    case, which is the workload the E11 comparison uses.
+    """
+    if not is_swap_expressible(spec):
+        raise SwapError("deal is not swap-expressible")
+    successor: dict[Address, Address] = {}
+    for step in spec.steps:
+        if step.giver in successor:
+            raise SwapError("not a single cycle: a party gives twice")
+        successor[step.giver] = step.receiver
+    if set(successor) != set(spec.parties):
+        raise SwapError("not a single cycle: some party gives nothing")
+    order = [spec.parties[0]]
+    while True:
+        nxt = successor[order[-1]]
+        if nxt == order[0]:
+            break
+        if nxt in order:
+            raise SwapError("not a single cycle: digraph has a chord")
+        order.append(nxt)
+    if len(order) != len(spec.parties):
+        raise SwapError("not a single cycle: disconnected parties")
+    return order
+
+
+@dataclass
+class SwapResult:
+    """Outcome of one swap run."""
+
+    spec: DealSpec
+    initial_holdings: dict
+    final_holdings: dict
+    receipts: list[Receipt]
+    lock_states: dict
+    completed: bool
+    duration: float
+
+    def gas_total(self) -> GasBreakdown:
+        """Total gas of all successful transactions."""
+        total = GasBreakdown.zero()
+        for receipt in self.receipts:
+            if receipt.ok:
+                total = total + receipt.gas
+        return total
+
+    def gas_by_phase(self) -> dict[str, GasBreakdown]:
+        """Gas per swap phase (lock / claim / refund)."""
+        by_phase: dict[str, GasBreakdown] = {}
+        for receipt in self.receipts:
+            if not receipt.ok:
+                continue
+            phase = receipt.tx.phase or "other"
+            by_phase[phase] = by_phase.get(phase, GasBreakdown.zero()) + receipt.gas
+        return by_phase
+
+
+class SwapParty:
+    """One ring-swap participant's state machine."""
+
+    def __init__(self, keypair: KeyPair, label: str, stop_before_lock: bool = False):
+        self.keypair = keypair
+        self.label = label
+        self.address = keypair.address
+        # Deviation knob: halt before locking the outgoing asset.
+        self.stop_before_lock = stop_before_lock
+        self.executor: "SwapExecutor | None" = None
+        self._locked = False
+        self._claimed = False
+
+    @property
+    def endpoint(self) -> str:
+        """Network endpoint name."""
+        return f"swap:{self.label}"
+
+    def on_message(self, message) -> None:
+        """React to chain block notifications."""
+        payload = message.payload
+        if payload[0] != "block":
+            return
+        _, chain_id, block = payload
+        executor = self.executor
+        for receipt in block.receipts:
+            for event in receipt.events:
+                if event.name == "Locked":
+                    executor.on_lock_visible(self, event.fields["lock_id"])
+                elif event.name == "Claimed":
+                    executor.on_claim_visible(
+                        self, event.fields["lock_id"], event.fields["preimage"]
+                    )
+
+
+class SwapExecutor:
+    """Run the PODC'18 ring swap for a swap-expressible cycle deal."""
+
+    def __init__(
+        self,
+        spec: DealSpec,
+        parties: list[SwapParty],
+        seed: int = 0,
+        msg_bound: float = 1.0,
+        block_interval: float = 1.0,
+    ):
+        self.spec = spec
+        self.order = ring_order(spec)
+        by_address = {party.address: party for party in parties}
+        if set(by_address) != set(spec.parties):
+            raise SwapError("party list does not match the deal")
+        self.parties = [by_address[address] for address in self.order]
+        self.seed = seed
+        self.msg_bound = msg_bound
+        self.block_interval = block_interval
+        cycle = 2 * msg_bound + block_interval
+        self.delta = 2 * cycle
+        self.t0 = (len(self.order) + 3) * cycle
+        self._simulator = Simulator()
+        self._network = SynchronousNetwork(
+            self._simulator, delta=msg_bound, rng=DeterministicRng(seed)
+        )
+        self._wallet = Wallet()
+        self._chains: dict[str, Chain] = {}
+        self._tokens: dict[tuple[str, str], object] = {}
+        self._htlcs: dict[str, HashedTimelockContract] = {}
+        self._secret = sha256(b"swap-secret/%d" % seed)
+        self._hashlock = sha256(self._secret)
+        self._lock_ids: dict[int, str] = {}
+        self._steps_by_giver = {step.giver: step for step in spec.steps}
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for party in self.parties:
+            self._wallet.register(party.keypair)
+            party.executor = self
+            self._network.register(party.endpoint, party.on_message)
+        for chain_id in self.spec.chains():
+            chain = Chain(
+                chain_id, self._simulator, self._wallet, block_interval=self.block_interval
+            )
+            self._chains[chain_id] = chain
+            self._network.register(
+                f"chain:{chain_id}",
+                lambda message, chain=chain: chain.submit(message.payload[1]),
+            )
+            htlc = HashedTimelockContract(f"htlc/{chain_id}")
+            chain.publish(htlc)
+            self._htlcs[chain_id] = htlc
+            chain.subscribe(self._make_fanout(chain))
+        for asset in self.spec.assets:
+            key = (asset.chain_id, asset.token)
+            if key in self._tokens:
+                continue
+            token = FungibleToken(asset.token) if asset.fungible else NonFungibleToken(asset.token)
+            self._chains[asset.chain_id].publish(token)
+            self._tokens[key] = token
+            chain = self._chains[asset.chain_id]
+        minter = self.spec.parties[0]
+        for asset in self.spec.assets:
+            chain = self._chains[asset.chain_id]
+            if asset.fungible:
+                chain.execute_now(
+                    Transaction(
+                        sender=minter,
+                        contract=asset.token,
+                        method="mint",
+                        args={"to": asset.owner, "amount": asset.amount},
+                        phase="setup",
+                    )
+                )
+            else:
+                for token_id in asset.token_ids:
+                    chain.execute_now(
+                        Transaction(
+                            sender=minter,
+                            contract=asset.token,
+                            method="mint",
+                            args={"to": asset.owner, "token_id": token_id, "metadata": {}},
+                            phase="setup",
+                        )
+                    )
+
+    def _make_fanout(self, chain: Chain):
+        endpoints = [party.endpoint for party in self.parties]
+
+        def fanout(ch, block) -> None:
+            for endpoint in endpoints:
+                self._network.send(
+                    f"chain:{ch.chain_id}", endpoint, ("block", ch.chain_id, block)
+                )
+
+        return fanout
+
+    # ------------------------------------------------------------------
+    # Protocol actions
+    # ------------------------------------------------------------------
+    def _position(self, party: SwapParty) -> int:
+        return self.order.index(party.address)
+
+    def _lock_id_for(self, position: int) -> str:
+        return f"swap/{self.spec.deal_id.hex()[:8]}/{position}"
+
+    def _submit_lock(self, party: SwapParty) -> None:
+        if party._locked or party.stop_before_lock:
+            return
+        party._locked = True
+        position = self._position(party)
+        step = self._steps_by_giver[party.address]
+        asset = self.spec.asset(step.asset_id)
+        htlc = self._htlcs[asset.chain_id]
+        deadline = self.t0 + (len(self.order) - position) * self.delta
+        if asset.fungible:
+            self._send_tx(
+                party, asset.chain_id, asset.token, "approve", "lock",
+                spender=htlc.address, amount=asset.amount,
+            )
+        else:
+            for token_id in asset.token_ids:
+                self._send_tx(
+                    party, asset.chain_id, asset.token, "approve", "lock",
+                    spender=htlc.address, token_id=token_id,
+                )
+        self._send_tx(
+            party, asset.chain_id, htlc.name, "lock", "lock",
+            lock_id=self._lock_id_for(position),
+            token=asset.token,
+            recipient=step.receiver,
+            hashlock=self._hashlock,
+            deadline=deadline,
+            amount=asset.amount,
+            token_ids=asset.token_ids,
+        )
+        self._schedule_refund(party, position, deadline)
+
+    def _schedule_refund(self, party: SwapParty, position: int, deadline: float) -> None:
+        lock_id = self._lock_id_for(position)
+        step = self._steps_by_giver[party.address]
+        asset = self.spec.asset(step.asset_id)
+
+        def attempt() -> None:
+            htlc = self._htlcs[asset.chain_id]
+            entry = htlc.peek_lock(lock_id)
+            if entry is not None and entry["state"] == "locked":
+                self._send_tx(party, asset.chain_id, htlc.name, "refund", "refund", lock_id=lock_id)
+
+        self._simulator.schedule_at(deadline + 2 * self.delta, attempt, label="swap/refund")
+
+    def on_lock_visible(self, observer: SwapParty, lock_id: str) -> None:
+        """A lock appeared: successors deploy; the leader may claim."""
+        position = self._position(observer)
+        predecessor = (position - 1) % len(self.order)
+        if lock_id == self._lock_id_for(predecessor) and position != 0:
+            # My incoming lock exists: deploy my outgoing lock.
+            self._submit_lock(observer)
+        if position == 0 and lock_id == self._lock_id_for(len(self.order) - 1):
+            # The leader's incoming lock (last in deployment order) is
+            # up: reveal the secret by claiming it.
+            self._claim(observer, predecessor_position=len(self.order) - 1)
+
+    def on_claim_visible(self, observer: SwapParty, lock_id: str, preimage: bytes) -> None:
+        """A claim revealed the secret: claim my own incoming lock."""
+        position = self._position(observer)
+        if position == 0:
+            return
+        my_incoming = self._lock_id_for(position - 1)
+        if lock_id == self._lock_id_for(position):
+            # My outgoing lock was claimed; the preimage is now known.
+            self._claim(observer, predecessor_position=position - 1, preimage=preimage)
+
+    def _claim(self, party: SwapParty, predecessor_position: int, preimage: bytes | None = None) -> None:
+        if party._claimed:
+            return
+        party._claimed = True
+        secret = preimage if preimage is not None else self._secret
+        giver = self.order[predecessor_position]
+        step = self._steps_by_giver[giver]
+        asset = self.spec.asset(step.asset_id)
+        htlc = self._htlcs[asset.chain_id]
+        self._send_tx(
+            party, asset.chain_id, htlc.name, "claim", "claim",
+            lock_id=self._lock_id_for(predecessor_position),
+            preimage=secret,
+        )
+
+    def _send_tx(self, party: SwapParty, chain_id: str, contract: str, method: str, phase: str, **args) -> None:
+        tx = Transaction(
+            sender=party.address, contract=contract, method=method, args=args, phase=phase
+        )
+        self._network.send(party.endpoint, f"chain:{chain_id}", ("tx", tx))
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> SwapResult:
+        """Run the swap to quiescence and report."""
+        self._build()
+        initial = self._snapshot()
+        leader = self.parties[0]
+        self._simulator.schedule(0.0, lambda: self._submit_lock(leader), label="swap/start")
+        self._simulator.run(max_events=500_000)
+        final = self._snapshot()
+        receipts: list[Receipt] = []
+        for chain in self._chains.values():
+            for block in chain.blocks:
+                receipts.extend(block.receipts)
+        receipts.sort(key=lambda receipt: (receipt.executed_at, receipt.tx.tx_id))
+        lock_states = {}
+        for position in range(len(self.order)):
+            giver = self.order[position]
+            asset = self.spec.asset(self._steps_by_giver[giver].asset_id)
+            entry = self._htlcs[asset.chain_id].peek_lock(self._lock_id_for(position))
+            lock_states[position] = entry["state"] if entry else "absent"
+        completed = all(state == "claimed" for state in lock_states.values())
+        return SwapResult(
+            spec=self.spec,
+            initial_holdings=initial,
+            final_holdings=final,
+            receipts=receipts,
+            lock_states=lock_states,
+            completed=completed,
+            duration=self._simulator.now,
+        )
+
+    def _snapshot(self) -> dict:
+        holders = list(self.spec.parties) + [htlc.address for htlc in self._htlcs.values()]
+        snapshot: dict = {}
+        for (chain_id, token_name), token in self._tokens.items():
+            per_holder: dict = {}
+            if isinstance(token, FungibleToken):
+                for holder in holders:
+                    per_holder[holder] = token.peek_balance(holder)
+            else:
+                all_ids = [
+                    token_id
+                    for asset in self.spec.assets
+                    if asset.chain_id == chain_id and asset.token == token_name
+                    for token_id in asset.token_ids
+                ]
+                for holder in holders:
+                    per_holder[holder] = frozenset(
+                        token_id for token_id in all_ids if token.peek_owner(token_id) == holder
+                    )
+            snapshot[(chain_id, token_name)] = per_holder
+        return snapshot

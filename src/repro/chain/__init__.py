@@ -1,0 +1,38 @@
+"""An in-process, deterministic blockchain substrate.
+
+Each :class:`~repro.chain.ledger.Chain` is a publicly readable,
+tamper-evident ledger hosting deterministic contracts, exactly the
+abstraction the paper's system model (§3) requires:
+
+* parties submit transactions over the simulated network;
+* transactions are batched into blocks on a fixed block interval;
+* contract execution is metered with Ethereum-inspired gas costs
+  (storage write = 5000 gas, signature verification = 3000 gas — the
+  §7.1 constants), with full storage rollback on a failed ``require``;
+* subscribers receive block notifications, so "a change observable by
+  all parties within Δ" is a real, measurable property of a run.
+
+Contracts cannot reach outside their chain; the only way information
+moves between chains is a party carrying it, as the paper stipulates.
+"""
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.contracts import CallContext, Contract
+from repro.chain.events import Event
+from repro.chain.gas import GasMeter, GasSchedule
+from repro.chain.ledger import Chain
+from repro.chain.tx import Receipt, Transaction, TxStatus
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "CallContext",
+    "Chain",
+    "Contract",
+    "Event",
+    "GasMeter",
+    "GasSchedule",
+    "Receipt",
+    "Transaction",
+    "TxStatus",
+]

@@ -1,0 +1,214 @@
+"""The Chain: block production, transaction execution, subscriptions.
+
+A chain is an actor on the simulator.  Life of a transaction:
+
+1. a party calls :meth:`Chain.submit` (typically via the network, so
+   the submission itself took up to one message delay);
+2. the transaction waits in the mempool until the next block boundary
+   (blocks are produced every ``block_interval`` ticks);
+3. at the boundary, all pending transactions execute in arrival order,
+   each inside its own journal (revert on ``require`` failure);
+4. the block, with receipts and events, is pushed to every subscriber
+   with the subscriber's propagation delay.
+
+So the paper's Δ — "the time needed to change any blockchain's state
+in a way observable by all parties" — is bounded here by
+``submit latency + block_interval + propagation delay``, and the
+timing benchmarks (Figure 7) measure it rather than assume it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chain.block import Block
+from repro.chain.contracts import CallContext, Contract, _TxJournal
+from repro.chain.gas import GasMeter, GasSchedule
+from repro.chain.tx import Receipt, Transaction, TxStatus
+from repro.crypto.keys import Wallet
+from repro.errors import ChainError, ContractError, UnknownContractError
+from repro.sim.simulator import Simulator
+
+BlockObserver = Callable[["Chain", Block], None]
+
+
+class Chain:
+    """A single blockchain: contracts, blocks, and observers."""
+
+    def __init__(
+        self,
+        chain_id: str,
+        simulator: Simulator,
+        wallet: Wallet,
+        block_interval: float = 1.0,
+        gas_schedule: GasSchedule | None = None,
+        gas_limit_per_tx: int | None = None,
+    ):
+        if block_interval <= 0:
+            raise ChainError("block interval must be positive")
+        self.chain_id = chain_id
+        self.simulator = simulator
+        self.wallet = wallet
+        self.block_interval = block_interval
+        self.gas_schedule = gas_schedule or GasSchedule.paper()
+        self.gas_limit_per_tx = gas_limit_per_tx
+        self._contracts: dict[str, Contract] = {}
+        self._mempool: list[Transaction] = []
+        self._blocks: list[Block] = []
+        self._observers: list[BlockObserver] = []
+        self._block_scheduled = False
+        self.active_journal: _TxJournal | None = None
+        self._receipts_by_tx: dict[int, Receipt] = {}
+        genesis = Block.build(chain_id, 0, b"\x00" * 32, [], simulator.now)
+        self._blocks.append(genesis)
+
+    # ------------------------------------------------------------------
+    # Contract management
+    # ------------------------------------------------------------------
+    def publish(self, contract: Contract) -> Contract:
+        """Deploy ``contract`` on this chain (setup-time, unmetered)."""
+        if contract.name in self._contracts:
+            raise ChainError(f"contract {contract.name!r} already published")
+        contract.attach(self)
+        self._contracts[contract.name] = contract
+        return contract
+
+    def contract(self, name: str) -> Contract:
+        """Look up a published contract by name."""
+        try:
+            return self._contracts[name]
+        except KeyError:
+            raise UnknownContractError(
+                f"chain {self.chain_id!r} has no contract {name!r}"
+            ) from None
+
+    def has_contract(self, name: str) -> bool:
+        """Whether a contract named ``name`` is published here."""
+        return name in self._contracts
+
+    # ------------------------------------------------------------------
+    # Block clock
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """The current chain height (genesis = 0)."""
+        return self._blocks[-1].height
+
+    @property
+    def chain_time(self) -> float:
+        """The chain's imprecise clock (paper §5: "block height ×
+        average block rate").
+
+        Blocks are produced on a fixed grid, so the height a
+        continuously producing chain would have reached is
+        ``floor(now / interval)``; the clock is that height times the
+        interval.  (Block *objects* are only materialized on demand —
+        an optimization that does not affect observable time.)
+        """
+        return float(int(self.simulator.now / self.block_interval)) * self.block_interval
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """All blocks produced so far."""
+        return tuple(self._blocks)
+
+    def receipt_for(self, tx_id: int) -> Receipt | None:
+        """Fetch the receipt of an executed transaction, if any."""
+        return self._receipts_by_tx.get(tx_id)
+
+    # ------------------------------------------------------------------
+    # Transaction flow
+    # ------------------------------------------------------------------
+    def submit(self, tx: Transaction) -> None:
+        """Queue ``tx`` for inclusion in the next block."""
+        self._mempool.append(tx)
+        self._ensure_block_scheduled()
+
+    def _ensure_block_scheduled(self) -> None:
+        if self._block_scheduled:
+            return
+        self._block_scheduled = True
+        # Next block boundary on the global clock grid.
+        now = self.simulator.now
+        next_boundary = (int(now / self.block_interval) + 1) * self.block_interval
+        self.simulator.schedule_at(
+            next_boundary, self._produce_block, label=f"{self.chain_id}/block"
+        )
+
+    def _produce_block(self) -> None:
+        self._block_scheduled = False
+        pending, self._mempool = self._mempool, []
+        height = self.height + 1
+        receipts = [self._execute(tx, height) for tx in pending]
+        block = Block.build(
+            self.chain_id,
+            height,
+            self._blocks[-1].hash(),
+            receipts,
+            self.simulator.now,
+        )
+        self._blocks.append(block)
+        for receipt in receipts:
+            self._receipts_by_tx[receipt.tx.tx_id] = receipt
+        for observer in list(self._observers):
+            observer(self, block)
+        if self._mempool:
+            self._ensure_block_scheduled()
+
+    def _execute(self, tx: Transaction, height: int) -> Receipt:
+        meter = GasMeter(schedule=self.gas_schedule, limit=self.gas_limit_per_tx)
+        journal = _TxJournal(meter)
+        ctx = CallContext(self, tx.sender, journal, height)
+        self.active_journal = journal
+        try:
+            meter.charge_call()
+            contract = self.contract(tx.contract)
+            value = contract.invoke(ctx, tx.method, dict(tx.args))
+        except ContractError as exc:
+            journal.rollback()
+            return Receipt(
+                tx=tx,
+                status=TxStatus.REVERTED,
+                gas=meter.snapshot(),
+                block_height=height,
+                executed_at=self.simulator.now,
+                error=str(exc),
+            )
+        finally:
+            self.active_journal = None
+        return Receipt(
+            tx=tx,
+            status=TxStatus.SUCCESS,
+            gas=meter.snapshot(),
+            block_height=height,
+            executed_at=self.simulator.now,
+            return_value=value,
+            events=tuple(journal.events),
+        )
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: BlockObserver) -> None:
+        """Receive every future block (at production time; callers who
+        model propagation delay should wrap the observer)."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: BlockObserver) -> None:
+        """Stop receiving block notifications."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    # Convenience for setup code and tests (bypasses the network)
+    # ------------------------------------------------------------------
+    def execute_now(self, tx: Transaction) -> Receipt:
+        """Execute ``tx`` immediately, outside block production.
+
+        Used by setup code (minting test tokens) and by unit tests that
+        want synchronous behaviour; protocol code always goes through
+        :meth:`submit`.
+        """
+        receipt = self._execute(tx, self.height + 1)
+        self._receipts_by_tx[receipt.tx.tx_id] = receipt
+        return receipt

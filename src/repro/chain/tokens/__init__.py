@@ -1,0 +1,13 @@
+"""Token contracts: the assets cross-chain deals move around.
+
+The paper's running example trades *coins* (fungible, ERC20-style) for
+*tickets* (non-fungible, ERC721-style, with seat metadata that the
+validation phase inspects).  Both contracts expose the allowance/
+``transfer_from`` pattern that the EscrowManager of Figure 3 uses to
+pull assets into escrow.
+"""
+
+from repro.chain.tokens.fungible import FungibleToken
+from repro.chain.tokens.nonfungible import NonFungibleToken
+
+__all__ = ["FungibleToken", "NonFungibleToken"]

@@ -1,0 +1,92 @@
+"""An ERC20-style fungible token contract.
+
+Implements the subset of the ERC20 interface that Figure 3's
+``EscrowManager`` depends on: ``balance_of``, ``transfer``,
+``approve`` / ``allowance`` / ``transfer_from``, plus ``mint`` for
+test setup.  A ``transfer_from`` performs two storage writes (debit
+and credit), matching the §7.1 accounting that an escrow call costs
+"2 storage writes (in a function call) to transfer the token".
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts import CallContext, Contract
+from repro.crypto.keys import Address
+
+
+class FungibleToken(Contract):
+    """Balances and allowances for one fungible asset kind."""
+
+    EXPORTS = (
+        "balance_of",
+        "transfer",
+        "approve",
+        "allowance",
+        "transfer_from",
+        "mint",
+    )
+
+    def __init__(self, name: str, symbol: str = ""):
+        super().__init__(name)
+        self.symbol = symbol or name
+        self.balances = self.storage("balances")
+        self.allowances = self.storage("allowances")
+
+    # -- views ---------------------------------------------------------
+    def balance_of(self, ctx: CallContext, owner: Address) -> int:
+        """Return ``owner``'s balance."""
+        return self.balances.get(owner, 0)
+
+    def allowance(self, ctx: CallContext, owner: Address, spender: Address) -> int:
+        """Return how much ``spender`` may pull from ``owner``."""
+        return self.allowances.get((owner, spender), 0)
+
+    # -- mutations ------------------------------------------------------
+    def transfer(self, ctx: CallContext, to: Address, amount: int) -> bool:
+        """Move ``amount`` from the caller to ``to``."""
+        ctx.require(amount >= 0, "negative transfer amount")
+        sender_balance = self.balances.get(ctx.sender, 0)
+        ctx.require(sender_balance >= amount, "insufficient balance")
+        self.balances[ctx.sender] = sender_balance - amount
+        self.balances[to] = self.balances.get(to, 0) + amount
+        ctx.emit(self, "Transfer", sender=ctx.sender, to=to, amount=amount)
+        return True
+
+    def approve(self, ctx: CallContext, spender: Address, amount: int) -> bool:
+        """Authorize ``spender`` to pull up to ``amount`` from the caller."""
+        ctx.require(amount >= 0, "negative allowance")
+        self.allowances[(ctx.sender, spender)] = amount
+        ctx.emit(self, "Approval", owner=ctx.sender, spender=spender, amount=amount)
+        return True
+
+    def transfer_from(
+        self, ctx: CallContext, owner: Address, to: Address, amount: int
+    ) -> bool:
+        """Pull ``amount`` from ``owner`` to ``to`` using an allowance.
+
+        The caller is the spender; ``ctx.sender`` may be a contract
+        (the escrow manager) when invoked through a cross-contract
+        call.
+        """
+        ctx.require(amount >= 0, "negative transfer amount")
+        allowed = self.allowances.get((owner, ctx.sender), 0)
+        ctx.require(allowed >= amount, "allowance exceeded")
+        owner_balance = self.balances.get(owner, 0)
+        ctx.require(owner_balance >= amount, "insufficient balance")
+        self.allowances[(owner, ctx.sender)] = allowed - amount
+        self.balances[owner] = owner_balance - amount
+        self.balances[to] = self.balances.get(to, 0) + amount
+        ctx.emit(self, "Transfer", sender=owner, to=to, amount=amount)
+        return True
+
+    def mint(self, ctx: CallContext, to: Address, amount: int) -> bool:
+        """Create ``amount`` new tokens for ``to`` (test/setup only)."""
+        ctx.require(amount >= 0, "negative mint amount")
+        self.balances[to] = self.balances.get(to, 0) + amount
+        ctx.emit(self, "Mint", to=to, amount=amount)
+        return True
+
+    # -- off-chain inspection -------------------------------------------
+    def peek_balance(self, owner) -> int:
+        """Unmetered balance read for parties and tests."""
+        return self.balances.peek(owner, 0)

@@ -1,0 +1,99 @@
+"""An ERC721-style non-fungible token contract (theater tickets).
+
+Each token has a unique id and immutable metadata (for tickets: event
+name, seat).  The validation phase of a deal (paper §4.1) inspects
+this metadata — "Carol checks ... that the seats are (at least as good
+as) the ones agreed upon".
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts import CallContext, Contract
+from repro.crypto.keys import Address
+
+
+class NonFungibleToken(Contract):
+    """Ownership registry for unique tokens with metadata."""
+
+    EXPORTS = (
+        "owner_of",
+        "metadata_of",
+        "transfer",
+        "approve",
+        "get_approved",
+        "transfer_from",
+        "mint",
+    )
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.owners = self.storage("owners")
+        self.approvals = self.storage("approvals")
+        self.metadata = self.storage("metadata")
+
+    # -- views ---------------------------------------------------------
+    def owner_of(self, ctx: CallContext, token_id: str) -> Address:
+        """Return the owner of ``token_id`` (reverts if unminted)."""
+        owner = self.owners.get(token_id)
+        ctx.require(owner is not None, f"token {token_id!r} does not exist")
+        return owner
+
+    def metadata_of(self, ctx: CallContext, token_id: str) -> dict:
+        """Return the immutable metadata of ``token_id``."""
+        meta = self.metadata.get(token_id)
+        ctx.require(meta is not None, f"token {token_id!r} does not exist")
+        return meta
+
+    def get_approved(self, ctx: CallContext, token_id: str) -> Address | None:
+        """Return the approved spender for ``token_id``, if any."""
+        return self.approvals.get(token_id)
+
+    # -- mutations ------------------------------------------------------
+    def transfer(self, ctx: CallContext, to: Address, token_id: str) -> bool:
+        """Move ``token_id`` from the caller to ``to``."""
+        owner = self.owners.get(token_id)
+        ctx.require(owner == ctx.sender, "caller does not own token")
+        self.owners[token_id] = to
+        del self.approvals[token_id]
+        ctx.emit(self, "Transfer", sender=ctx.sender, to=to, token_id=token_id)
+        return True
+
+    def approve(self, ctx: CallContext, spender: Address, token_id: str) -> bool:
+        """Authorize ``spender`` to take ``token_id``."""
+        owner = self.owners.get(token_id)
+        ctx.require(owner == ctx.sender, "caller does not own token")
+        self.approvals[token_id] = spender
+        ctx.emit(self, "Approval", owner=ctx.sender, spender=spender, token_id=token_id)
+        return True
+
+    def transfer_from(
+        self, ctx: CallContext, owner: Address, to: Address, token_id: str
+    ) -> bool:
+        """Pull ``token_id`` from ``owner`` to ``to`` using an approval."""
+        actual_owner = self.owners.get(token_id)
+        ctx.require(actual_owner == owner, "owner mismatch")
+        approved = self.approvals.get(token_id)
+        ctx.require(approved == ctx.sender, "caller not approved")
+        self.owners[token_id] = to
+        del self.approvals[token_id]
+        ctx.emit(self, "Transfer", sender=owner, to=to, token_id=token_id)
+        return True
+
+    def mint(
+        self, ctx: CallContext, to: Address, token_id: str, metadata: dict | None = None
+    ) -> bool:
+        """Create ``token_id`` for ``to`` with ``metadata`` (setup only)."""
+        ctx.require(self.owners.get(token_id) is None, "token already minted")
+        self.owners[token_id] = to
+        self.metadata[token_id] = dict(metadata or {})
+        ctx.emit(self, "Mint", to=to, token_id=token_id)
+        return True
+
+    # -- off-chain inspection -------------------------------------------
+    def peek_owner(self, token_id: str):
+        """Unmetered ownership read for parties and tests."""
+        return self.owners.peek(token_id)
+
+    def peek_metadata(self, token_id: str) -> dict:
+        """Unmetered metadata read for parties and tests."""
+        return dict(self.metadata.peek(token_id) or {})

@@ -1,0 +1,200 @@
+"""Proof-of-work (Nakamoto) consensus simulation.
+
+Used to reproduce the §6.2 analysis of a PoW-backed CBC: such a chain
+lacks finality, so a "proof" of commit or abort is a block plus some
+number of confirmation blocks — and a sufficiently lucky (or
+well-resourced) attacker can privately mine a contradictory proof.
+
+Two layers:
+
+* :class:`PowChain` — an append-only PoW log whose proofs are block
+  suffixes; verification checks linkage and confirmation depth, *not*
+  which fork is canonical (a passive contract cannot know that —
+  exactly the weakness the paper describes);
+* :class:`MiningRace` — a seeded stochastic race between the honest
+  network (hash power ``1 - alpha``) and a private attacker
+  (``alpha``), used by :mod:`repro.adversary.mining` to measure the
+  fake-proof success rate as a function of confirmation depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.hashing import hash_concat
+from repro.errors import ConsensusError
+from repro.sim.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.consensus.bft import DealStatus
+
+
+@dataclass(frozen=True)
+class PowBlock:
+    """A mined block carrying opaque entries."""
+
+    height: int
+    parent_hash: bytes
+    entries: tuple[bytes, ...]
+    miner: str
+    nonce: int
+
+    def hash(self) -> bytes:
+        """The block hash, binding parent, entries, miner, and nonce."""
+        return hash_concat(
+            b"repro/pow-block",
+            self.height.to_bytes(8, "big"),
+            self.parent_hash,
+            *self.entries,
+            self.miner.encode("utf-8"),
+            self.nonce.to_bytes(8, "big"),
+        )
+
+
+@dataclass(frozen=True)
+class PowProof:
+    """A PoW 'proof': a linked block sequence ending in ``confirmations``
+    blocks after the block containing the decisive entry."""
+
+    blocks: tuple[PowBlock, ...]
+    decisive_index: int
+
+    @property
+    def confirmations(self) -> int:
+        """How many blocks follow the decisive one."""
+        return len(self.blocks) - 1 - self.decisive_index
+
+    def verify(self, min_confirmations: int) -> bool:
+        """Check linkage and depth.
+
+        Crucially, this is all a passive contract *can* check for a
+        PoW chain: it cannot tell whether these blocks are on the
+        canonical fork.  A privately mined suffix therefore verifies —
+        reproducing the paper's fake-proof scenario.
+        """
+        if not self.blocks:
+            return False
+        if not 0 <= self.decisive_index < len(self.blocks):
+            return False
+        for previous, current in zip(self.blocks, self.blocks[1:]):
+            if current.parent_hash != previous.hash():
+                return False
+            if current.height != previous.height + 1:
+                return False
+        return self.confirmations >= min_confirmations
+
+
+@dataclass(frozen=True)
+class PowVoteProof:
+    """A PoW block suffix whose decisive block contains the claimed vote."""
+
+    proof: PowProof
+    claimed_status: "DealStatus"
+
+
+def encode_pow_vote(deal_id: bytes, kind: str, party_value: bytes) -> bytes:
+    """Canonical PoW-CBC entry encoding for a commit/abort vote."""
+    return hash_concat(b"repro/pow-vote", deal_id, kind.encode("utf-8"), party_value)
+
+
+class PowChain:
+    """An append-only sequence of mined blocks (one miner's view)."""
+
+    def __init__(self, genesis_tag: str = "pow"):
+        self._blocks: list[PowBlock] = [
+            PowBlock(
+                height=0,
+                parent_hash=b"\x00" * 32,
+                entries=(),
+                miner="genesis",
+                nonce=0,
+            )
+        ]
+        self._tag = genesis_tag
+
+    @classmethod
+    def forked_from(cls, other: "PowChain", height: int) -> "PowChain":
+        """Create a private fork sharing ``other``'s prefix up to ``height``."""
+        if height > other.height:
+            raise ConsensusError("cannot fork above the tip")
+        fork = cls(genesis_tag=other._tag + "/fork")
+        fork._blocks = list(other._blocks[: height + 1])
+        return fork
+
+    @property
+    def height(self) -> int:
+        """The tip height (genesis = 0)."""
+        return self._blocks[-1].height
+
+    @property
+    def blocks(self) -> tuple[PowBlock, ...]:
+        """All blocks, genesis first."""
+        return tuple(self._blocks)
+
+    def mine(self, entries: tuple[bytes, ...], miner: str, nonce: int = 0) -> PowBlock:
+        """Append a block carrying ``entries``."""
+        block = PowBlock(
+            height=self.height + 1,
+            parent_hash=self._blocks[-1].hash(),
+            entries=entries,
+            miner=miner,
+            nonce=nonce,
+        )
+        self._blocks.append(block)
+        return block
+
+    def find_entry(self, entry: bytes) -> int | None:
+        """Return the height of the first block containing ``entry``."""
+        for block in self._blocks:
+            if entry in block.entries:
+                return block.height
+        return None
+
+    def proof_for(self, entry: bytes) -> PowProof | None:
+        """Build a proof for ``entry`` with all available confirmations."""
+        height = self.find_entry(entry)
+        if height is None:
+            return None
+        blocks = tuple(self._blocks[height:])
+        return PowProof(blocks=blocks, decisive_index=0)
+
+
+@dataclass
+class MiningRace:
+    """A seeded block-discovery race between honest miners and an attacker.
+
+    Each step, the next block is found by the attacker with
+    probability ``alpha`` and by the honest network otherwise — the
+    standard memoryless approximation of hash-power competition.
+    """
+
+    alpha: float
+    rng: DeterministicRng
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.alpha < 1:
+            raise ConsensusError("attacker hash power must be in [0, 1)")
+
+    def next_winner(self) -> str:
+        """Return ``"attacker"`` or ``"honest"`` for the next block."""
+        if self.rng.random("pow/race") < self.alpha:
+            return "attacker"
+        return "honest"
+
+    def race(self, honest_target: int, attacker_target: int) -> bool:
+        """True iff the attacker mines ``attacker_target`` blocks before
+        the honest network mines ``honest_target``.
+
+        The deal gives the attacker a finite window: once the honest
+        chain has produced ``honest_target`` blocks the escrow
+        deadlines pass and the fake proof is useless.
+        """
+        honest = 0
+        attacker = 0
+        while honest < honest_target and attacker < attacker_target:
+            if self.next_winner() == "attacker":
+                attacker += 1
+            else:
+                honest += 1
+        return attacker >= attacker_target

@@ -1,0 +1,205 @@
+"""A proof-of-work CBC: the §6.2 alternative, runnable end to end.
+
+Where :class:`~repro.consensus.bft.CertifiedBlockchain` certifies each
+block with a validator quorum, this log is extended by simulated
+honest mining: pending entries are mined into a new block once per
+block interval.  There is no finality — a deal's status only becomes
+*claimable* once the decisive block has accumulated the confirmation
+depth the escrow contracts demand, and (the point of E8) nothing
+stops an attacker from privately mining a contradictory suffix.
+
+Deal semantics mirror the BFT CBC: a deal commits when every party's
+commit vote is mined before any abort vote; an abort vote mined first
+aborts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.bft import DealStatus
+from repro.consensus.pow import PowChain, PowProof, PowVoteProof, encode_pow_vote
+from repro.crypto.keys import Address, Wallet
+from repro.crypto.schnorr import Signature, verify as schnorr_verify
+from repro.errors import ConsensusError
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class PowLogEntry:
+    """A signed vote destined for the PoW log."""
+
+    kind: str  # "commit" | "abort"
+    deal_id: bytes
+    party: Address
+    signature: Signature | None = None
+
+    def payload(self) -> bytes:
+        """The canonical on-chain encoding (what contracts replay)."""
+        return encode_pow_vote(self.deal_id, self.kind, self.party.value)
+
+
+@dataclass
+class _PowDealRecord:
+    plist: tuple[Address, ...]
+    committed: set[Address] = field(default_factory=set)
+    status: DealStatus = DealStatus.ACTIVE
+    decisive_height: int | None = None
+
+
+class PowCertifiedLog:
+    """The PoW-flavoured shared log for the CBC protocol."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        wallet: Wallet,
+        block_interval: float = 1.0,
+        name: str = "pow-cbc",
+    ):
+        if block_interval <= 0:
+            raise ConsensusError("block interval must be positive")
+        self.name = name
+        self.simulator = simulator
+        self.wallet = wallet
+        self.block_interval = block_interval
+        self.chain = PowChain(name)
+        self._pending: list[PowLogEntry] = []
+        self._observers: list = []
+        self._block_scheduled = False
+        self._deals: dict[bytes, _PowDealRecord] = {}
+        self._mining_paused = False
+
+    # ------------------------------------------------------------------
+    # Deal registration (the clearing phase announces the plist)
+    # ------------------------------------------------------------------
+    def register_deal(self, deal_id: bytes, plist: tuple[Address, ...]) -> None:
+        """Tell the log about a deal so votes can be validated."""
+        if deal_id not in self._deals:
+            self._deals[deal_id] = _PowDealRecord(plist=tuple(plist))
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+    def submit(self, entry: PowLogEntry) -> None:
+        """Queue a signed vote for the next mined block."""
+        if entry.signature is None:
+            return
+        message = entry.payload()
+        if not self.wallet.verify(entry.party, message, entry.signature):
+            return
+        record = self._deals.get(entry.deal_id)
+        if record is None or entry.party not in record.plist:
+            return
+        self._pending.append(entry)
+        self._ensure_block_scheduled()
+
+    def pause_mining(self) -> None:
+        """Halt honest block production (models a mining outage)."""
+        self._mining_paused = True
+
+    def resume_mining(self) -> None:
+        """Resume honest block production."""
+        self._mining_paused = False
+        if self._pending:
+            self._ensure_block_scheduled()
+
+    def _ensure_block_scheduled(self) -> None:
+        if self._block_scheduled or self._mining_paused:
+            return
+        self._block_scheduled = True
+        now = self.simulator.now
+        next_boundary = (int(now / self.block_interval) + 1) * self.block_interval
+        self.simulator.schedule_at(next_boundary, self._mine_block, label="pow-cbc/mine")
+
+    def _mine_block(self) -> None:
+        self._block_scheduled = False
+        if self._mining_paused:
+            return
+        pending, self._pending = self._pending, []
+        accepted = [entry for entry in pending if self._apply(entry)]
+        payloads = tuple(entry.payload() for entry in accepted)
+        block = self.chain.mine(payloads, miner="honest")
+        for observer in list(self._observers):
+            observer(self, block)
+        if self._pending:
+            self._ensure_block_scheduled()
+        elif self._needs_confirmations():
+            # Keep mining empty blocks until every decided deal's
+            # decisive block is buried deep enough to be claimable.
+            self._ensure_block_scheduled()
+
+    def _needs_confirmations(self, depth: int = 8) -> bool:
+        for record in self._deals.values():
+            if record.decisive_height is None:
+                continue
+            if self.chain.height - record.decisive_height < depth:
+                return True
+        return False
+
+    def _apply(self, entry: PowLogEntry) -> bool:
+        record = self._deals[entry.deal_id]
+        if record.status is not DealStatus.ACTIVE:
+            return True  # recorded, but after the decisive vote
+        height = self.chain.height + 1
+        if entry.kind == "commit":
+            record.committed.add(entry.party)
+            if record.committed == set(record.plist):
+                record.status = DealStatus.COMMITTED
+                record.decisive_height = height
+        elif entry.kind == "abort":
+            record.status = DealStatus.ABORTED
+            record.decisive_height = height
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Observation and proofs
+    # ------------------------------------------------------------------
+    def subscribe(self, observer) -> None:
+        """Receive each mined block: ``observer(log, block)``."""
+        self._observers.append(observer)
+
+    def deal_status(self, deal_id: bytes) -> DealStatus:
+        """The log's view of the deal (ignoring confirmation depth)."""
+        record = self._deals.get(deal_id)
+        return record.status if record else DealStatus.UNKNOWN
+
+    def confirmations(self, deal_id: bytes) -> int | None:
+        """Blocks mined after the deal's decisive block."""
+        record = self._deals.get(deal_id)
+        if record is None or record.decisive_height is None:
+            return None
+        return self.chain.height - record.decisive_height
+
+    def proof(self, deal_id: bytes) -> PowVoteProof | None:
+        """Build the claimable proof for a decided deal.
+
+        The block span starts at the earliest vote needed (for a
+        commit, every party's vote must be inside the span) and the
+        decisive index points at the block that decided the deal; the
+        suffix provides the confirmations.
+        """
+        record = self._deals.get(deal_id)
+        if record is None or record.decisive_height is None:
+            return None
+        if record.status is DealStatus.COMMITTED:
+            needed = {
+                encode_pow_vote(deal_id, "commit", party.value)
+                for party in record.plist
+            }
+        else:
+            needed = set()  # the decisive abort block carries the vote
+        heights = [self.chain.find_entry(entry) for entry in needed]
+        if any(height is None for height in heights):
+            return None
+        start = min(heights) if heights else record.decisive_height
+        blocks = self.chain.blocks[start:]
+        return PowVoteProof(
+            proof=PowProof(
+                blocks=tuple(blocks),
+                decisive_index=record.decisive_height - start,
+            ),
+            claimed_status=record.status,
+        )

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: cross-chain deals.
+
+* :mod:`repro.core.deal` — deal specifications: the transfer matrix of
+  Figure 1, the digraph of Figure 2, well-formedness (§5.1);
+* :mod:`repro.core.escrow` — the generic EscrowManager of Figure 3;
+* :mod:`repro.core.timelock` — the timelock commit protocol of §5
+  (Figure 5): path-signature votes with ``|p|·Δ`` deadlines;
+* :mod:`repro.core.cbc` — the CBC commit protocol of §6 (Figure 6):
+  proof-checked commit/abort against a certified blockchain;
+* :mod:`repro.core.proofs` — contract-side proof verification;
+* :mod:`repro.core.parties` — compliant party state machines;
+* :mod:`repro.core.executor` — end-to-end deal execution on the
+  simulator;
+* :mod:`repro.core.outcomes` — evaluation of the paper's safety and
+  liveness properties (Properties 1-3) over a finished run.
+"""
+
+from repro.core.deal import Asset, DealSpec, TransferStep, deal_digraph, deal_matrix
+from repro.core.escrow import EscrowManager
+from repro.core.executor import DealExecutor, DealResult, ProtocolKind
+from repro.core.outcomes import OutcomeReport, evaluate_outcome
+from repro.core.parties import CompliantParty
+from repro.core.timelock import TimelockEscrow
+from repro.core.cbc import CbcEscrow
+
+__all__ = [
+    "Asset",
+    "CbcEscrow",
+    "CompliantParty",
+    "DealExecutor",
+    "DealResult",
+    "DealSpec",
+    "EscrowManager",
+    "OutcomeReport",
+    "ProtocolKind",
+    "TimelockEscrow",
+    "TransferStep",
+    "deal_digraph",
+    "deal_matrix",
+    "evaluate_outcome",
+]

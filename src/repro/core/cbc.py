@@ -1,0 +1,124 @@
+"""The CBC commit protocol's escrow contract (paper §6, Figure 6).
+
+Unlike the timelock contract, this contract records no votes: parties
+vote to commit or abort *on the certified blockchain*, and whoever
+wants the escrow resolved presents a **proof** extracted from the CBC:
+
+* ``commit(proof)`` — release the escrow if the proof shows every
+  party voted commit before any abort (decisive commit);
+* ``abort(proof)`` — refund if the proof shows a decisive abort.
+
+The contract is told the CBC's *initial* validator public keys when it
+is created (the paper passes them "in place of the ellipses" in the
+escrow call); proofs carry handover certificates if the validator set
+has since been reconfigured.
+
+A PoW-flavoured subclass accepts confirmation-depth proofs instead —
+it exists to reproduce the §6.2 fake-proof attack, not to be safe.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts import CallContext
+from repro.consensus.bft import DealStatus
+from repro.core.deal import Asset
+from repro.core.escrow import EscrowManager, EscrowState
+from repro.core.proofs import (
+    BlockProof,
+    PowVoteProof,
+    StatusProof,
+    verify_block_proof,
+    verify_pow_proof,
+    verify_status_proof,
+)
+from repro.crypto.keys import Address
+from repro.crypto.schnorr import PublicKey
+
+
+class CbcEscrow(EscrowManager):
+    """Figure 6's ``CBCManager``: escrow resolved by CBC proofs."""
+
+    EXPORTS = EscrowManager.EXPORTS + ("commit", "abort")
+
+    def __init__(
+        self,
+        name: str,
+        deal_id: bytes,
+        plist: tuple[Address, ...],
+        asset: Asset,
+        start_hash: bytes,
+        validator_keys: tuple[PublicKey, ...],
+    ):
+        super().__init__(name, deal_id, plist, asset)
+        self.start_hash = start_hash
+        self.validator_keys = tuple(validator_keys)
+
+    def _verify(self, ctx: CallContext, proof) -> DealStatus | None:
+        if isinstance(proof, StatusProof):
+            return verify_status_proof(
+                ctx, proof, self.validator_keys, self.deal_id, self.start_hash
+            )
+        if isinstance(proof, BlockProof):
+            return verify_block_proof(
+                ctx, proof, self.validator_keys, self.deal_id, self.start_hash, self.plist
+            )
+        return None
+
+    def commit(self, ctx: CallContext, proof) -> bool:
+        """Release the escrow on a valid proof of commit."""
+        ctx.require(self.meta["state"] is EscrowState.ACTIVE, "already terminated")
+        status = self._verify(ctx, proof)
+        ctx.require(status is DealStatus.COMMITTED, "invalid proof of commit")
+        self._release(ctx)
+        return True
+
+    def abort(self, ctx: CallContext, proof) -> bool:
+        """Refund the escrow on a valid proof of abort."""
+        ctx.require(self.meta["state"] is EscrowState.ACTIVE, "already terminated")
+        status = self._verify(ctx, proof)
+        ctx.require(status is DealStatus.ABORTED, "invalid proof of abort")
+        self._refund(ctx)
+        return True
+
+
+class PowCbcEscrow(EscrowManager):
+    """A CBC escrow trusting a proof-of-work CBC (deliberately unsafe).
+
+    Accepts any internally consistent block suffix with at least
+    ``min_confirmations`` blocks after the decisive vote — a passive
+    contract cannot tell a private fork from the canonical chain,
+    which is the vulnerability E8 measures.
+    """
+
+    EXPORTS = EscrowManager.EXPORTS + ("commit", "abort")
+
+    def __init__(
+        self,
+        name: str,
+        deal_id: bytes,
+        plist: tuple[Address, ...],
+        asset: Asset,
+        min_confirmations: int,
+    ):
+        super().__init__(name, deal_id, plist, asset)
+        self.min_confirmations = min_confirmations
+
+    def commit(self, ctx: CallContext, proof: PowVoteProof) -> bool:
+        """Release on a PoW proof of commit with enough confirmations."""
+        ctx.require(self.meta["state"] is EscrowState.ACTIVE, "already terminated")
+        status = verify_pow_proof(
+            ctx, proof, self.deal_id, self.plist, self.min_confirmations
+        )
+        ctx.require(status is DealStatus.COMMITTED, "invalid proof of commit")
+        self._release(ctx)
+        return True
+
+    def abort(self, ctx: CallContext, proof: PowVoteProof) -> bool:
+        """Refund on a PoW proof of abort with enough confirmations."""
+        ctx.require(self.meta["state"] is EscrowState.ACTIVE, "already terminated")
+        status = verify_pow_proof(
+            ctx, proof, self.deal_id, self.plist, self.min_confirmations
+        )
+        ctx.require(status is DealStatus.ABORTED, "invalid proof of abort")
+        self._refund(ctx)
+        return True

@@ -1,0 +1,521 @@
+"""End-to-end deal execution on the simulator.
+
+:class:`DealExecutor` assembles a full adversarial-commerce system for
+one deal — chains, tokens, escrow contracts, the CBC if required, the
+network, and the parties — runs it to quiescence, and returns a
+:class:`DealResult` with holdings snapshots, receipts, per-phase gas,
+and a timeline.  Everything is deterministic given the seed.
+
+The division of labour mirrors the paper's phases (§4.1): the executor
+performs the *clearing* phase (broadcasting the deal and, for the CBC
+protocol, arranging the ``startDeal`` entry); the parties do the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.gas import GasBreakdown
+from repro.chain.ledger import Chain
+from repro.chain.tokens import FungibleToken, NonFungibleToken
+from repro.chain.tx import Receipt, Transaction
+from repro.consensus.bft import CertifiedBlockchain, DealStatus, LogEntry
+from repro.consensus.pow_log import PowCertifiedLog
+from repro.consensus.validators import ValidatorSet
+from repro.core.config import ProofKind, ProtocolConfig, ProtocolKind
+from repro.core.deal import DealSpec
+from repro.core.escrow import EscrowManager, EscrowState
+from repro.core.cbc import CbcEscrow, PowCbcEscrow
+from repro.core.parties import CompliantParty
+from repro.core.timelock import TimelockEscrow
+from repro.crypto.keys import Wallet
+from repro.errors import ConfigurationError
+from repro.sim.faults import FaultPlan
+from repro.sim.network import EventuallySynchronousNetwork, Network, SynchronousNetwork
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+Holdings = dict
+
+
+@dataclass
+class DealEnvironment:
+    """Everything the parties can see and touch during a run."""
+
+    simulator: Simulator
+    network: Network
+    wallet: Wallet
+    chains: dict
+    tokens: dict
+    escrows: dict
+    cbc: CertifiedBlockchain | None = None
+    start_hash: bytes = b""
+    pow_log: object | None = None
+
+
+@dataclass
+class Timeline:
+    """Milestone times of one run (absolute simulator ticks)."""
+
+    started_at: float = 0.0
+    escrow_done: float | None = None
+    transfers_done: float | None = None
+    all_votes_cast: float | None = None
+    settled_at: float | None = None
+    ended_at: float = 0.0
+
+    def phase_durations(self) -> dict[str, float | None]:
+        """Durations of escrow / transfer / commit in ticks."""
+        escrow = (
+            self.escrow_done - self.started_at if self.escrow_done is not None else None
+        )
+        transfer = (
+            self.transfers_done - self.escrow_done
+            if self.transfers_done is not None and self.escrow_done is not None
+            else None
+        )
+        commit = (
+            self.settled_at - self.transfers_done
+            if self.settled_at is not None and self.transfers_done is not None
+            else None
+        )
+        return {"escrow": escrow, "transfer": transfer, "commit": commit}
+
+
+@dataclass
+class DealResult:
+    """The observable outcome of one deal execution."""
+
+    spec: DealSpec
+    config: ProtocolConfig
+    initial_holdings: Holdings
+    final_holdings: Holdings
+    receipts: list[Receipt]
+    escrow_states: dict
+    timeline: Timeline
+    party_stats: dict
+    env: DealEnvironment
+    effective_delta: float
+
+    def gas_by_phase(self, include_reverted: bool = False) -> dict[str, GasBreakdown]:
+        """Aggregate per-phase gas.
+
+        By default only successful transactions count (the protocol's
+        intrinsic cost, what Figure 4 tabulates); ``include_reverted``
+        adds the waste from benign races such as two parties forwarding
+        the same vote.
+        """
+        by_phase: dict[str, GasBreakdown] = {}
+        for receipt in self.receipts:
+            if not receipt.ok and not include_reverted:
+                continue
+            phase = receipt.tx.phase or "other"
+            by_phase[phase] = by_phase.get(phase, GasBreakdown.zero()) + receipt.gas
+        return by_phase
+
+    def gas_total(self) -> GasBreakdown:
+        """Total gas across all receipts."""
+        total = GasBreakdown.zero()
+        for receipt in self.receipts:
+            total = total + receipt.gas
+        return total
+
+    def all_committed(self) -> bool:
+        """Whether every escrow released (the 'all' outcome)."""
+        return all(state is EscrowState.RELEASED for state in self.escrow_states.values())
+
+    def all_refunded(self) -> bool:
+        """Whether every escrow refunded (the 'nothing' outcome)."""
+        return all(state is EscrowState.REFUNDED for state in self.escrow_states.values())
+
+    def stuck_escrows(self) -> list[str]:
+        """Assets still locked in escrow at the end of the run."""
+        return [
+            asset_id
+            for asset_id, state in self.escrow_states.items()
+            if state is EscrowState.ACTIVE
+        ]
+
+
+def auto_config(
+    spec: DealSpec,
+    kind: ProtocolKind,
+    msg_bound: float = 1.0,
+    block_interval: float = 1.0,
+    altruistic_votes: bool = False,
+    proof_kind: ProofKind = ProofKind.STATUS_CERTIFICATE,
+    pow_confirmations: int = 3,
+) -> ProtocolConfig:
+    """Derive safe Δ / t0 / patience values from the substrate timing.
+
+    One observable state change costs at most ``2·msg_bound +
+    block_interval`` (submit, inclusion, notification); Δ doubles that
+    for slack.  ``t0`` leaves room for escrow, (sequential) transfers,
+    and validation, as §5 prescribes.
+    """
+    cycle = 2 * msg_bound + block_interval
+    delta = 2 * cycle
+    t0 = (spec.t_transfers + 6) * cycle
+    patience = t0 + (spec.n_parties + 4) * delta
+    return ProtocolConfig(
+        kind=kind,
+        delta=delta,
+        t0=t0,
+        patience=patience,
+        altruistic_votes=altruistic_votes,
+        proof_kind=proof_kind,
+        pow_confirmations=pow_confirmations,
+    )
+
+
+class DealExecutor:
+    """Build and run one cross-chain deal."""
+
+    def __init__(
+        self,
+        spec: DealSpec,
+        parties: list[CompliantParty],
+        config: ProtocolConfig,
+        seed: int = 0,
+        msg_bound: float = 1.0,
+        block_interval: float = 1.0,
+        validators_f: int = 1,
+        reconfigurations: int = 0,
+        gst: float = 0.0,
+        fault_plan: FaultPlan | None = None,
+        horizon: float | None = None,
+    ):
+        if {party.address for party in parties} != set(spec.parties):
+            raise ConfigurationError("party list does not match the deal's plist")
+        self.spec = spec
+        self.parties = list(parties)
+        self.config = config
+        self.seed = seed
+        self.msg_bound = msg_bound
+        self.block_interval = block_interval
+        self.validators_f = validators_f
+        self.reconfigurations = reconfigurations
+        self.gst = gst
+        self.fault_plan = fault_plan
+        self.horizon = horizon
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build(self) -> DealEnvironment:
+        simulator = Simulator()
+        rng = DeterministicRng(self.seed)
+        if self.gst > 0:
+            network: Network = EventuallySynchronousNetwork(
+                simulator, delta=self.msg_bound, gst=self.gst, rng=rng
+            )
+        else:
+            network = SynchronousNetwork(simulator, delta=self.msg_bound, rng=rng)
+        wallet = Wallet()
+        for party in self.parties:
+            wallet.register(party.keypair)
+
+        chains: dict[str, Chain] = {}
+        for chain_id in self.spec.chains():
+            chain = Chain(
+                chain_id,
+                simulator,
+                wallet,
+                block_interval=self.block_interval,
+            )
+            chains[chain_id] = chain
+            network.register(
+                f"chain:{chain_id}",
+                lambda message, chain=chain: self._on_chain_message(chain, message),
+            )
+
+        tokens: dict[tuple[str, str], object] = {}
+        for asset in self.spec.assets:
+            key = (asset.chain_id, asset.token)
+            if key in tokens:
+                continue
+            if asset.fungible:
+                token = FungibleToken(asset.token)
+            else:
+                token = NonFungibleToken(asset.token)
+            chains[asset.chain_id].publish(token)
+            tokens[key] = token
+
+        # Mint initial holdings (setup: outside any block).
+        minter = self.spec.parties[0]
+        for asset in self.spec.assets:
+            chain = chains[asset.chain_id]
+            if asset.fungible:
+                chain.execute_now(
+                    Transaction(
+                        sender=minter,
+                        contract=asset.token,
+                        method="mint",
+                        args={"to": asset.owner, "amount": asset.amount},
+                        phase="setup",
+                    )
+                )
+            else:
+                for token_id in asset.token_ids:
+                    chain.execute_now(
+                        Transaction(
+                            sender=minter,
+                            contract=asset.token,
+                            method="mint",
+                            args={
+                                "to": asset.owner,
+                                "token_id": token_id,
+                                "metadata": {"deal": self.spec.deal_id.hex()[:8]},
+                            },
+                            phase="setup",
+                        )
+                    )
+
+        env = DealEnvironment(
+            simulator=simulator,
+            network=network,
+            wallet=wallet,
+            chains=chains,
+            tokens=tokens,
+            escrows={},
+        )
+
+        # The shared log, if this protocol needs one.
+        if self.config.kind is ProtocolKind.CBC_POW:
+            pow_log = PowCertifiedLog(
+                simulator, wallet, block_interval=self.block_interval
+            )
+            pow_log.register_deal(self.spec.deal_id, self.spec.parties)
+            env.pow_log = pow_log
+            network.register(
+                "cbc", lambda message: self._on_pow_message(pow_log, message)
+            )
+        if self.config.kind is ProtocolKind.CBC:
+            validators = ValidatorSet.generate(self.validators_f, seed=f"cbc/{self.seed}")
+            cbc = CertifiedBlockchain(
+                simulator, validators, wallet, block_interval=self.block_interval
+            )
+            env.cbc = cbc
+            network.register("cbc", lambda message: self._on_cbc_message(cbc, message))
+            starter = self.parties[0]
+            start_entry = LogEntry(
+                kind="startDeal",
+                deal_id=self.spec.deal_id,
+                party=starter.address,
+                plist=self.spec.parties,
+            )
+            env.start_hash = start_entry.message()
+            signed_start = LogEntry(
+                kind=start_entry.kind,
+                deal_id=start_entry.deal_id,
+                party=start_entry.party,
+                plist=start_entry.plist,
+                signature=starter.keypair.sign(start_entry.message()),
+            )
+            simulator.schedule(
+                0.0,
+                lambda: network.send(starter.endpoint, "cbc", ("entry", signed_start)),
+                label="clearing/startDeal",
+            )
+            initial_keys = cbc.initial_public_keys
+
+        # Escrow contracts, one per asset.
+        for asset in self.spec.assets:
+            name = self.spec.escrow_contract_name(asset.asset_id)
+            if self.config.kind is ProtocolKind.TIMELOCK:
+                escrow: EscrowManager = TimelockEscrow(
+                    name,
+                    self.spec.deal_id,
+                    self.spec.parties,
+                    asset,
+                    t0=self.config.t0,
+                    delta=self.config.delta,
+                    batch_votes=self.config.batch_vote_verification,
+                )
+            elif self.config.kind is ProtocolKind.CBC:
+                escrow = CbcEscrow(
+                    name,
+                    self.spec.deal_id,
+                    self.spec.parties,
+                    asset,
+                    start_hash=env.start_hash,
+                    validator_keys=initial_keys,
+                )
+            else:
+                escrow = PowCbcEscrow(
+                    name,
+                    self.spec.deal_id,
+                    self.spec.parties,
+                    asset,
+                    min_confirmations=self.config.pow_confirmations,
+                )
+            chains[asset.chain_id].publish(escrow)
+            env.escrows[asset.asset_id] = escrow
+
+        # Bind parties and fan out block notifications.
+        for party in self.parties:
+            party.bind(env, self.spec, self.config)
+        for chain in chains.values():
+            chain.subscribe(self._make_fanout(env, chain))
+        if env.cbc is not None:
+            env.cbc.subscribe(self._make_cbc_fanout(env))
+        if env.pow_log is not None:
+            env.pow_log.subscribe(self._make_cbc_fanout(env))
+
+        # Planned reconfigurations (E3 ablation) happen mid-run, after
+        # the deal has started but before settlement typically begins.
+        if env.cbc is not None and self.reconfigurations:
+            for k in range(self.reconfigurations):
+                simulator.schedule(
+                    1.0 + k,
+                    lambda: env.cbc.reconfigure(seed=f"cbc/{self.seed}"),
+                    label="cbc/reconfigure",
+                )
+
+        if self.fault_plan is not None:
+            self.fault_plan.install(network)
+
+        # Clearing phase: everyone starts at t = 0.
+        for party in self.parties:
+            simulator.schedule(0.0, party.begin, label=f"{party.label}/begin")
+        return env
+
+    def _make_fanout(self, env: DealEnvironment, chain: Chain):
+        endpoints = [party.endpoint for party in self.parties]
+
+        def fanout(ch, block) -> None:
+            for endpoint in endpoints:
+                env.network.send(
+                    f"chain:{ch.chain_id}", endpoint, ("block", ch.chain_id, block)
+                )
+
+        return fanout
+
+    def _make_cbc_fanout(self, env: DealEnvironment):
+        endpoints = [party.endpoint for party in self.parties]
+
+        def fanout(cbc, block) -> None:
+            for endpoint in endpoints:
+                env.network.send("cbc", endpoint, ("cbc_block", block))
+
+        return fanout
+
+    @staticmethod
+    def _on_chain_message(chain: Chain, message) -> None:
+        kind, payload = message.payload[0], message.payload[1]
+        if kind == "tx":
+            chain.submit(payload)
+
+    @staticmethod
+    def _on_cbc_message(cbc: CertifiedBlockchain, message) -> None:
+        kind, payload = message.payload[0], message.payload[1]
+        if kind == "entry":
+            cbc.submit(payload)
+
+    @staticmethod
+    def _on_pow_message(pow_log: "PowCertifiedLog", message) -> None:
+        kind, payload = message.payload[0], message.payload[1]
+        if kind == "entry":
+            pow_log.submit(payload)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> DealResult:
+        """Assemble, run to quiescence, and report."""
+        env = self._build()
+        initial = snapshot_holdings(env, self.spec)
+        env.simulator.run(until=self.horizon, max_events=2_000_000)
+        final = snapshot_holdings(env, self.spec)
+        receipts = collect_receipts(env)
+        timeline = build_timeline(receipts, env)
+        escrow_states = {
+            asset_id: escrow.peek_state() for asset_id, escrow in env.escrows.items()
+        }
+        return DealResult(
+            spec=self.spec,
+            config=self.config,
+            initial_holdings=initial,
+            final_holdings=final,
+            receipts=receipts,
+            escrow_states=escrow_states,
+            timeline=timeline,
+            party_stats={party.label: party.stats for party in self.parties},
+            env=env,
+            effective_delta=self.config.delta,
+        )
+
+
+# ----------------------------------------------------------------------
+# Result assembly helpers
+# ----------------------------------------------------------------------
+def snapshot_holdings(env: DealEnvironment, spec: DealSpec) -> Holdings:
+    """Snapshot who owns what, per (chain, token).
+
+    Fungible tokens map party address -> balance; non-fungible tokens
+    map party address -> frozenset of token ids.  Escrow contract
+    addresses appear alongside parties, so locked-up value is visible.
+    """
+    holders = list(spec.parties) + [escrow.address for escrow in env.escrows.values()]
+    snapshot: Holdings = {}
+    for (chain_id, token_name), token in env.tokens.items():
+        per_holder: dict = {}
+        if isinstance(token, FungibleToken):
+            for holder in holders:
+                per_holder[holder] = token.peek_balance(holder)
+        else:
+            all_ids = [
+                token_id
+                for asset in spec.assets
+                if asset.chain_id == chain_id and asset.token == token_name
+                for token_id in asset.token_ids
+            ]
+            for holder in holders:
+                per_holder[holder] = frozenset(
+                    token_id for token_id in all_ids if token.peek_owner(token_id) == holder
+                )
+        snapshot[(chain_id, token_name)] = per_holder
+    return snapshot
+
+
+def collect_receipts(env: DealEnvironment) -> list[Receipt]:
+    """All block-executed receipts across chains, in execution order."""
+    receipts: list[Receipt] = []
+    for chain in env.chains.values():
+        for block in chain.blocks:
+            receipts.extend(block.receipts)
+    receipts.sort(key=lambda receipt: (receipt.executed_at, receipt.tx.tx_id))
+    return receipts
+
+
+def build_timeline(receipts: list[Receipt], env: DealEnvironment) -> Timeline:
+    """Derive phase milestones from the receipt stream."""
+    timeline = Timeline(started_at=0.0, ended_at=env.simulator.now)
+    deposits: list[float] = []
+    transfers: list[float] = []
+    votes: list[float] = []
+    settles: list[float] = []
+    for receipt in receipts:
+        if not receipt.ok:
+            continue
+        phase = receipt.tx.phase
+        if phase == "escrow" and receipt.tx.method == "deposit":
+            deposits.append(receipt.executed_at)
+        elif phase == "transfer":
+            transfers.append(receipt.executed_at)
+        elif phase == "commit":
+            votes.append(receipt.executed_at)
+        for event in receipt.events:
+            if event.name in ("Released", "Refunded"):
+                settles.append(receipt.executed_at)
+    if deposits:
+        timeline.escrow_done = max(deposits)
+    if transfers:
+        timeline.transfers_done = max(transfers)
+    elif deposits:
+        timeline.transfers_done = timeline.escrow_done
+    if votes:
+        timeline.all_votes_cast = max(votes)
+    if settles:
+        timeline.settled_at = max(settles)
+    return timeline

@@ -1,0 +1,218 @@
+"""Outcome evaluation: the paper's safety and liveness properties.
+
+Given a finished :class:`~repro.core.executor.DealResult` and the set
+of *compliant* parties, this module checks:
+
+* **Property 1 (safety)** — for every compliant party X: if any of
+  X's outgoing assets was transferred, all of X's incoming assets were
+  transferred.  (The paper's two bullets are contrapositives, so one
+  check covers both.)  Evaluated on net on-chain holdings against the
+  deal's projected commit state.
+* **Property 2 (weak liveness)** — no compliant party's asset is
+  still locked in an escrow at the end of the run.
+* **Property 3 (strong liveness)** — when *every* party is compliant,
+  all transfers happen (every escrow released and every party holds
+  its projected commit holdings).
+* **Uniformity** — the CBC protocol additionally guarantees the deal
+  commits everywhere or aborts everywhere (§6.1); the timelock
+  protocol does not (§9).
+
+Assets still held by an *active* escrow at evaluation time are
+attributed back to their depositors (the A-map): the contract
+guarantees anyone can trigger the refund after the timeout, so those
+units are recoverable, not lost — but they do flag a weak-liveness
+failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deal import DealSpec
+from repro.core.escrow import EscrowState
+from repro.core.executor import DealResult, Holdings
+from repro.crypto.keys import Address
+
+
+@dataclass(frozen=True)
+class PartyVerdict:
+    """Safety accounting for one party."""
+
+    address: Address
+    label: str
+    compliant: bool
+    relinquished_any: bool
+    received_all: bool
+    assets_stuck: bool
+
+    @property
+    def safety_ok(self) -> bool:
+        """Property 1 for this party."""
+        return not (self.relinquished_any and not self.received_all)
+
+
+@dataclass
+class OutcomeReport:
+    """The full property evaluation of one run."""
+
+    verdicts: dict = field(default_factory=dict)
+    weak_liveness_ok: bool = True
+    strong_liveness_ok: bool | None = None
+    uniform_outcome: bool = True
+    all_compliant: bool = True
+
+    @property
+    def safety_ok(self) -> bool:
+        """Property 1 across all compliant parties."""
+        return all(
+            verdict.safety_ok for verdict in self.verdicts.values() if verdict.compliant
+        )
+
+    def violations(self) -> list[str]:
+        """Human-readable list of property violations."""
+        problems = []
+        for verdict in self.verdicts.values():
+            if verdict.compliant and not verdict.safety_ok:
+                problems.append(f"safety violated for compliant party {verdict.label}")
+        if not self.weak_liveness_ok:
+            problems.append("weak liveness violated (compliant assets locked)")
+        if self.strong_liveness_ok is False:
+            problems.append("strong liveness violated (all compliant, transfers missing)")
+        return problems
+
+
+def expected_commit_holdings(spec: DealSpec, initial: Holdings) -> Holdings:
+    """Project each party's holdings if the deal commits everywhere."""
+    expected: Holdings = {
+        key: dict(per_holder) for key, per_holder in initial.items()
+    }
+    projection = spec.final_commit_holdings()
+    for asset in spec.assets:
+        key = (asset.chain_id, asset.token)
+        per_holder = expected[key]
+        final_map = projection[asset.asset_id]
+        if asset.fungible:
+            per_holder[asset.owner] = per_holder.get(asset.owner, 0) - asset.amount
+            for party, amount in final_map.items():
+                if amount:
+                    per_holder[party] = per_holder.get(party, 0) + amount
+        else:
+            per_holder[asset.owner] = frozenset(
+                per_holder.get(asset.owner, frozenset()) - set(asset.token_ids)
+            )
+            for party, ids in final_map.items():
+                if ids:
+                    per_holder[party] = frozenset(
+                        set(per_holder.get(party, frozenset())) | set(ids)
+                    )
+    return expected
+
+
+def _effective_final(result: DealResult) -> Holdings:
+    """Final holdings with active-escrow contents credited to depositors."""
+    effective: Holdings = {
+        key: dict(per_holder) for key, per_holder in result.final_holdings.items()
+    }
+    for asset_id, state in result.escrow_states.items():
+        if state is not EscrowState.ACTIVE:
+            continue
+        escrow = result.env.escrows[asset_id]
+        if not escrow.peek_deposited():
+            continue
+        asset = result.spec.asset(asset_id)
+        key = (asset.chain_id, asset.token)
+        per_holder = effective[key]
+        if asset.fungible:
+            per_holder[asset.owner] = per_holder.get(asset.owner, 0) + asset.amount
+            per_holder[escrow.address] = 0
+        else:
+            per_holder[asset.owner] = frozenset(
+                set(per_holder.get(asset.owner, frozenset())) | set(asset.token_ids)
+            )
+            per_holder[escrow.address] = frozenset()
+    return effective
+
+
+def evaluate_outcome(
+    result: DealResult, compliant: set[Address] | None = None
+) -> OutcomeReport:
+    """Evaluate Properties 1-3 and uniformity over a finished run.
+
+    ``compliant`` defaults to every party (the all-compliant case,
+    where strong liveness must hold too).
+    """
+    spec = result.spec
+    if compliant is None:
+        compliant = set(spec.parties)
+    report = OutcomeReport(all_compliant=compliant == set(spec.parties))
+
+    expected = expected_commit_holdings(spec, result.initial_holdings)
+    effective = _effective_final(result)
+
+    # Weak liveness: any *deposited, still-active* escrow of a
+    # compliant party's asset counts as locked value.
+    stuck_owners: set[Address] = set()
+    for asset_id, state in result.escrow_states.items():
+        if state is EscrowState.ACTIVE and result.env.escrows[asset_id].peek_deposited():
+            stuck_owners.add(spec.asset(asset_id).owner)
+    report.weak_liveness_ok = not (stuck_owners & compliant)
+
+    for party in spec.parties:
+        relinquished = False
+        received_all = True
+        for key, initial_map in result.initial_holdings.items():
+            init = initial_map.get(party, 0 if _is_fungible(initial_map) else frozenset())
+            fin = effective[key].get(party, init.__class__())
+            exp = expected[key].get(party, init.__class__())
+            if isinstance(init, int):
+                if fin < init:
+                    relinquished = True
+                if exp > init and fin < exp:
+                    received_all = False
+            else:
+                if set(init) - set(fin):
+                    relinquished = True
+                gained = set(exp) - set(init)
+                if gained and not gained <= set(fin):
+                    received_all = False
+        report.verdicts[party] = PartyVerdict(
+            address=party,
+            label=spec.label(party),
+            compliant=party in compliant,
+            relinquished_any=relinquished,
+            received_all=received_all,
+            assets_stuck=party in stuck_owners,
+        )
+
+    # Uniformity (the CBC guarantee).
+    states = set(result.escrow_states.values())
+    report.uniform_outcome = not (
+        EscrowState.RELEASED in states and EscrowState.REFUNDED in states
+    )
+
+    # Strong liveness is only defined for all-compliant runs.
+    if report.all_compliant:
+        committed = result.all_committed()
+        holdings_match = True
+        for key, expected_map in expected.items():
+            for party in spec.parties:
+                exp = expected_map.get(party)
+                if exp is None:
+                    continue
+                fin = result.final_holdings[key].get(party)
+                if isinstance(exp, int):
+                    if (fin or 0) != exp:
+                        holdings_match = False
+                else:
+                    if set(fin or frozenset()) != set(exp):
+                        holdings_match = False
+        report.strong_liveness_ok = committed and holdings_match
+    else:
+        report.strong_liveness_ok = None
+    return report
+
+
+def _is_fungible(per_holder: dict) -> bool:
+    for value in per_holder.values():
+        return isinstance(value, int)
+    return True

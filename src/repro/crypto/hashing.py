@@ -1,0 +1,70 @@
+"""Hashing helpers: SHA-256 wrappers, tagged hashes, and commitments.
+
+All hashing in the package goes through these helpers so that tests can
+reason about preimages uniformly.  ``tagged_hash`` namespaces hashes by
+purpose (vote, block, certificate, ...) so that a signature over one
+kind of object can never be replayed as a signature over another — the
+same domain-separation trick used by BIP-340.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 digest of ``data`` as a hex string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def tagged_hash(tag: str, data: bytes) -> bytes:
+    """Return ``SHA256(SHA256(tag) || SHA256(tag) || data)``.
+
+    Duplicating the tag digest (as BIP-340 does) lets implementations
+    precompute the 64-byte prefix block, and guarantees distinct tags
+    produce independent hash functions.
+    """
+    tag_digest = sha256(tag.encode("utf-8"))
+    return sha256(tag_digest + tag_digest + data)
+
+
+def hash_concat(*parts: bytes) -> bytes:
+    """Hash a sequence of byte strings unambiguously.
+
+    Each part is length-prefixed before hashing so that
+    ``hash_concat(b"ab", b"c") != hash_concat(b"a", b"bc")``.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def commitment(secret: bytes, salt: bytes = b"") -> bytes:
+    """Return a hash commitment to ``secret`` (used by HTLCs and auctions).
+
+    HTLC hashlocks commit with an empty salt; the §9 commit-reveal
+    auction commits to ``bid || salt`` so that equal bids do not produce
+    equal commitments.
+    """
+    return tagged_hash("repro/commitment", hash_concat(secret, salt))
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Encode a non-negative integer big-endian, minimally unless sized."""
+    if value < 0:
+        raise ValueError("cannot encode negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string into an integer."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper analyses its protocols under two timing models:
+
+* **synchronous** — a known bound Δ on the time for a blockchain state
+  change to become observable by every party (§5);
+* **eventually synchronous** — unbounded delays before a global
+  stabilization time (GST), bounded after (§6, citing Dwork-Lynch-
+  Stockmeyer).
+
+:class:`~repro.sim.simulator.Simulator` provides the event loop;
+:mod:`repro.sim.network` provides both timing models plus adversarial
+message scheduling; :mod:`repro.sim.faults` injects crashes, offline
+windows, and partitions.
+"""
+
+from repro.sim.network import (
+    EventuallySynchronousNetwork,
+    Message,
+    Network,
+    SynchronousNetwork,
+)
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "DeterministicRng",
+    "EventuallySynchronousNetwork",
+    "Message",
+    "Network",
+    "Simulator",
+    "SynchronousNetwork",
+]

@@ -1,0 +1,157 @@
+"""Fault injection: crashes, offline windows, partitions, DoS.
+
+The paper's adversary can crash parties, drive them offline at the
+wrong moment (§5.3's denial-of-service window), or partition the
+network.  These injectors install delivery filters on a
+:class:`~repro.sim.network.Network`; they affect only message
+*delivery* — a party's local computation is suppressed by the party
+strategies in :mod:`repro.adversary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import DropMessage, Message, Network
+
+
+@dataclass
+class CrashFault:
+    """Permanently silence an endpoint from ``at_time`` onwards.
+
+    Messages to or from the crashed endpoint are dropped.
+    """
+
+    endpoint: str
+    at_time: float
+    dropped: int = 0
+
+    def install(self, network: Network) -> None:
+        """Attach this fault's delivery filter to ``network``."""
+        def fn(message: Message) -> float | None:
+            now = network.simulator.now
+            if now >= self.at_time and self.endpoint in (
+                message.sender,
+                message.recipient,
+            ):
+                self.dropped += 1
+                raise DropMessage
+            return None
+
+        network.add_filter(fn)
+
+
+@dataclass
+class OfflineWindow:
+    """Silence an endpoint during ``[start, end)`` — the §5.3 DoS window.
+
+    Inbound messages during the window are *delayed* until the window
+    ends (the party reconnects and catches up); outbound messages are
+    dropped (the party could not have produced them while offline).
+    """
+
+    endpoint: str
+    start: float
+    end: float
+    delayed: int = 0
+    dropped: int = 0
+
+    def install(self, network: Network) -> None:
+        """Attach this fault's delivery filter to ``network``."""
+        def fn(message: Message) -> float | None:
+            now = network.simulator.now
+            if not self.start <= now < self.end:
+                return None
+            if message.sender == self.endpoint:
+                self.dropped += 1
+                raise DropMessage
+            if message.recipient == self.endpoint:
+                self.delayed += 1
+                return self.end - now
+            return None
+
+        network.add_filter(fn)
+
+    def covers(self, time: float) -> bool:
+        """Whether ``time`` falls inside the offline window."""
+        return self.start <= time < self.end
+
+
+@dataclass
+class Partition:
+    """Split endpoints into groups; cross-group messages drop in a window."""
+
+    groups: list[set[str]]
+    start: float
+    end: float
+    dropped: int = 0
+
+    def _group_of(self, endpoint: str) -> int | None:
+        for index, group in enumerate(self.groups):
+            if endpoint in group:
+                return index
+        return None
+
+    def install(self, network: Network) -> None:
+        """Attach this fault's delivery filter to ``network``."""
+        def fn(message: Message) -> float | None:
+            now = network.simulator.now
+            if not self.start <= now < self.end:
+                return None
+            sender_group = self._group_of(message.sender)
+            recipient_group = self._group_of(message.recipient)
+            if (
+                sender_group is not None
+                and recipient_group is not None
+                and sender_group != recipient_group
+            ):
+                self.dropped += 1
+                raise DropMessage
+            return None
+
+        network.add_filter(fn)
+
+
+@dataclass
+class TargetedDelay:
+    """Add a fixed extra delay to messages touching an endpoint.
+
+    Models a sustained DoS attack that slows (but does not sever) a
+    victim's connectivity — e.g. delaying the CBC itself (§9).
+    """
+
+    endpoint: str
+    extra_delay: float
+    start: float = 0.0
+    end: float = float("inf")
+    affected: int = 0
+
+    def install(self, network: Network) -> None:
+        """Attach this fault's delivery filter to ``network``."""
+        def fn(message: Message) -> float | None:
+            now = network.simulator.now
+            if not self.start <= now < self.end:
+                return None
+            if self.endpoint in (message.sender, message.recipient):
+                self.affected += 1
+                return self.extra_delay
+            return None
+
+        network.add_filter(fn)
+
+
+@dataclass
+class FaultPlan:
+    """A collection of faults installed together (one experiment's plan)."""
+
+    faults: list = field(default_factory=list)
+
+    def add(self, fault) -> "FaultPlan":
+        """Append ``fault`` and return self (builder style)."""
+        self.faults.append(fault)
+        return self
+
+    def install(self, network: Network) -> None:
+        """Install every fault in the plan on ``network``."""
+        for fault in self.faults:
+            fault.install(network)

@@ -1,0 +1,215 @@
+"""Network timing models: synchronous and eventually synchronous.
+
+Endpoints register by name and receive messages via a callback.  The
+network decides *when* a sent message is delivered:
+
+* :class:`SynchronousNetwork` delivers within a known bound Δ — the
+  model the timelock protocol (§5) requires;
+* :class:`EventuallySynchronousNetwork` delivers with arbitrary
+  (adversary-controllable) delay before the global stabilization time
+  (GST) and within Δ after it — the model the CBC protocol (§6)
+  tolerates.
+
+Fault injectors (see :mod:`repro.sim.faults`) can drop or delay
+messages for specific endpoints to model crashes, offline windows,
+and denial-of-service attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message in flight between two endpoints."""
+
+    sender: str
+    recipient: str
+    payload: object
+    sent_at: float
+
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Base network: registration, delivery, fault hooks.
+
+    Subclasses implement :meth:`latency` to realize a timing model.
+    A *delivery filter* may veto or postpone deliveries; fault
+    injectors install these.
+    """
+
+    def __init__(self, simulator: Simulator, rng: DeterministicRng | None = None):
+        self.simulator = simulator
+        self.rng = rng or DeterministicRng(0)
+        self._handlers: dict[str, Handler] = {}
+        self._filters: list[Callable[[Message], float | None]] = []
+        self._delivered = 0
+        self._dropped = 0
+        self._last_delivery: dict[tuple[str, str], float] = {}
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach an endpoint; messages to ``name`` invoke ``handler``."""
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def deregister(self, name: str) -> None:
+        """Detach an endpoint; future messages to it are dropped."""
+        self._handlers.pop(name, None)
+
+    def add_filter(self, fn: Callable[[Message], float | None]) -> None:
+        """Install a delivery filter.
+
+        For each message the filter returns ``None`` to leave it alone,
+        a non-negative float to add that much extra delay, or raises
+        :class:`DropMessage` to drop it.
+        """
+        self._filters.append(fn)
+
+    def latency(self, message: Message) -> float:
+        """The base delivery delay for ``message`` (timing model)."""
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Delivery counters (for tests and diagnostics)."""
+        return {"delivered": self._delivered, "dropped": self._dropped}
+
+    def send(self, sender: str, recipient: str, payload: object) -> None:
+        """Send ``payload``; delivery is scheduled per the timing model."""
+        message = Message(sender, recipient, payload, self.simulator.now)
+        delay = self.latency(message)
+        try:
+            for fn in self._filters:
+                extra = fn(message)
+                if extra is not None:
+                    delay += extra
+        except DropMessage:
+            self._dropped += 1
+            return
+        # FIFO per ordered pair (a TCP-like channel): a later send is
+        # never delivered before an earlier one.  The clamp can only
+        # push delivery later, and never past the Δ bound, because the
+        # earlier message already respected it at an earlier send time.
+        pair = (sender, recipient)
+        deliver_at = self.simulator.now + delay
+        floor = self._last_delivery.get(pair)
+        if floor is not None and deliver_at <= floor:
+            deliver_at = floor + 1e-9
+        self._last_delivery[pair] = deliver_at
+        self.simulator.schedule_at(
+            deliver_at, lambda: self._deliver(message), label=f"deliver->{recipient}"
+        )
+
+    def broadcast(self, sender: str, payload: object) -> None:
+        """Send ``payload`` to every registered endpoint except ``sender``."""
+        for name in sorted(self._handlers):
+            if name != sender:
+                self.send(sender, name, payload)
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.recipient)
+        if handler is None:
+            self._dropped += 1
+            return
+        self._delivered += 1
+        handler(message)
+
+
+class DropMessage(Exception):
+    """Raised by a delivery filter to drop the message entirely."""
+
+
+class SynchronousNetwork(Network):
+    """Delivery within a known bound Δ (paper §5's model).
+
+    Latency is drawn uniformly from ``[min_latency, delta]`` so that
+    message orderings vary across seeds while respecting the bound.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        delta: float,
+        rng: DeterministicRng | None = None,
+        min_latency: float = 0.0,
+    ):
+        super().__init__(simulator, rng)
+        if delta <= 0:
+            raise NetworkError("delta must be positive")
+        if not 0 <= min_latency <= delta:
+            raise NetworkError("min_latency must lie in [0, delta]")
+        self.delta = delta
+        self.min_latency = min_latency
+
+    def latency(self, message: Message) -> float:
+        return self.rng.uniform("net/latency", self.min_latency, self.delta)
+
+
+class EventuallySynchronousNetwork(Network):
+    """Unbounded delays before GST, bounded by Δ after (paper §6's model).
+
+    Before the global stabilization time, each message is delayed by a
+    draw from ``[0, pre_gst_max]`` (default: until shortly after GST),
+    modelling the adversary's pre-GST scheduling power.  After GST the
+    network behaves synchronously with bound Δ.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        delta: float,
+        gst: float,
+        rng: DeterministicRng | None = None,
+        pre_gst_max: float | None = None,
+    ):
+        super().__init__(simulator, rng)
+        if delta <= 0:
+            raise NetworkError("delta must be positive")
+        if gst < 0:
+            raise NetworkError("gst must be non-negative")
+        self.delta = delta
+        self.gst = gst
+        self.pre_gst_max = pre_gst_max
+
+    def latency(self, message: Message) -> float:
+        now = self.simulator.now
+        if now >= self.gst:
+            return self.rng.uniform("net/latency", 0.0, self.delta)
+        # Pre-GST: adversarial delay.  By default, hold the message
+        # until a uniformly random point after GST (but within Δ of it),
+        # the worst schedule the model permits.
+        if self.pre_gst_max is not None:
+            return self.rng.uniform("net/pre-gst", 0.0, self.pre_gst_max)
+        release = self.gst + self.rng.uniform("net/pre-gst", 0.0, self.delta)
+        return max(0.0, release - now)
+
+
+@dataclass
+class RecordingNetwork:
+    """Wrap a network, recording every send for assertions in tests."""
+
+    inner: Network
+    log: list[Message] = field(default_factory=list)
+
+    def register(self, name: str, handler: Handler) -> None:
+        self.inner.register(name, handler)
+
+    def send(self, sender: str, recipient: str, payload: object) -> None:
+        self.log.append(
+            Message(sender, recipient, payload, self.inner.simulator.now)
+        )
+        self.inner.send(sender, recipient, payload)
+
+    def broadcast(self, sender: str, payload: object) -> None:
+        for name in sorted(self.inner._handlers):
+            if name != sender:
+                self.send(sender, name, payload)

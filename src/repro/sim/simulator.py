@@ -1,0 +1,147 @@
+"""The discrete-event simulator.
+
+A minimal, deterministic event loop: callbacks are scheduled at
+absolute times and executed in (time, sequence) order, so two events at
+the same instant run in scheduling order.  Time is a float in abstract
+"ticks"; the deal protocols express Δ in ticks.
+
+The simulator is single-threaded and re-entrant: callbacks may schedule
+further events (including at the current time, which run later in the
+same instant).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """A handle to a scheduled event, allowing cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The absolute time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class Simulator:
+    """A deterministic discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """How many events have fired so far (for diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """How many events are queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ticks in the past")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        return self.schedule(time - self._now, callback, label)
+
+    def step(self) -> bool:
+        """Run the next event.  Return False if the queue was empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock at that time (events after it stay
+        queued); ``max_events`` bounds the number of events processed,
+        guarding against runaway feedback loops in adversarial runs.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; possible event loop"
+                )
+            upcoming = self._peek_time()
+            if upcoming is None:
+                break
+            if until is not None and upcoming > until:
+                self._now = until
+                return
+            if self.step():
+                processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def _peek_time(self) -> float | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time

@@ -1,0 +1,27 @@
+"""Deal workloads: canonical scenarios and random generators."""
+
+from repro.workloads.generators import (
+    brokered_deal,
+    clique_deal,
+    ill_formed_deal,
+    random_well_formed_deal,
+    ring_deal,
+)
+from repro.workloads.scenarios import (
+    altcoin_brokered_deal,
+    auction_deal,
+    make_parties,
+    ticket_broker_deal,
+)
+
+__all__ = [
+    "altcoin_brokered_deal",
+    "auction_deal",
+    "brokered_deal",
+    "clique_deal",
+    "ill_formed_deal",
+    "make_parties",
+    "random_well_formed_deal",
+    "ring_deal",
+    "ticket_broker_deal",
+]

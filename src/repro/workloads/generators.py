@@ -1,0 +1,303 @@
+"""Random deal generators for sweeps, gauntlets, and property tests.
+
+All generators return ``(spec, keys)`` with deterministic keypairs and
+well-formed (strongly connected) digraphs unless stated otherwise.
+The knobs map directly onto the paper's cost parameters: *n* parties,
+*m* assets, *t* transfers, spread over a configurable number of
+chains.
+"""
+
+from __future__ import annotations
+
+from repro.core.deal import Asset, DealSpec, TransferStep
+from repro.crypto.keys import KeyPair
+from repro.errors import MalformedDealError
+from repro.sim.rng import DeterministicRng
+
+
+def _party_labels(n: int) -> list[str]:
+    return [f"p{i}" for i in range(n)]
+
+
+def _keys_for(labels: list[str], tag: str) -> dict[str, KeyPair]:
+    return {label: KeyPair.from_label(f"{tag}/{label}") for label in labels}
+
+
+def ring_deal(
+    n: int = 3,
+    amount: int = 100,
+    chains: int = 0,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair]]:
+    """A payment ring: party *i* pays ``amount`` coins to party *i+1*.
+
+    Every party owns exactly one asset and makes exactly one transfer;
+    the digraph is a directed cycle, so the deal is well-formed — and
+    also swap-expressible, making rings the head-to-head workload for
+    the E11 swap baseline.  ``chains`` defaults to one chain per party.
+    """
+    if n < 2:
+        raise MalformedDealError("a ring needs at least two parties")
+    chains = chains or n
+    labels = _party_labels(n)
+    keys = _keys_for(labels, f"ring{n}")
+    addresses = [keys[label].address for label in labels]
+    assets = []
+    steps = []
+    for i, label in enumerate(labels):
+        chain_id = f"chain{i % chains}"
+        asset_id = f"{label}-coins"
+        assets.append(
+            Asset(
+                asset_id=asset_id,
+                chain_id=chain_id,
+                token=f"coin{i % chains}",
+                owner=addresses[i],
+                amount=amount,
+            )
+        )
+        steps.append(
+            TransferStep(
+                asset_id=asset_id,
+                giver=addresses[i],
+                receiver=addresses[(i + 1) % n],
+                amount=amount,
+            )
+        )
+    spec = DealSpec(
+        parties=tuple(addresses),
+        assets=tuple(assets),
+        steps=tuple(steps),
+        labels={keys[label].address: label for label in labels},
+        nonce=nonce,
+    )
+    return spec, keys
+
+
+def brokered_deal(
+    pairs: int = 1,
+    ticket_count: int = 1,
+    margin: int = 1,
+    price: int = 100,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair]]:
+    """A generalized Figure 1: one broker between ``pairs`` seller/buyer
+    pairs.  n = 2·pairs + 1 parties, m = 2·pairs assets, t = 4·pairs
+    transfers."""
+    if pairs < 1:
+        raise MalformedDealError("need at least one seller/buyer pair")
+    labels = ["broker"]
+    for k in range(pairs):
+        labels += [f"seller{k}", f"buyer{k}"]
+    keys = _keys_for(labels, f"broker{pairs}")
+    broker = keys["broker"].address
+    assets = []
+    steps = []
+    for k in range(pairs):
+        seller = keys[f"seller{k}"].address
+        buyer = keys[f"buyer{k}"].address
+        tickets = tuple(f"ticket-{k}-{i}" for i in range(ticket_count))
+        ticket_asset = f"seller{k}-tickets"
+        coin_asset = f"buyer{k}-coins"
+        assets.append(
+            Asset(
+                asset_id=ticket_asset,
+                chain_id=f"ticketchain{k}",
+                token=f"tickets{k}",
+                owner=seller,
+                token_ids=tickets,
+            )
+        )
+        assets.append(
+            Asset(
+                asset_id=coin_asset,
+                chain_id=f"coinchain{k}",
+                token=f"coins{k}",
+                owner=buyer,
+                amount=price + margin,
+            )
+        )
+        steps.extend(
+            [
+                TransferStep(asset_id=ticket_asset, giver=seller, receiver=broker, token_ids=tickets),
+                TransferStep(asset_id=ticket_asset, giver=broker, receiver=buyer, token_ids=tickets),
+                TransferStep(asset_id=coin_asset, giver=buyer, receiver=broker, amount=price + margin),
+                TransferStep(asset_id=coin_asset, giver=broker, receiver=seller, amount=price),
+            ]
+        )
+    spec = DealSpec(
+        parties=tuple(keys[label].address for label in labels),
+        assets=tuple(assets),
+        steps=tuple(steps),
+        labels={keys[label].address: label for label in labels},
+        nonce=nonce,
+    )
+    return spec, keys
+
+
+def clique_deal(
+    n: int = 3,
+    amount_each: int = 10,
+    chains: int = 1,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair]]:
+    """Everyone pays everyone: n parties, n assets, n·(n-1) transfers.
+
+    The densest well-formed digraph — worst case for the timelock
+    commit phase's O(m·n²) signature bill.
+    """
+    if n < 2:
+        raise MalformedDealError("a clique needs at least two parties")
+    labels = _party_labels(n)
+    keys = _keys_for(labels, f"clique{n}")
+    addresses = [keys[label].address for label in labels]
+    assets = []
+    steps = []
+    for i, label in enumerate(labels):
+        chain_id = f"chain{i % chains}"
+        asset_id = f"{label}-coins"
+        assets.append(
+            Asset(
+                asset_id=asset_id,
+                chain_id=chain_id,
+                token=f"coin{i % chains}",
+                owner=addresses[i],
+                amount=amount_each * (n - 1),
+            )
+        )
+        for j in range(n):
+            if j == i:
+                continue
+            steps.append(
+                TransferStep(
+                    asset_id=asset_id,
+                    giver=addresses[i],
+                    receiver=addresses[j],
+                    amount=amount_each,
+                )
+            )
+    spec = DealSpec(
+        parties=tuple(addresses),
+        assets=tuple(assets),
+        steps=tuple(steps),
+        labels={keys[label].address: label for label in labels},
+        nonce=nonce,
+    )
+    return spec, keys
+
+
+def random_well_formed_deal(
+    seed: int = 0,
+    n: int = 4,
+    extra_assets: int = 2,
+    chains: int = 2,
+    max_amount: int = 1000,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair]]:
+    """A random well-formed deal: a ring backbone plus random chords.
+
+    The backbone guarantees strong connectivity; each extra asset adds
+    a random transfer between distinct parties, possibly a multi-hop
+    pass-through (exercising tentative-transfer chains).
+    """
+    rng = DeterministicRng(f"deal/{seed}")
+    labels = _party_labels(n)
+    keys = _keys_for(labels, f"rand{seed}")
+    addresses = [keys[label].address for label in labels]
+    assets = []
+    steps = []
+    for i in range(n):
+        chain_id = f"chain{i % chains}"
+        amount = rng.randint("amount", 1, max_amount)
+        asset_id = f"ring-{i}"
+        assets.append(
+            Asset(
+                asset_id=asset_id,
+                chain_id=chain_id,
+                token=f"coin{i % chains}",
+                owner=addresses[i],
+                amount=amount,
+            )
+        )
+        steps.append(
+            TransferStep(
+                asset_id=asset_id,
+                giver=addresses[i],
+                receiver=addresses[(i + 1) % n],
+                amount=amount,
+            )
+        )
+    for k in range(extra_assets):
+        owner_index = rng.randint("owner", 0, n - 1)
+        receiver_index = rng.randint("receiver", 0, n - 1)
+        while receiver_index == owner_index:
+            receiver_index = rng.randint("receiver", 0, n - 1)
+        amount = rng.randint("amount", 1, max_amount)
+        chain_id = f"chain{rng.randint('chain', 0, chains - 1)}"
+        asset_id = f"extra-{k}"
+        assets.append(
+            Asset(
+                asset_id=asset_id,
+                chain_id=chain_id,
+                token=f"coin{chain_id[-1]}",
+                owner=addresses[owner_index],
+                amount=amount,
+            )
+        )
+        steps.append(
+            TransferStep(
+                asset_id=asset_id,
+                giver=addresses[owner_index],
+                receiver=addresses[receiver_index],
+                amount=amount,
+            )
+        )
+        if rng.random("hop") < 0.5:
+            # Make it a pass-through: receiver forwards half onward.
+            half = amount // 2
+            if half > 0:
+                next_index = rng.randint("next", 0, n - 1)
+                if next_index != receiver_index:
+                    steps.append(
+                        TransferStep(
+                            asset_id=asset_id,
+                            giver=addresses[receiver_index],
+                            receiver=addresses[next_index],
+                            amount=half,
+                        )
+                    )
+    spec = DealSpec(
+        parties=tuple(addresses),
+        assets=tuple(assets),
+        steps=tuple(steps),
+        labels={keys[label].address: label for label in labels},
+        nonce=nonce,
+    )
+    return spec, keys
+
+
+def ill_formed_deal(nonce: bytes = b"") -> tuple[DealSpec, dict[str, KeyPair]]:
+    """A deal with a free rider (§5.1): p2 receives but gives nothing.
+
+    The digraph p0 -> p1 -> p2 is not strongly connected, so
+    :meth:`DealSpec.is_well_formed` must reject it.
+    """
+    labels = _party_labels(3)
+    keys = _keys_for(labels, "illformed")
+    addresses = [keys[label].address for label in labels]
+    assets = (
+        Asset(asset_id="a0", chain_id="chain0", token="coin0", owner=addresses[0], amount=10),
+        Asset(asset_id="a1", chain_id="chain0", token="coin0", owner=addresses[1], amount=10),
+    )
+    steps = (
+        TransferStep(asset_id="a0", giver=addresses[0], receiver=addresses[1], amount=10),
+        TransferStep(asset_id="a1", giver=addresses[1], receiver=addresses[2], amount=10),
+    )
+    spec = DealSpec(
+        parties=tuple(addresses),
+        assets=assets,
+        steps=steps,
+        labels={keys[label].address: label for label in labels},
+        nonce=nonce,
+    )
+    return spec, keys

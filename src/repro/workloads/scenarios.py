@@ -1,0 +1,221 @@
+"""Canonical deal scenarios from the paper.
+
+* :func:`ticket_broker_deal` — the running example (Figure 1 / 2):
+  Alice brokers Bob's theater tickets to Carol, pocketing one coin.
+* :func:`auction_deal` — the §9 auction: Alice auctions a ticket; the
+  bidders' sealed (commit-reveal) bids decide the winner, and the deal
+  transfers the winning bid to Alice, the ticket to the winner, and
+  the losing bid back to the loser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deal import Asset, DealSpec, TransferStep
+from repro.crypto.hashing import commitment
+from repro.crypto.keys import KeyPair
+from repro.errors import MalformedDealError
+
+
+def make_parties(labels: list[str]) -> dict[str, KeyPair]:
+    """Deterministic keypairs for a list of display names."""
+    return {label: KeyPair.from_label(label) for label in labels}
+
+
+def ticket_broker_deal(
+    ticket_count: int = 2,
+    retail_price: int = 101,
+    wholesale_price: int = 100,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair]]:
+    """The Figure 1 deal: Bob's tickets to Carol via broker Alice.
+
+    Carol pays ``retail_price`` coins to Alice; Alice pays
+    ``wholesale_price`` of them to Bob and keeps the difference; the
+    tickets flow Bob -> Alice -> Carol.
+    """
+    if retail_price < wholesale_price:
+        raise MalformedDealError("broker cannot pay more than she collects")
+    keys = make_parties(["alice", "bob", "carol"])
+    alice, bob, carol = keys["alice"].address, keys["bob"].address, keys["carol"].address
+    tickets = tuple(f"ticket-{i}" for i in range(ticket_count))
+    assets = (
+        Asset(
+            asset_id="bob-tickets",
+            chain_id="ticketchain",
+            token="tickets",
+            owner=bob,
+            token_ids=tickets,
+        ),
+        Asset(
+            asset_id="carol-coins",
+            chain_id="coinchain",
+            token="coins",
+            owner=carol,
+            amount=retail_price,
+        ),
+    )
+    steps = (
+        TransferStep(asset_id="bob-tickets", giver=bob, receiver=alice, token_ids=tickets),
+        TransferStep(asset_id="bob-tickets", giver=alice, receiver=carol, token_ids=tickets),
+        TransferStep(asset_id="carol-coins", giver=carol, receiver=alice, amount=retail_price),
+        TransferStep(asset_id="carol-coins", giver=alice, receiver=bob, amount=wholesale_price),
+    )
+    spec = DealSpec(
+        parties=(alice, bob, carol),
+        assets=assets,
+        steps=steps,
+        labels={alice: "alice", bob: "bob", carol: "carol"},
+        nonce=nonce,
+    )
+    return spec, keys
+
+
+def altcoin_brokered_deal(
+    ticket_count: int = 2,
+    retail_price: int = 101,
+    wholesale_price: int = 100,
+    altcoin_rate: int = 2,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair]]:
+    """The §5.1 decentralization example, made concrete.
+
+    Carol owns only altcoins, so "she can go to David to exchange her
+    altcoins for coins, and the deal can commit without parties such
+    as Bob needing to interact with the altcoin blockchain (or even
+    know about it)".  Four parties, three chains:
+
+    * tickets flow Bob -> Alice -> Carol (ticketchain);
+    * Carol pays David ``retail_price·altcoin_rate`` altcoins (altchain);
+    * David pays Alice ``retail_price`` coins, Alice pays Bob
+      ``wholesale_price`` (coinchain).
+
+    No chain is touched by every party — the decentralization property
+    `tests/integration/test_decentralization.py` measures.
+    """
+    keys = make_parties(["alice", "bob", "carol", "david"])
+    alice, bob = keys["alice"].address, keys["bob"].address
+    carol, david = keys["carol"].address, keys["david"].address
+    tickets = tuple(f"ticket-{i}" for i in range(ticket_count))
+    alt_amount = retail_price * altcoin_rate
+    assets = (
+        Asset(asset_id="bob-tickets", chain_id="ticketchain", token="tickets",
+              owner=bob, token_ids=tickets),
+        Asset(asset_id="carol-altcoins", chain_id="altchain", token="altcoins",
+              owner=carol, amount=alt_amount),
+        Asset(asset_id="david-coins", chain_id="coinchain", token="coins",
+              owner=david, amount=retail_price),
+    )
+    steps = (
+        TransferStep(asset_id="bob-tickets", giver=bob, receiver=alice, token_ids=tickets),
+        TransferStep(asset_id="bob-tickets", giver=alice, receiver=carol, token_ids=tickets),
+        TransferStep(asset_id="carol-altcoins", giver=carol, receiver=david, amount=alt_amount),
+        TransferStep(asset_id="david-coins", giver=david, receiver=alice, amount=retail_price),
+        TransferStep(asset_id="david-coins", giver=alice, receiver=bob, amount=wholesale_price),
+    )
+    spec = DealSpec(
+        parties=(alice, bob, carol, david),
+        assets=assets,
+        steps=steps,
+        labels={alice: "alice", bob: "bob", carol: "carol", david: "david"},
+        nonce=nonce,
+    )
+    return spec, keys
+
+
+@dataclass(frozen=True)
+class SealedBid:
+    """A commit-reveal bid (§9 footnote: 'a commit-reveal pattern')."""
+
+    bidder: str
+    commitment: bytes
+
+    @staticmethod
+    def seal(bidder: str, value: int, salt: bytes) -> "SealedBid":
+        """Commit to ``value`` without revealing it."""
+        return SealedBid(
+            bidder=bidder,
+            commitment=commitment(value.to_bytes(16, "big"), salt),
+        )
+
+    def check_reveal(self, value: int, salt: bytes) -> bool:
+        """Verify a claimed (value, salt) opens this commitment."""
+        return commitment(value.to_bytes(16, "big"), salt) == self.commitment
+
+
+def auction_deal(
+    bids: dict[str, int] | None = None,
+    nonce: bytes = b"",
+) -> tuple[DealSpec, dict[str, KeyPair], str]:
+    """The §9 auction as a deal.  Returns (spec, keys, winner label).
+
+    Alice auctions one ticket.  Each bidder escrows its bid; the deal
+    routes every bid through Alice, returns the losing bids, forwards
+    the ticket to the winner, and keeps the winning bid with Alice.
+    The bid comparison itself happens at clearing time via
+    :class:`SealedBid` commitments (ties broken by label order).
+    """
+    bids = dict(bids or {"bob": 10, "carol": 12})
+    if len(bids) < 2:
+        raise MalformedDealError("an auction needs at least two bidders")
+    labels = ["alice"] + sorted(bids)
+    keys = make_parties(labels)
+    alice = keys["alice"].address
+
+    # Commit-reveal: every bidder seals, then opens; the clearing
+    # service checks the openings before building the deal.
+    sealed = {
+        label: SealedBid.seal(label, value, salt=label.encode("utf-8"))
+        for label, value in bids.items()
+    }
+    for label, value in bids.items():
+        if not sealed[label].check_reveal(value, label.encode("utf-8")):
+            raise MalformedDealError(f"bid reveal failed for {label}")
+    winner = max(sorted(bids), key=lambda label: bids[label])
+
+    assets = [
+        Asset(
+            asset_id="alice-ticket",
+            chain_id="ticketchain",
+            token="tickets",
+            owner=alice,
+            token_ids=("auction-ticket",),
+        )
+    ]
+    steps = [
+        TransferStep(
+            asset_id="alice-ticket",
+            giver=alice,
+            receiver=keys[winner].address,
+            token_ids=("auction-ticket",),
+        )
+    ]
+    for label in sorted(bids):
+        bidder = keys[label].address
+        asset_id = f"{label}-bid"
+        assets.append(
+            Asset(
+                asset_id=asset_id,
+                chain_id="coinchain",
+                token="coins",
+                owner=bidder,
+                amount=bids[label],
+            )
+        )
+        steps.append(
+            TransferStep(asset_id=asset_id, giver=bidder, receiver=alice, amount=bids[label])
+        )
+        if label != winner:
+            # Alice returns the losing bid.
+            steps.append(
+                TransferStep(asset_id=asset_id, giver=alice, receiver=bidder, amount=bids[label])
+            )
+    spec = DealSpec(
+        parties=tuple(keys[label].address for label in labels),
+        assets=tuple(assets),
+        steps=tuple(steps),
+        labels={keys[label].address: label for label in labels},
+        nonce=nonce,
+    )
+    return spec, keys, winner

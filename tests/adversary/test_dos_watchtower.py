@@ -1,0 +1,61 @@
+"""Tests for the §5.3 offline-window attack and the watchtower fix."""
+
+from repro.adversary.dos import offline_window_scenario
+from repro.core.escrow import EscrowState
+from repro.core.outcomes import evaluate_outcome
+
+
+def labels_to_addresses(result):
+    return {result.spec.label(p): p for p in result.spec.parties}
+
+
+def test_offline_window_lets_bob_win_both_assets():
+    scenario = offline_window_scenario(seed=0)
+    result = scenario.result
+    who = labels_to_addresses(result)
+    # Tickets refunded to Bob, coins released (Bob paid).
+    assert result.escrow_states["bob-tickets"] is EscrowState.REFUNDED
+    assert result.escrow_states["carol-coins"] is EscrowState.RELEASED
+    tickets = result.final_holdings[("ticketchain", "tickets")]
+    coins = result.final_holdings[("coinchain", "coins")]
+    assert tickets[who["bob"]] == {"ticket-0", "ticket-1"}
+    assert coins[who["bob"]] == 100
+    assert coins[who["carol"]] == 0  # Carol paid and got nothing
+
+
+def test_outcome_is_technically_safe_for_compliant_bob():
+    # The paper: "Technically this outcome is correct because Alice
+    # and Carol have deviated from the protocol by not claiming their
+    # assets in time."
+    scenario = offline_window_scenario(seed=0)
+    result = scenario.result
+    who = labels_to_addresses(result)
+    report = evaluate_outcome(result, compliant={who["bob"]})
+    assert report.safety_ok
+    # And the victims' verdicts show the loss.
+    assert not report.verdicts[who["carol"]].received_all
+    assert report.verdicts[who["carol"]].relinquished_any
+
+
+def test_watchtowers_restore_the_commit():
+    scenario = offline_window_scenario(with_watchtowers=True, seed=0)
+    result = scenario.result
+    assert result.escrow_states["bob-tickets"] is EscrowState.RELEASED
+    assert result.escrow_states["carol-coins"] is EscrowState.RELEASED
+    report = evaluate_outcome(result)
+    assert report.safety_ok
+    assert report.strong_liveness_ok
+
+
+def test_short_window_is_harmless():
+    # If the victims come back within Δ of Bob's vote, they forward it
+    # in time and the deal commits.
+    scenario = offline_window_scenario(offline_duration=3.0, seed=0)
+    result = scenario.result
+    assert result.all_committed()
+
+
+def test_scenario_metadata():
+    scenario = offline_window_scenario(offline_from=5.0, offline_duration=10.0)
+    assert scenario.victims == ["alice", "carol"]
+    assert scenario.offline_until == 15.0

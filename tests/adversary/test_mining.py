@@ -1,0 +1,106 @@
+"""Tests for the §6.2 private-mining attack."""
+
+import pytest
+
+from repro.adversary.mining import (
+    PrivateMiningAttack,
+    analytic_race_bound,
+    attack_success_rate,
+)
+from repro.consensus.bft import DealStatus
+from repro.core.proofs import verify_pow_proof
+from repro.chain.contracts import CallContext, _TxJournal
+from repro.chain.gas import GasMeter
+from repro.chain.ledger import Chain
+from repro.crypto.keys import KeyPair, Wallet
+from repro.sim.simulator import Simulator
+
+DEAL = b"mining-deal" + b"\x00" * 21
+KEYS = [KeyPair.from_label(f"m{i}") for i in range(3)]
+PLIST = tuple(kp.address for kp in KEYS)
+
+
+def make_ctx():
+    chain = Chain("c", Simulator(), Wallet())
+    return CallContext(chain, PLIST[0], _TxJournal(GasMeter()), 1)
+
+
+def attack(alpha, confirmations, grace_blocks=1, seed=0):
+    return PrivateMiningAttack(
+        deal_id=DEAL, plist=PLIST, attacker=PLIST[0],
+        alpha=alpha, confirmations=confirmations,
+        grace_blocks=grace_blocks, seed=seed,
+    )
+
+
+def test_zero_confirmations_always_succeeds():
+    outcome = attack(alpha=0.1, confirmations=0).run()
+    assert outcome.succeeded
+    assert outcome.fake_proof is not None
+
+
+def test_successful_attack_produces_verifying_contradictory_proofs():
+    # Find a seed where a 30% attacker beats 2 confirmations.
+    for seed in range(50):
+        outcome = attack(alpha=0.3, confirmations=2, seed=seed).run()
+        if outcome.succeeded:
+            break
+    assert outcome.succeeded
+    ctx = make_ctx()
+    # The fake abort proof verifies...
+    assert verify_pow_proof(ctx, outcome.fake_proof, DEAL, PLIST, 2) is DealStatus.ABORTED
+    # ...and so does the honest commit proof: contradictory outcomes,
+    # both "proven" — the paper's point about PoW non-finality.
+    honest = outcome.honest_proof
+    assert honest is not None
+    assert verify_pow_proof(make_ctx(), honest, DEAL, PLIST, 0) is DealStatus.COMMITTED
+
+
+def test_failed_attack_has_no_fake_proof():
+    for seed in range(50):
+        outcome = attack(alpha=0.05, confirmations=6, seed=seed).run()
+        if not outcome.succeeded:
+            break
+    assert not outcome.succeeded
+    assert outcome.fake_proof is None
+
+
+def test_success_rate_decreases_with_confirmations():
+    rates = [
+        attack_success_rate(DEAL, PLIST, PLIST[0], alpha=0.3,
+                            confirmations=c, trials=100)
+        for c in (0, 1, 2, 4)
+    ]
+    assert rates[0] == 1.0
+    assert rates[0] >= rates[1] >= rates[2] >= rates[3]
+    assert rates[3] < rates[1]
+
+
+def test_success_rate_increases_with_alpha():
+    rates = [
+        attack_success_rate(DEAL, PLIST, PLIST[0], alpha=alpha,
+                            confirmations=3, trials=100)
+        for alpha in (0.1, 0.3, 0.45)
+    ]
+    assert rates[0] <= rates[1] <= rates[2]
+
+
+def test_analytic_bound_shape():
+    assert analytic_race_bound(0.0, 3) == 0.0
+    assert analytic_race_bound(0.5, 0) == 1.0
+    assert analytic_race_bound(0.25, 2) == pytest.approx((1 / 3) ** 3)
+    # Monotone decreasing in c.
+    assert analytic_race_bound(0.3, 1) > analytic_race_bound(0.3, 4)
+
+
+def test_empirical_rate_decays_geometrically():
+    # Successive success-rate ratios should be roughly stable (a
+    # geometric decay), matching the analytic curve's shape.
+    rates = [
+        attack_success_rate(DEAL, PLIST, PLIST[0], alpha=0.25,
+                            confirmations=c, trials=400)
+        for c in (1, 2, 3, 4)
+    ]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+    ratios = [b / a for a, b in zip(rates, rates[1:]) if a > 0]
+    assert ratios and all(r < 0.85 for r in ratios)

@@ -1,0 +1,59 @@
+"""Additional cost-analysis coverage: batch pricing and 2PC contrast."""
+
+import pytest
+
+from repro.chain.gas import GasMeter, GasSchedule
+
+
+class TestBatchPricing:
+    def test_batch_of_one_costs_a_full_verification(self):
+        meter = GasMeter()
+        meter.charge_sig_verify_batch(1)
+        assert meter.consumed == GasSchedule.paper().sig_verify
+        assert meter.sig_verify_count == 1
+
+    def test_batch_marginal_cost(self):
+        schedule = GasSchedule.paper()
+        meter = GasMeter()
+        meter.charge_sig_verify_batch(5)
+        expected = schedule.sig_verify + 4 * schedule.sig_verify_batch_extra
+        assert meter.consumed == expected
+        assert meter.sig_verify_count == 5
+
+    def test_empty_batch_free(self):
+        meter = GasMeter()
+        meter.charge_sig_verify_batch(0)
+        assert meter.consumed == 0
+
+    def test_batch_cheaper_than_individual(self):
+        individual = GasMeter()
+        individual.charge_sig_verify(10)
+        batched = GasMeter()
+        batched.charge_sig_verify_batch(10)
+        assert batched.consumed < individual.consumed
+
+
+class TestTrustContrast:
+    """§8's federated-database contrast as numbers."""
+
+    def test_coordinator_cheaper_than_both_protocols(self):
+        from repro.analysis.costs import commit_signature_verifications
+        from repro.analysis.sweep import run_deal
+        from repro.baselines.two_phase_commit import TwoPhaseCommitExecutor
+        from repro.core.config import ProtocolKind
+        from repro.workloads.scenarios import ticket_broker_deal
+
+        spec, keys = ticket_broker_deal(nonce=b"trust-1")
+        timelock = run_deal(spec, keys, ProtocolKind.TIMELOCK)
+        spec2, keys2 = ticket_broker_deal(nonce=b"trust-2")
+        cbc = run_deal(spec2, keys2, ProtocolKind.CBC, validators_f=1)
+        spec3, keys3 = ticket_broker_deal(nonce=b"trust-3")
+        tpc = TwoPhaseCommitExecutor(spec3, keys3).run()
+        # Trust saves every signature verification.
+        assert tpc.gas_total().sig_verify == 0
+        assert commit_signature_verifications(timelock) > 0
+        assert commit_signature_verifications(cbc) > 0
+        # And the overall commit bill is the ordering the paper implies:
+        # trusted < adversarial.
+        tl_commit = timelock.gas_by_phase()["commit"].total
+        assert tpc.commit_phase_gas().total < tl_commit

@@ -1,0 +1,71 @@
+"""Tests for table rendering and sweep helpers."""
+
+import math
+
+from repro.analysis.sweep import (
+    fit_linear_slope,
+    fit_power_law,
+    geometric_decay_rate,
+    sweep,
+)
+from repro.analysis.tables import format_float, render_matrix, render_table
+from repro.workloads.scenarios import ticket_broker_deal
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_render_matrix_matches_figure_1(self):
+        spec, _ = ticket_broker_deal()
+        out = render_matrix(spec, title="Figure 1")
+        assert "alice" in out and "bob" in out and "carol" in out
+        assert "100 coins" in out
+        assert "101 coins" in out
+        assert "tickets[" in out
+
+    def test_format_float(self):
+        assert format_float(None) == "-"
+        assert format_float(1.234, 1) == "1.2"
+
+
+class TestSweep:
+    def test_sweep_adds_x(self):
+        records = sweep([1, 2, 3], lambda v: {"y": v * 2})
+        assert records == [{"y": 2, "x": 1}, {"y": 4, "x": 2}, {"y": 6, "x": 3}]
+
+    def test_sweep_respects_existing_x(self):
+        records = sweep([1], lambda v: {"x": 99, "y": 0})
+        assert records[0]["x"] == 99
+
+    def test_fit_power_law_recovers_exponent(self):
+        xs = [1, 2, 4, 8, 16]
+        for exponent in (1.0, 2.0, 3.0):
+            ys = [x**exponent for x in xs]
+            assert abs(fit_power_law(xs, ys) - exponent) < 1e-9
+
+    def test_fit_power_law_with_constant(self):
+        xs = [2, 4, 8]
+        ys = [5 * x**2 for x in xs]
+        assert abs(fit_power_law(xs, ys) - 2.0) < 1e-9
+
+    def test_fit_power_law_degenerate(self):
+        assert math.isnan(fit_power_law([1], [1]))
+        assert math.isnan(fit_power_law([0, 0], [1, 1]))
+
+    def test_fit_linear_slope(self):
+        assert abs(fit_linear_slope([0, 1, 2], [3, 5, 7]) - 2.0) < 1e-9
+
+    def test_geometric_decay_rate(self):
+        series = [1.0, 0.5, 0.25, 0.125]
+        assert abs(geometric_decay_rate(series) - 0.5) < 1e-9
+        assert geometric_decay_rate([1.0, 0.0]) == 0.0
+        assert geometric_decay_rate([]) == 0.0

@@ -1,0 +1,68 @@
+"""Tests for phase-delay accounting (Figure 7)."""
+
+import pytest
+
+from repro.analysis.sweep import run_deal
+from repro.analysis.timing import commit_latency_in_delta, phase_delays_in_delta
+from repro.core.config import ProtocolKind
+from repro.core.executor import auto_config
+from repro.workloads.generators import ring_deal
+from repro.workloads.scenarios import ticket_broker_deal
+
+
+@pytest.fixture(scope="module")
+def timelock_result():
+    spec, keys = ticket_broker_deal()
+    return run_deal(spec, keys, ProtocolKind.TIMELOCK)
+
+
+def test_phase_delays_figure7_bounds(timelock_result):
+    delays = phase_delays_in_delta(timelock_result)
+    # Figure 7: escrow within Δ (one observable state change).
+    assert delays.escrow is not None and delays.escrow <= 1.0
+    # Validation within Δ of the last transfer.
+    assert delays.validation is not None and delays.validation <= 1.0
+    assert delays.total > 0
+
+
+def test_as_dict_round_trip(timelock_result):
+    delays = phase_delays_in_delta(timelock_result)
+    d = delays.as_dict()
+    assert d["escrow"] == delays.escrow
+    assert d["commit"] == delays.commit
+
+
+def test_timelock_commit_latency_grows_with_n():
+    # Figure 7: commit O(n)Δ when votes propagate by forwarding.
+    latencies = []
+    for n in (3, 6, 9):
+        spec, keys = ring_deal(n=n)
+        result = run_deal(spec, keys, ProtocolKind.TIMELOCK)
+        assert result.all_committed()
+        latencies.append(commit_latency_in_delta(result))
+    assert latencies[0] < latencies[1] < latencies[2]
+
+
+def test_cbc_commit_latency_constant_in_n():
+    # Figure 7: CBC commit O(1)Δ — votes go to the CBC in parallel.
+    latencies = []
+    for n in (3, 6, 9):
+        spec, keys = ring_deal(n=n)
+        result = run_deal(spec, keys, ProtocolKind.CBC, validators_f=1)
+        assert result.all_committed()
+        latencies.append(commit_latency_in_delta(result))
+    # No growth trend: the largest deal commits within a small
+    # constant factor of the smallest.
+    assert max(latencies) <= latencies[0] * 2 + 1e-9
+
+
+def test_altruistic_timelock_commit_is_constant():
+    # Figure 7's other timelock case: direct votes -> Δ, not O(n)Δ.
+    latencies = []
+    for n in (3, 6, 9):
+        spec, keys = ring_deal(n=n)
+        config = auto_config(spec, ProtocolKind.TIMELOCK, altruistic_votes=True)
+        result = run_deal(spec, keys, ProtocolKind.TIMELOCK, config=config)
+        assert result.all_committed()
+        latencies.append(commit_latency_in_delta(result))
+    assert max(latencies) <= latencies[0] * 2 + 1e-9

@@ -1,0 +1,128 @@
+"""Unit tests for the hashed timelock contract."""
+
+import pytest
+
+from repro.baselines.htlc import HashedTimelockContract
+from repro.crypto.hashing import sha256
+from tests.conftest import call
+
+SECRET = b"the-swap-secret"
+HASHLOCK = sha256(SECRET)
+
+
+@pytest.fixture
+def htlc(chain, coin):
+    contract = HashedTimelockContract("htlc")
+    chain.publish(contract)
+    return contract
+
+
+def lock_coins(chain, htlc, alice, bob, deadline=100.0, amount=50):
+    call(chain, alice.address, "coin", "approve", spender=htlc.address, amount=amount)
+    return call(
+        chain, alice.address, "htlc", "lock",
+        lock_id="L1", token="coin", recipient=bob.address,
+        hashlock=HASHLOCK, deadline=deadline, amount=amount,
+    )
+
+
+def advance_to(simulator, time):
+    simulator.schedule_at(time, lambda: None)
+    simulator.run()
+
+
+def test_lock_takes_custody(chain, htlc, coin, alice, bob):
+    receipt = lock_coins(chain, htlc, alice, bob)
+    assert receipt.ok
+    assert coin.peek_balance(alice.address) == 950
+    assert coin.peek_balance(htlc.address) == 50
+    assert htlc.peek_lock("L1")["state"] == "locked"
+
+
+def test_claim_with_preimage(chain, htlc, coin, alice, bob):
+    lock_coins(chain, htlc, alice, bob)
+    receipt = call(chain, bob.address, "htlc", "claim", lock_id="L1", preimage=SECRET)
+    assert receipt.ok
+    assert coin.peek_balance(bob.address) == 1050
+    assert htlc.peek_lock("L1")["state"] == "claimed"
+    # The preimage is revealed on-chain.
+    assert htlc.peek_lock("L1")["preimage"] == SECRET
+    assert any(e.name == "Claimed" for e in receipt.events)
+
+
+def test_claim_with_wrong_preimage(chain, htlc, alice, bob):
+    lock_coins(chain, htlc, alice, bob)
+    receipt = call(chain, bob.address, "htlc", "claim", lock_id="L1", preimage=b"wrong")
+    assert not receipt.ok
+
+
+def test_only_recipient_can_claim(chain, htlc, alice, bob, carol):
+    lock_coins(chain, htlc, alice, bob)
+    receipt = call(chain, carol.address, "htlc", "claim", lock_id="L1", preimage=SECRET)
+    assert not receipt.ok
+
+
+def test_claim_after_deadline_rejected(simulator, chain, htlc, alice, bob):
+    lock_coins(chain, htlc, alice, bob, deadline=10.0)
+    advance_to(simulator, 11.0)
+    receipt = call(chain, bob.address, "htlc", "claim", lock_id="L1", preimage=SECRET)
+    assert not receipt.ok
+
+
+def test_refund_after_deadline(simulator, chain, htlc, coin, alice, bob):
+    lock_coins(chain, htlc, alice, bob, deadline=10.0)
+    advance_to(simulator, 11.0)
+    receipt = call(chain, alice.address, "htlc", "refund", lock_id="L1")
+    assert receipt.ok
+    assert coin.peek_balance(alice.address) == 1000
+
+
+def test_refund_before_deadline_rejected(chain, htlc, alice, bob):
+    lock_coins(chain, htlc, alice, bob, deadline=100.0)
+    receipt = call(chain, alice.address, "htlc", "refund", lock_id="L1")
+    assert not receipt.ok
+
+
+def test_claim_then_refund_rejected(simulator, chain, htlc, alice, bob):
+    lock_coins(chain, htlc, alice, bob, deadline=10.0)
+    call(chain, bob.address, "htlc", "claim", lock_id="L1", preimage=SECRET)
+    advance_to(simulator, 11.0)
+    receipt = call(chain, alice.address, "htlc", "refund", lock_id="L1")
+    assert not receipt.ok
+
+
+def test_duplicate_lock_id_rejected(chain, htlc, alice, bob):
+    lock_coins(chain, htlc, alice, bob)
+    call(chain, alice.address, "coin", "approve", spender=htlc.address, amount=10)
+    receipt = call(
+        chain, alice.address, "htlc", "lock",
+        lock_id="L1", token="coin", recipient=bob.address,
+        hashlock=HASHLOCK, deadline=50.0, amount=10,
+    )
+    assert not receipt.ok
+
+
+def test_lock_with_past_deadline_rejected(simulator, chain, htlc, alice, bob):
+    advance_to(simulator, 50.0)
+    receipt = lock_coins(chain, htlc, alice, bob, deadline=10.0)
+    assert not receipt.ok
+
+
+def test_nft_lock_and_claim(chain, tickets, alice, bob, carol):
+    htlc = HashedTimelockContract("htlc-nft")
+    chain.publish(htlc)
+    call(chain, bob.address, "tickets", "approve", spender=htlc.address, token_id="t0")
+    receipt = call(
+        chain, bob.address, "htlc-nft", "lock",
+        lock_id="N1", token="tickets", recipient=carol.address,
+        hashlock=HASHLOCK, deadline=100.0, token_ids=("t0",),
+    )
+    assert receipt.ok
+    assert tickets.peek_owner("t0") == htlc.address
+    call(chain, carol.address, "htlc-nft", "claim", lock_id="N1", preimage=SECRET)
+    assert tickets.peek_owner("t0") == carol.address
+
+
+def test_unknown_lock_operations(chain, htlc, alice):
+    assert not call(chain, alice.address, "htlc", "claim", lock_id="ghost", preimage=SECRET).ok
+    assert not call(chain, alice.address, "htlc", "refund", lock_id="ghost").ok

@@ -1,0 +1,102 @@
+"""Tests for the PODC'18 atomic swap baseline."""
+
+import pytest
+
+from repro.baselines.swap import SwapExecutor, SwapParty, is_swap_expressible, ring_order
+from repro.errors import SwapError
+from repro.workloads.generators import clique_deal, ring_deal
+from repro.workloads.scenarios import auction_deal, ticket_broker_deal
+
+
+class TestExpressibility:
+    def test_ring_is_expressible(self):
+        spec, _ = ring_deal(n=4)
+        assert is_swap_expressible(spec)
+
+    def test_broker_deal_is_not(self):
+        # The paper's central claim: Alice starts with nothing to swap.
+        spec, _ = ticket_broker_deal()
+        assert not is_swap_expressible(spec)
+
+    def test_auction_is_not(self):
+        spec, _, _ = auction_deal()
+        assert not is_swap_expressible(spec)
+
+    def test_ring_order_recovers_cycle(self):
+        spec, _ = ring_deal(n=5)
+        order = ring_order(spec)
+        assert len(order) == 5
+        assert order[0] == spec.parties[0]
+
+    def test_clique_rejected_as_single_cycle(self):
+        spec, _ = clique_deal(n=3)
+        with pytest.raises(SwapError):
+            ring_order(spec)
+
+    def test_ring_order_rejects_inexpressible(self):
+        spec, _ = ticket_broker_deal()
+        with pytest.raises(SwapError):
+            ring_order(spec)
+
+
+class TestSwapRuns:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_all_compliant_swap_completes(self, n):
+        spec, keys = ring_deal(n=n)
+        parties = [SwapParty(kp, label) for label, kp in keys.items()]
+        result = SwapExecutor(spec, parties).run()
+        assert result.completed
+        assert all(state == "claimed" for state in result.lock_states.values())
+        # Everyone ends with the predecessor's coins.
+        for i in range(n):
+            giver = spec.parties[i]
+            receiver = spec.parties[(i + 1) % n]
+            asset = spec.assets[i]
+            holdings = result.final_holdings[(asset.chain_id, asset.token)]
+            assert holdings[receiver] == asset.amount
+            if asset.chain_id != spec.assets[(i - 1) % n].chain_id:
+                assert holdings[giver] == 0
+
+    def test_stopping_party_triggers_all_refunds(self):
+        spec, keys = ring_deal(n=4)
+        parties = [
+            SwapParty(kp, label, stop_before_lock=(label == "p2"))
+            for label, kp in keys.items()
+        ]
+        result = SwapExecutor(spec, parties).run()
+        assert not result.completed
+        # All-or-nothing: every deployed lock refunded, holdings restored.
+        assert set(result.lock_states.values()) <= {"refunded", "absent"}
+        assert result.final_holdings == result.initial_holdings
+
+    def test_leader_stopping_means_nothing_deploys(self):
+        spec, keys = ring_deal(n=3)
+        parties = [
+            SwapParty(kp, label, stop_before_lock=(label == "p0"))
+            for label, kp in keys.items()
+        ]
+        result = SwapExecutor(spec, parties).run()
+        assert not result.completed
+        assert all(state == "absent" for state in result.lock_states.values())
+
+    def test_swap_uses_no_signature_verifications(self):
+        # Hashlocks replace signatures: the on-chain cost is writes only.
+        spec, keys = ring_deal(n=3)
+        parties = [SwapParty(kp, label) for label, kp in keys.items()]
+        result = SwapExecutor(spec, parties).run()
+        assert result.gas_total().sig_verify == 0
+
+    def test_swap_gas_scales_linearly(self):
+        totals = []
+        for n in (2, 4, 6):
+            spec, keys = ring_deal(n=n)
+            parties = [SwapParty(kp, label) for label, kp in keys.items()]
+            totals.append(SwapExecutor(spec, parties).run().gas_total().sstore)
+        # Writes grow proportionally with n (each party: lock+claim).
+        assert totals[1] - totals[0] == totals[2] - totals[1]
+
+    def test_party_list_must_match(self):
+        spec, keys = ring_deal(n=3)
+        parties = [SwapParty(kp, label) for label, kp in list(keys.items())[:2]]
+        with pytest.raises(SwapError):
+            SwapExecutor(spec, parties)

@@ -1,0 +1,56 @@
+"""Tests for the classical 2PC baseline."""
+
+import pytest
+
+from repro.baselines.two_phase_commit import TwoPhaseCommitExecutor
+from repro.core.escrow import EscrowState
+from repro.errors import ConfigurationError
+from repro.workloads.generators import ring_deal
+from repro.workloads.scenarios import ticket_broker_deal
+
+
+def test_commit_path():
+    spec, keys = ticket_broker_deal()
+    result = TwoPhaseCommitExecutor(spec, keys).run()
+    assert result.decision == "commit"
+    assert all(state is EscrowState.RELEASED for state in result.escrow_states.values())
+
+
+def test_refusal_forces_global_abort():
+    spec, keys = ticket_broker_deal()
+    result = TwoPhaseCommitExecutor(spec, keys, voters_refuse={"carol"}).run()
+    assert result.decision == "abort"
+    assert all(state is EscrowState.REFUNDED for state in result.escrow_states.values())
+
+
+def test_no_signature_verifications_on_chain():
+    # The trusted coordinator replaces all cryptographic checking:
+    # this is what the paper's trust contrast is about.
+    spec, keys = ticket_broker_deal()
+    result = TwoPhaseCommitExecutor(spec, keys).run()
+    assert result.gas_total().sig_verify == 0
+
+
+def test_resolution_writes_linear_in_m():
+    small, small_keys = ring_deal(n=2)
+    large, large_keys = ring_deal(n=6)
+    small_writes = TwoPhaseCommitExecutor(small, small_keys).run().commit_phase_gas().sstore
+    large_writes = TwoPhaseCommitExecutor(large, large_keys).run().commit_phase_gas().sstore
+    # m triples (2 -> 6 assets); resolution writes must scale with it.
+    assert large_writes == 3 * small_writes
+
+
+def test_only_coordinator_can_resolve():
+    spec, keys = ticket_broker_deal()
+    executor = TwoPhaseCommitExecutor(spec, keys)
+    result = executor.run()
+    # All successful resolutions were signed by the coordinator.
+    for receipt in result.receipts:
+        if receipt.ok and receipt.tx.method == "resolve":
+            assert receipt.tx.sender == executor.coordinator_key.address
+
+
+def test_keys_must_match_plist():
+    spec, keys = ticket_broker_deal()
+    with pytest.raises(ConfigurationError):
+        TwoPhaseCommitExecutor(spec, {"alice": keys["alice"]})

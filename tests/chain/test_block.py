@@ -1,0 +1,52 @@
+"""Unit tests for block structure."""
+
+from repro.chain.block import Block
+from repro.chain.gas import GasBreakdown
+from repro.chain.tx import Receipt, Transaction, TxStatus
+from repro.crypto.keys import KeyPair
+
+
+def make_receipt(value: str) -> Receipt:
+    tx = Transaction(
+        sender=KeyPair.from_label("x").address,
+        contract="c",
+        method="m",
+        args={"v": value},
+    )
+    return Receipt(
+        tx=tx,
+        status=TxStatus.SUCCESS,
+        gas=GasBreakdown.zero(),
+        block_height=1,
+        executed_at=1.0,
+    )
+
+
+def test_block_hash_changes_with_content():
+    a = Block.build("c", 1, b"\x00" * 32, [make_receipt("a")], 1.0)
+    b = Block.build("c", 1, b"\x00" * 32, [make_receipt("b")], 1.0)
+    assert a.hash() != b.hash()
+
+
+def test_block_hash_changes_with_parent():
+    a = Block.build("c", 1, b"\x00" * 32, [], 1.0)
+    b = Block.build("c", 1, b"\x01" * 32, [], 1.0)
+    assert a.hash() != b.hash()
+
+
+def test_block_hash_changes_with_chain_id():
+    a = Block.build("c1", 1, b"\x00" * 32, [], 1.0)
+    b = Block.build("c2", 1, b"\x00" * 32, [], 1.0)
+    assert a.hash() != b.hash()
+
+
+def test_empty_block_valid():
+    block = Block.build("c", 0, b"\x00" * 32, [], 0.0)
+    assert block.receipts == ()
+    assert block.height == 0
+
+
+def test_receipts_preserved_in_order():
+    receipts = [make_receipt(str(i)) for i in range(5)]
+    block = Block.build("c", 1, b"\x00" * 32, receipts, 1.0)
+    assert [r.tx.args["v"] for r in block.receipts] == ["0", "1", "2", "3", "4"]

@@ -1,0 +1,196 @@
+"""Unit tests for the contract runtime: storage, revert, metering."""
+
+import pytest
+
+from repro.chain.contracts import CallContext, Contract
+from repro.chain.ledger import Chain
+from repro.chain.tx import Transaction, TxStatus
+from repro.crypto.keys import KeyPair, Wallet
+from repro.errors import ContractError, UnknownContractError
+from repro.sim.simulator import Simulator
+
+
+class Counter(Contract):
+    """A test contract exercising storage, events, and require."""
+
+    EXPORTS = ("bump", "fail_after_write", "read", "emit_event", "call_other")
+
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.values = self.storage("values")
+
+    def bump(self, ctx, key: str):
+        current = self.values.get(key, 0)
+        self.values[key] = current + 1
+        return current + 1
+
+    def fail_after_write(self, ctx, key: str):
+        self.values[key] = 999
+        ctx.require(False, "deliberate failure")
+
+    def read(self, ctx, key: str):
+        return self.values.get(key, 0)
+
+    def emit_event(self, ctx):
+        ctx.emit(self, "Pinged", who=ctx.sender)
+        return True
+
+    def call_other(self, ctx, target: str, key: str):
+        return ctx.call(self, target, "bump", key=key)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    wallet = Wallet()
+    keypair = KeyPair.from_label("user")
+    wallet.register(keypair)
+    chain = Chain("c", sim, wallet)
+    contract = Counter()
+    chain.publish(contract)
+    return sim, chain, contract, keypair
+
+
+def run(chain, keypair, contract, method, **args):
+    return chain.execute_now(
+        Transaction(sender=keypair.address, contract=contract, method=method, args=args)
+    )
+
+
+def test_storage_write_and_read(setup):
+    _, chain, contract, keypair = setup
+    receipt = run(chain, keypair, "counter", "bump", key="x")
+    assert receipt.ok
+    assert receipt.return_value == 1
+    assert contract.values.peek("x") == 1
+
+
+def test_revert_rolls_back_storage(setup):
+    _, chain, contract, keypair = setup
+    run(chain, keypair, "counter", "bump", key="x")
+    receipt = run(chain, keypair, "counter", "fail_after_write", key="x")
+    assert receipt.status is TxStatus.REVERTED
+    assert "deliberate failure" in receipt.error
+    assert contract.values.peek("x") == 1  # rolled back from 999
+
+
+def test_revert_rolls_back_new_keys(setup):
+    _, chain, contract, keypair = setup
+    receipt = run(chain, keypair, "counter", "fail_after_write", key="fresh")
+    assert not receipt.ok
+    assert contract.values.peek("fresh") is None
+
+
+def test_gas_charged_for_writes(setup):
+    _, chain, _, keypair = setup
+    receipt = run(chain, keypair, "counter", "bump", key="x")
+    assert receipt.gas.sstore == 1
+    assert receipt.gas.sload >= 1
+
+
+def test_reverted_tx_still_reports_gas(setup):
+    _, chain, _, keypair = setup
+    receipt = run(chain, keypair, "counter", "fail_after_write", key="x")
+    assert receipt.gas.total > 0
+
+
+def test_unknown_method_rejected(setup):
+    _, chain, _, keypair = setup
+    receipt = run(chain, keypair, "counter", "not_exported")
+    assert not receipt.ok
+
+
+def test_unknown_contract_raises(setup):
+    _, chain, _, keypair = setup
+    with pytest.raises(UnknownContractError):
+        chain.contract("ghost")
+
+
+def test_events_collected_in_receipt(setup):
+    _, chain, _, keypair = setup
+    receipt = run(chain, keypair, "counter", "emit_event")
+    assert len(receipt.events) == 1
+    event = receipt.events[0]
+    assert event.name == "Pinged"
+    assert event.fields["who"] == keypair.address
+    assert event.matches("Pinged", who=keypair.address)
+
+
+def test_events_dropped_on_revert(setup):
+    sim, chain, contract, keypair = setup
+
+    class Emitter(Contract):
+        EXPORTS = ("emit_then_fail",)
+
+        def emit_then_fail(self, ctx):
+            ctx.emit(self, "Phantom")
+            ctx.require(False, "no")
+
+    chain.publish(Emitter("emitter"))
+    receipt = run(chain, keypair, "emitter", "emit_then_fail")
+    assert not receipt.ok
+    assert receipt.events == ()
+
+
+def test_cross_contract_call_shares_journal(setup):
+    _, chain, contract, keypair = setup
+    other = Counter("other")
+    chain.publish(other)
+
+    class Wrapper(Contract):
+        EXPORTS = ("bump_other_then_fail",)
+
+        def bump_other_then_fail(self, ctx):
+            ctx.call(self, "other", "bump", key="k")
+            ctx.require(False, "revert everything")
+
+    chain.publish(Wrapper("wrapper"))
+    receipt = run(chain, keypair, "wrapper", "bump_other_then_fail")
+    assert not receipt.ok
+    assert other.values.peek("k") is None  # callee's write also undone
+
+
+def test_cross_contract_call_sender_is_caller_contract(setup):
+    _, chain, contract, keypair = setup
+
+    class Introspector(Contract):
+        EXPORTS = ("who",)
+
+        def who(self, ctx):
+            return ctx.sender
+
+    class Caller(Contract):
+        EXPORTS = ("ask",)
+
+        def ask(self, ctx):
+            return ctx.call(self, "introspector", "who")
+
+    chain.publish(Introspector("introspector"))
+    caller = Caller("caller")
+    chain.publish(caller)
+    receipt = run(chain, keypair, "caller", "ask")
+    assert receipt.return_value == caller.address
+
+
+def test_contract_addresses_derived_from_name():
+    a = Counter("one")
+    b = Counter("one")
+    c = Counter("two")
+    assert a.address == b.address
+    assert a.address != c.address
+
+
+def test_storage_contains_and_iteration(setup):
+    _, chain, contract, keypair = setup
+    run(chain, keypair, "counter", "bump", key="a")
+    run(chain, keypair, "counter", "bump", key="b")
+    assert contract.values.peek("a") == 1
+    assert len(contract.values) == 2
+    assert [key for key in contract.values] == ["a", "b"]
+    assert contract.values.items() == [("a", 1), ("b", 1)]
+
+
+def test_duplicate_publish_rejected(setup):
+    _, chain, _, _ = setup
+    with pytest.raises(Exception):
+        chain.publish(Counter("counter"))

@@ -1,0 +1,67 @@
+"""Unit tests for gas metering."""
+
+import pytest
+
+from repro.chain.gas import GasBreakdown, GasMeter, GasSchedule
+from repro.errors import OutOfGasError
+
+
+def test_paper_schedule_constants():
+    schedule = GasSchedule.paper()
+    # The §7.1 dominant costs.
+    assert schedule.sstore == 5000
+    assert schedule.sig_verify == 3000
+
+
+def test_meter_charges_by_category():
+    meter = GasMeter()
+    meter.charge_sstore(2)
+    meter.charge_sig_verify(3)
+    meter.charge_sload(1)
+    assert meter.sstore_count == 2
+    assert meter.sig_verify_count == 3
+    assert meter.sload_count == 1
+    assert meter.consumed == 2 * 5000 + 3 * 3000 + 200
+
+
+def test_meter_limit_enforced():
+    meter = GasMeter(limit=9000)
+    meter.charge_sstore()  # 5000
+    with pytest.raises(OutOfGasError):
+        meter.charge_sstore()  # would hit 10000
+
+
+def test_snapshot_freezes_counters():
+    meter = GasMeter()
+    meter.charge_sstore()
+    snap = meter.snapshot()
+    meter.charge_sstore()
+    assert snap.sstore == 1
+    assert meter.sstore_count == 2
+
+
+def test_breakdown_addition():
+    a = GasBreakdown(total=10, sstore=1, sig_verify=2)
+    b = GasBreakdown(total=5, sstore=3, sig_verify=0, sload=7)
+    c = a + b
+    assert c.total == 15
+    assert c.sstore == 4
+    assert c.sig_verify == 2
+    assert c.sload == 7
+
+
+def test_breakdown_zero_identity():
+    a = GasBreakdown(total=10, sstore=1)
+    assert a + GasBreakdown.zero() == a
+
+
+def test_all_charge_kinds_counted():
+    meter = GasMeter()
+    meter.charge_call()
+    meter.charge_compute(4)
+    meter.charge_event(2)
+    snap = meter.snapshot()
+    assert snap.calls == 1
+    assert snap.compute == 4
+    assert snap.events == 2
+    assert snap.total == 700 + 4 * 5 + 2 * 375

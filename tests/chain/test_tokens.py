@@ -1,0 +1,126 @@
+"""Unit tests for the fungible and non-fungible token contracts."""
+
+from tests.conftest import call
+
+
+class TestFungible:
+    def test_mint_and_balance(self, chain, coin, alice):
+        assert coin.peek_balance(alice.address) == 1000
+
+    def test_transfer_moves_balance(self, chain, coin, alice, bob):
+        receipt = call(chain, alice.address, "coin", "transfer", to=bob.address, amount=100)
+        assert receipt.ok
+        assert coin.peek_balance(alice.address) == 900
+        assert coin.peek_balance(bob.address) == 1100
+
+    def test_transfer_insufficient_balance(self, chain, coin, alice, bob):
+        receipt = call(chain, alice.address, "coin", "transfer", to=bob.address, amount=1001)
+        assert not receipt.ok
+        assert "insufficient" in receipt.error
+        assert coin.peek_balance(alice.address) == 1000
+
+    def test_negative_transfer_rejected(self, chain, coin, alice, bob):
+        receipt = call(chain, alice.address, "coin", "transfer", to=bob.address, amount=-5)
+        assert not receipt.ok
+
+    def test_approve_and_transfer_from(self, chain, coin, alice, bob, carol):
+        call(chain, alice.address, "coin", "approve", spender=bob.address, amount=300)
+        receipt = call(
+            chain, bob.address, "coin", "transfer_from",
+            owner=alice.address, to=carol.address, amount=200,
+        )
+        assert receipt.ok
+        assert coin.peek_balance(alice.address) == 800
+        assert coin.peek_balance(carol.address) == 1200
+        # Allowance decremented.
+        assert coin.allowances.peek((alice.address, bob.address)) == 100
+
+    def test_transfer_from_without_allowance(self, chain, coin, alice, bob, carol):
+        receipt = call(
+            chain, bob.address, "coin", "transfer_from",
+            owner=alice.address, to=carol.address, amount=1,
+        )
+        assert not receipt.ok
+        assert "allowance" in receipt.error
+
+    def test_transfer_from_exceeding_allowance(self, chain, coin, alice, bob, carol):
+        call(chain, alice.address, "coin", "approve", spender=bob.address, amount=50)
+        receipt = call(
+            chain, bob.address, "coin", "transfer_from",
+            owner=alice.address, to=carol.address, amount=51,
+        )
+        assert not receipt.ok
+
+    def test_transfer_emits_event(self, chain, coin, alice, bob):
+        receipt = call(chain, alice.address, "coin", "transfer", to=bob.address, amount=10)
+        assert any(e.name == "Transfer" for e in receipt.events)
+
+    def test_transfer_from_costs_two_writes_plus_allowance(self, chain, coin, alice, bob, carol):
+        # §7.1 counts the token transfer as 2 storage writes; our
+        # transfer_from adds one for the allowance decrement.
+        call(chain, alice.address, "coin", "approve", spender=bob.address, amount=300)
+        receipt = call(
+            chain, bob.address, "coin", "transfer_from",
+            owner=alice.address, to=carol.address, amount=200,
+        )
+        assert receipt.gas.sstore == 3
+
+
+class TestNonFungible:
+    def test_mint_and_owner(self, chain, tickets, bob):
+        assert tickets.peek_owner("t0") == bob.address
+        assert tickets.peek_metadata("t0") == {"seat": "t0"}
+
+    def test_double_mint_rejected(self, chain, tickets, bob):
+        receipt = call(
+            chain, bob.address, "tickets", "mint",
+            to=bob.address, token_id="t0", metadata={},
+        )
+        assert not receipt.ok
+
+    def test_transfer_by_owner(self, chain, tickets, bob, carol):
+        receipt = call(chain, bob.address, "tickets", "transfer", to=carol.address, token_id="t0")
+        assert receipt.ok
+        assert tickets.peek_owner("t0") == carol.address
+
+    def test_transfer_by_non_owner_rejected(self, chain, tickets, alice, carol):
+        receipt = call(chain, alice.address, "tickets", "transfer", to=carol.address, token_id="t0")
+        assert not receipt.ok
+
+    def test_approve_then_transfer_from(self, chain, tickets, alice, bob, carol):
+        call(chain, bob.address, "tickets", "approve", spender=alice.address, token_id="t0")
+        receipt = call(
+            chain, alice.address, "tickets", "transfer_from",
+            owner=bob.address, to=carol.address, token_id="t0",
+        )
+        assert receipt.ok
+        assert tickets.peek_owner("t0") == carol.address
+
+    def test_approval_cleared_after_transfer(self, chain, tickets, alice, bob, carol):
+        call(chain, bob.address, "tickets", "approve", spender=alice.address, token_id="t0")
+        call(
+            chain, alice.address, "tickets", "transfer_from",
+            owner=bob.address, to=carol.address, token_id="t0",
+        )
+        # Second pull with the stale approval must fail.
+        receipt = call(
+            chain, alice.address, "tickets", "transfer_from",
+            owner=carol.address, to=alice.address, token_id="t0",
+        )
+        assert not receipt.ok
+
+    def test_transfer_from_without_approval(self, chain, tickets, alice, bob, carol):
+        receipt = call(
+            chain, alice.address, "tickets", "transfer_from",
+            owner=bob.address, to=carol.address, token_id="t0",
+        )
+        assert not receipt.ok
+
+    def test_owner_of_unminted_reverts(self, chain, tickets, bob):
+        receipt = call(chain, bob.address, "tickets", "owner_of", token_id="ghost")
+        assert not receipt.ok
+
+    def test_metadata_read(self, chain, tickets, bob):
+        receipt = call(chain, bob.address, "tickets", "metadata_of", token_id="t1")
+        assert receipt.ok
+        assert receipt.return_value == {"seat": "t1"}

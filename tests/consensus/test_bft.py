@@ -1,0 +1,218 @@
+"""Unit tests for the certified blockchain (CBC)."""
+
+import pytest
+
+from repro.consensus.bft import CertifiedBlockchain, DealStatus, LogEntry
+from repro.consensus.validators import ValidatorSet
+from repro.crypto.keys import KeyPair, Wallet
+from repro.crypto.schnorr import verify
+from repro.sim.simulator import Simulator
+
+DEAL = b"deal-42" + b"\x00" * 25
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    wallet = Wallet()
+    keys = {label: KeyPair.from_label(label) for label in ("alice", "bob")}
+    for keypair in keys.values():
+        wallet.register(keypair)
+    validators = ValidatorSet.generate(1)
+    cbc = CertifiedBlockchain(sim, validators, wallet, block_interval=1.0)
+    return sim, cbc, keys
+
+
+def signed_entry(keypair, kind, plist, start_hash=b"", deal_id=DEAL):
+    entry = LogEntry(kind=kind, deal_id=deal_id, party=keypair.address,
+                     plist=plist, start_hash=start_hash)
+    return LogEntry(
+        kind=entry.kind, deal_id=entry.deal_id, party=entry.party,
+        plist=entry.plist, start_hash=entry.start_hash,
+        signature=keypair.sign(entry.message()),
+    )
+
+
+def start_deal(sim, cbc, keys):
+    plist = (keys["alice"].address, keys["bob"].address)
+    start = signed_entry(keys["alice"], "startDeal", plist)
+    cbc.submit(start)
+    sim.run()
+    return plist, cbc.definitive_start_hash(DEAL)
+
+
+def test_start_deal_recorded(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    assert start_hash is not None
+    assert cbc.deal_status(DEAL) is DealStatus.ACTIVE
+
+
+def test_unknown_deal_status(setup):
+    _, cbc, _ = setup
+    assert cbc.deal_status(b"nope" + b"\x00" * 28) is DealStatus.UNKNOWN
+
+
+def test_all_commit_votes_commit_the_deal(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.ACTIVE
+    cbc.submit(signed_entry(keys["bob"], "commit", plist, start_hash))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.COMMITTED
+
+
+def test_abort_before_completion_aborts(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    cbc.submit(signed_entry(keys["bob"], "abort", plist, start_hash))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.ABORTED
+
+
+def test_abort_after_commit_is_too_late(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    cbc.submit(signed_entry(keys["bob"], "commit", plist, start_hash))
+    sim.run()
+    cbc.submit(signed_entry(keys["alice"], "abort", plist, start_hash))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.COMMITTED
+
+
+def test_rescind_before_completion_wins(setup):
+    # Alice commits, then rescinds with an abort before Bob commits.
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    sim.run()
+    cbc.submit(signed_entry(keys["alice"], "abort", plist, start_hash))
+    sim.run()
+    cbc.submit(signed_entry(keys["bob"], "commit", plist, start_hash))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.ABORTED
+
+
+def test_unsigned_entries_dropped(setup):
+    sim, cbc, keys = setup
+    plist = (keys["alice"].address, keys["bob"].address)
+    cbc.submit(LogEntry(kind="startDeal", deal_id=DEAL, party=keys["alice"].address, plist=plist))
+    sim.run()
+    assert cbc.definitive_start_hash(DEAL) is None
+
+
+def test_badly_signed_entries_dropped(setup):
+    sim, cbc, keys = setup
+    plist = (keys["alice"].address, keys["bob"].address)
+    entry = LogEntry(kind="startDeal", deal_id=DEAL, party=keys["alice"].address, plist=plist)
+    forged = LogEntry(
+        kind=entry.kind, deal_id=entry.deal_id, party=entry.party, plist=entry.plist,
+        signature=keys["bob"].sign(entry.message()),  # wrong signer
+    )
+    cbc.submit(forged)
+    sim.run()
+    assert cbc.definitive_start_hash(DEAL) is None
+
+
+def test_votes_from_non_plist_parties_ignored(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    stranger = KeyPair.from_label("stranger")
+    cbc.wallet.register(stranger)
+    cbc.submit(signed_entry(stranger, "abort", plist, start_hash))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.ACTIVE
+
+
+def test_earliest_start_deal_is_definitive(setup):
+    sim, cbc, keys = setup
+    plist = (keys["alice"].address, keys["bob"].address)
+    first = signed_entry(keys["alice"], "startDeal", plist)
+    cbc.submit(first)
+    sim.run()
+    definitive = cbc.definitive_start_hash(DEAL)
+    # A second (different-party) startDeal does not displace it.
+    cbc.submit(signed_entry(keys["bob"], "startDeal", plist))
+    sim.run()
+    assert cbc.definitive_start_hash(DEAL) == definitive
+
+
+def test_blocks_are_certified_by_quorum(setup):
+    sim, cbc, keys = setup
+    start_deal(sim, cbc, keys)
+    for block in cbc.blocks:
+        assert len(block.certificate) == cbc.validators.quorum
+        for entry in block.certificate:
+            assert verify(entry.public_key, block.body_hash(), entry.signature)
+
+
+def test_blocks_link(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    sim.run()
+    blocks = cbc.blocks
+    assert len(blocks) >= 3
+    for previous, current in zip(blocks, blocks[1:]):
+        assert current.parent_hash == previous.body_hash()
+
+
+def test_status_certificate_only_when_decided(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    assert cbc.status_certificate(DEAL) is None
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    cbc.submit(signed_entry(keys["bob"], "commit", plist, start_hash))
+    sim.run()
+    certificate = cbc.status_certificate(DEAL)
+    assert certificate is not None
+    assert certificate.status is DealStatus.COMMITTED
+    assert len(certificate.signatures) == cbc.validators.quorum
+
+
+def test_block_proof_spans_start_to_decision(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    assert cbc.block_proof(DEAL) is None
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    sim.run()
+    cbc.submit(signed_entry(keys["bob"], "commit", plist, start_hash))
+    sim.run()
+    proof = cbc.block_proof(DEAL)
+    assert proof is not None
+    entries = [entry for block in proof for entry in block.entries]
+    kinds = [entry.kind for entry in entries if entry.deal_id == DEAL]
+    assert kinds[0] == "startDeal"
+    assert kinds.count("commit") == 2
+
+
+def test_censorship_drops_entries(setup):
+    sim, cbc, keys = setup
+    cbc.censored_deals.add(DEAL)
+    plist = (keys["alice"].address, keys["bob"].address)
+    cbc.submit(signed_entry(keys["alice"], "startDeal", plist))
+    sim.run()
+    assert cbc.definitive_start_hash(DEAL) is None
+
+
+def test_reconfigure_rotates_and_records_handover(setup):
+    sim, cbc, keys = setup
+    initial = cbc.initial_public_keys
+    new_set = cbc.reconfigure()
+    assert new_set.epoch == 1
+    assert cbc.initial_public_keys == initial  # frozen at genesis
+    assert len(cbc.handovers) == 1
+    assert cbc.handovers[0].to_epoch == 1
+
+
+def test_commit_progress_tracking(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    assert cbc.commit_progress(DEAL) == set()
+    cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
+    sim.run()
+    assert cbc.commit_progress(DEAL) == {keys["alice"].address}

@@ -1,0 +1,130 @@
+"""Unit tests for the proof-of-work simulation."""
+
+import pytest
+
+from repro.consensus.pow import MiningRace, PowChain, PowProof
+from repro.errors import ConsensusError
+from repro.sim.rng import DeterministicRng
+
+
+def test_chain_starts_at_genesis():
+    chain = PowChain()
+    assert chain.height == 0
+    assert len(chain.blocks) == 1
+
+
+def test_mining_extends_chain():
+    chain = PowChain()
+    chain.mine((b"entry",), miner="honest")
+    chain.mine((), miner="honest")
+    assert chain.height == 2
+    assert chain.find_entry(b"entry") == 1
+
+
+def test_blocks_link_by_hash():
+    chain = PowChain()
+    for _ in range(4):
+        chain.mine((), miner="m")
+    blocks = chain.blocks
+    for previous, current in zip(blocks, blocks[1:]):
+        assert current.parent_hash == previous.hash()
+
+
+def test_fork_shares_prefix():
+    chain = PowChain()
+    chain.mine((b"a",), miner="honest")
+    chain.mine((b"b",), miner="honest")
+    fork = PowChain.forked_from(chain, height=1)
+    assert fork.height == 1
+    assert fork.blocks[1] == chain.blocks[1]
+    fork.mine((b"evil",), miner="attacker")
+    assert fork.find_entry(b"evil") == 2
+    assert chain.find_entry(b"evil") is None
+
+
+def test_fork_above_tip_rejected():
+    chain = PowChain()
+    with pytest.raises(ConsensusError):
+        PowChain.forked_from(chain, height=5)
+
+
+def test_proof_confirmation_depth():
+    chain = PowChain()
+    chain.mine((b"vote",), miner="honest")
+    proof = chain.proof_for(b"vote")
+    assert proof.confirmations == 0
+    assert proof.verify(0)
+    assert not proof.verify(1)
+    chain.mine((), miner="honest")
+    chain.mine((), miner="honest")
+    proof = chain.proof_for(b"vote")
+    assert proof.confirmations == 2
+    assert proof.verify(2)
+
+
+def test_proof_for_missing_entry():
+    chain = PowChain()
+    assert chain.proof_for(b"ghost") is None
+
+
+def test_tampered_proof_fails_linkage():
+    chain = PowChain()
+    chain.mine((b"vote",), miner="honest")
+    chain.mine((), miner="honest")
+    proof = chain.proof_for(b"vote")
+    other = PowChain()
+    other.mine((b"x",), miner="other")
+    tampered = PowProof(
+        blocks=(proof.blocks[0], other.blocks[1]), decisive_index=0
+    )
+    assert not tampered.verify(0)
+
+
+def test_private_fork_proof_verifies():
+    # The crucial weakness: a privately mined suffix passes
+    # verification because canonicality is unknowable on-chain.
+    public = PowChain()
+    public.mine((b"commit",), miner="honest")
+    private = PowChain.forked_from(public, height=0)
+    private.mine((b"abort",), miner="attacker")
+    private.mine((), miner="attacker")
+    fake = private.proof_for(b"abort")
+    assert fake.verify(1)
+
+
+def test_empty_proof_invalid():
+    assert not PowProof(blocks=(), decisive_index=0).verify(0)
+
+
+def test_race_zero_alpha_never_wins():
+    race = MiningRace(alpha=0.0, rng=DeterministicRng(1))
+    assert not race.race(honest_target=10, attacker_target=1)
+
+
+def test_race_high_alpha_usually_wins():
+    wins = 0
+    for seed in range(50):
+        race = MiningRace(alpha=0.9, rng=DeterministicRng(seed))
+        if race.race(honest_target=20, attacker_target=3):
+            wins += 1
+    assert wins > 45
+
+
+def test_race_success_monotone_in_alpha():
+    def rate(alpha: float) -> float:
+        wins = 0
+        for seed in range(200):
+            race = MiningRace(alpha=alpha, rng=DeterministicRng(seed))
+            if race.race(honest_target=20, attacker_target=4):
+                wins += 1
+        return wins / 200
+
+    rates = [rate(alpha) for alpha in (0.1, 0.3, 0.45)]
+    assert rates[0] <= rates[1] <= rates[2]
+
+
+def test_invalid_alpha_rejected():
+    with pytest.raises(ConsensusError):
+        MiningRace(alpha=1.0, rng=DeterministicRng(0))
+    with pytest.raises(ConsensusError):
+        MiningRace(alpha=-0.1, rng=DeterministicRng(0))

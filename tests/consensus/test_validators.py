@@ -1,0 +1,84 @@
+"""Unit tests for BFT validator sets and handovers."""
+
+import pytest
+
+from repro.consensus.validators import (
+    HandoverCertificate,
+    ValidatorSet,
+    make_handover,
+)
+from repro.crypto.schnorr import verify
+from repro.errors import ConsensusError
+
+
+def test_generate_sizes():
+    for f in (0, 1, 2, 4):
+        validators = ValidatorSet.generate(f)
+        assert validators.size == 3 * f + 1
+        assert validators.f == f
+        assert validators.quorum == 2 * f + 1
+
+
+def test_negative_f_rejected():
+    with pytest.raises(ConsensusError):
+        ValidatorSet.generate(-1)
+
+
+def test_non_3f_plus_1_rejected():
+    from repro.crypto.keys import KeyPair
+
+    keys = [KeyPair.from_label(f"v{i}") for i in range(3)]
+    with pytest.raises(ConsensusError):
+        ValidatorSet([keys[0], keys[1], keys[2]])
+
+
+def test_empty_set_rejected():
+    with pytest.raises(ConsensusError):
+        ValidatorSet([])
+
+
+def test_quorum_sign_produces_quorum_valid_signatures():
+    validators = ValidatorSet.generate(2)
+    message = b"certify me"
+    signatures = validators.quorum_sign(message)
+    assert len(signatures) == validators.quorum
+    for entry in signatures:
+        assert verify(entry.public_key, message, entry.signature)
+    # All signers are distinct validators.
+    assert len({entry.public_key.point for entry in signatures}) == validators.quorum
+
+
+def test_generation_is_deterministic():
+    a = ValidatorSet.generate(1, seed="s")
+    b = ValidatorSet.generate(1, seed="s")
+    assert a.public_keys() == b.public_keys()
+    assert a.public_keys() != ValidatorSet.generate(1, seed="other").public_keys()
+
+
+def test_next_epoch_rotates_keys():
+    old = ValidatorSet.generate(1)
+    new = old.next_epoch()
+    assert new.epoch == old.epoch + 1
+    assert set(k.point for k in new.public_keys()).isdisjoint(
+        k.point for k in old.public_keys()
+    )
+
+
+def test_handover_signed_by_old_quorum():
+    old = ValidatorSet.generate(1)
+    new = old.next_epoch()
+    handover = make_handover(old, new)
+    assert handover.from_epoch == 0 and handover.to_epoch == 1
+    message = HandoverCertificate.message(0, 1, new.public_keys())
+    old_keys = {k.point for k in old.public_keys()}
+    assert len(handover.signatures) == old.quorum
+    for entry in handover.signatures:
+        assert entry.public_key.point in old_keys
+        assert verify(entry.public_key, message, entry.signature)
+
+
+def test_handover_epoch_must_advance_by_one():
+    old = ValidatorSet.generate(1)
+    skip = old.next_epoch().next_epoch()
+    with pytest.raises(ConsensusError):
+        make_handover(old, skip)

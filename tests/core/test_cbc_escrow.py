@@ -1,0 +1,177 @@
+"""Unit tests for the CBC escrow contract (Figure 6)."""
+
+import pytest
+
+from repro.consensus.bft import CertifiedBlockchain, DealStatus, LogEntry
+from repro.consensus.validators import ValidatorSet
+from repro.core.cbc import CbcEscrow, PowCbcEscrow
+from repro.core.deal import Asset
+from repro.core.escrow import EscrowState
+from repro.core.proofs import BlockProof, PowVoteProof, StatusProof, encode_pow_vote
+from repro.consensus.pow import PowChain
+from tests.conftest import call
+
+DEAL = b"cbc-escrow-deal" + b"\x00" * 17
+
+
+@pytest.fixture
+def world(simulator, chain, coin, wallet, alice, bob, carol):
+    validators = ValidatorSet.generate(1)
+    cbc = CertifiedBlockchain(simulator, validators, wallet)
+    plist = (alice.address, bob.address, carol.address)
+    start = LogEntry(kind="startDeal", deal_id=DEAL, party=alice.address, plist=plist)
+    start_hash = start.message()
+    cbc.submit(
+        LogEntry(
+            kind=start.kind, deal_id=start.deal_id, party=start.party,
+            plist=start.plist, signature=alice.sign(start.message()),
+        )
+    )
+    simulator.run()
+    asset = Asset(asset_id="coins", chain_id="testchain", token="coin",
+                  owner=carol.address, amount=300)
+    escrow = CbcEscrow(
+        "cbc-escrow", DEAL, plist, asset,
+        start_hash=start_hash, validator_keys=cbc.initial_public_keys,
+    )
+    chain.publish(escrow)
+    call(chain, carol.address, "coin", "approve", spender=escrow.address, amount=300)
+    call(chain, carol.address, escrow.name, "deposit")
+    return simulator, chain, cbc, escrow, plist, start_hash
+
+
+def vote(cbc, keypair, kind, plist, start_hash):
+    entry = LogEntry(kind=kind, deal_id=DEAL, party=keypair.address,
+                     plist=plist, start_hash=start_hash)
+    cbc.submit(
+        LogEntry(
+            kind=entry.kind, deal_id=entry.deal_id, party=entry.party,
+            plist=entry.plist, start_hash=entry.start_hash,
+            signature=keypair.sign(entry.message()),
+        )
+    )
+
+
+def test_commit_with_status_proof(world, alice, bob, carol, coin):
+    sim, chain, cbc, escrow, plist, start_hash = world
+    call(chain, carol.address, escrow.name, "transfer", to=bob.address, amount=300)
+    for keypair in (alice, bob, carol):
+        vote(cbc, keypair, "commit", plist, start_hash)
+    sim.run()
+    proof = StatusProof(certificate=cbc.status_certificate(DEAL))
+    receipt = call(chain, bob.address, escrow.name, "commit", proof=proof)
+    assert receipt.ok
+    assert escrow.peek_state() is EscrowState.RELEASED
+    assert coin.peek_balance(bob.address) == 1300
+
+
+def test_commit_rejected_while_active(world, alice):
+    sim, chain, cbc, escrow, plist, start_hash = world
+    vote(cbc, alice, "commit", plist, start_hash)
+    sim.run()
+    certificate = cbc.status_certificate(DEAL)
+    assert certificate is None
+    # No proof exists; a None proof must be rejected.
+    receipt = call(chain, alice.address, escrow.name, "commit", proof=None)
+    assert not receipt.ok
+
+
+def test_abort_with_status_proof(world, alice, carol, coin):
+    sim, chain, cbc, escrow, plist, start_hash = world
+    vote(cbc, alice, "abort", plist, start_hash)
+    sim.run()
+    proof = StatusProof(certificate=cbc.status_certificate(DEAL))
+    receipt = call(chain, carol.address, escrow.name, "abort", proof=proof)
+    assert receipt.ok
+    assert escrow.peek_state() is EscrowState.REFUNDED
+    assert coin.peek_balance(carol.address) == 1000
+
+
+def test_commit_proof_cannot_abort(world, alice, bob, carol):
+    sim, chain, cbc, escrow, plist, start_hash = world
+    for keypair in (alice, bob, carol):
+        vote(cbc, keypair, "commit", plist, start_hash)
+    sim.run()
+    proof = StatusProof(certificate=cbc.status_certificate(DEAL))
+    receipt = call(chain, carol.address, escrow.name, "abort", proof=proof)
+    assert not receipt.ok
+    assert escrow.peek_state() is EscrowState.ACTIVE
+
+
+def test_block_proof_accepted(world, alice, bob, carol):
+    sim, chain, cbc, escrow, plist, start_hash = world
+    for keypair in (alice, bob, carol):
+        vote(cbc, keypair, "commit", plist, start_hash)
+    sim.run()
+    proof = BlockProof(blocks=cbc.block_proof(DEAL))
+    receipt = call(chain, bob.address, escrow.name, "commit", proof=proof)
+    assert receipt.ok
+    assert escrow.peek_state() is EscrowState.RELEASED
+
+
+def test_double_settlement_rejected(world, alice, bob, carol):
+    sim, chain, cbc, escrow, plist, start_hash = world
+    for keypair in (alice, bob, carol):
+        vote(cbc, keypair, "commit", plist, start_hash)
+    sim.run()
+    proof = StatusProof(certificate=cbc.status_certificate(DEAL))
+    call(chain, bob.address, escrow.name, "commit", proof=proof)
+    receipt = call(chain, alice.address, escrow.name, "commit", proof=proof)
+    assert not receipt.ok
+    assert "terminated" in receipt.error
+
+
+def test_garbage_proof_rejected(world, bob):
+    _, chain, _, escrow, _, _ = world
+    receipt = call(chain, bob.address, escrow.name, "commit", proof="not-a-proof")
+    assert not receipt.ok
+
+
+class TestPowEscrow:
+    @pytest.fixture
+    def pow_escrow(self, chain, coin, alice, bob, carol):
+        plist = (alice.address, bob.address, carol.address)
+        asset = Asset(asset_id="pow-coins", chain_id="testchain", token="coin",
+                      owner=carol.address, amount=100)
+        escrow = PowCbcEscrow("pow-escrow", DEAL, plist, asset, min_confirmations=2)
+        chain.publish(escrow)
+        call(chain, carol.address, "coin", "approve", spender=escrow.address, amount=100)
+        call(chain, carol.address, escrow.name, "deposit")
+        return escrow, plist
+
+    def test_commit_with_enough_confirmations(self, chain, pow_escrow, bob):
+        escrow, plist = pow_escrow
+        pow_chain = PowChain()
+        votes = tuple(encode_pow_vote(DEAL, "commit", p.value) for p in plist)
+        pow_chain.mine(votes, miner="honest")
+        pow_chain.mine((), miner="honest")
+        pow_chain.mine((), miner="honest")
+        proof = PowVoteProof(proof=pow_chain.proof_for(votes[0]),
+                             claimed_status=DealStatus.COMMITTED)
+        receipt = call(chain, bob.address, escrow.name, "commit", proof=proof)
+        assert receipt.ok
+
+    def test_shallow_proof_rejected(self, chain, pow_escrow, bob):
+        escrow, plist = pow_escrow
+        pow_chain = PowChain()
+        votes = tuple(encode_pow_vote(DEAL, "commit", p.value) for p in plist)
+        pow_chain.mine(votes, miner="honest")
+        proof = PowVoteProof(proof=pow_chain.proof_for(votes[0]),
+                             claimed_status=DealStatus.COMMITTED)
+        receipt = call(chain, bob.address, escrow.name, "commit", proof=proof)
+        assert not receipt.ok
+
+    def test_fake_abort_accepted_at_depth(self, chain, pow_escrow, carol):
+        # The vulnerability E8 quantifies: a deep-enough private fork
+        # refunds the escrow even though the public chain committed.
+        escrow, plist = pow_escrow
+        private = PowChain()
+        abort = encode_pow_vote(DEAL, "abort", carol.address.value)
+        private.mine((abort,), miner="attacker")
+        private.mine((), miner="attacker")
+        private.mine((), miner="attacker")
+        fake = PowVoteProof(proof=private.proof_for(abort),
+                            claimed_status=DealStatus.ABORTED)
+        receipt = call(chain, carol.address, escrow.name, "abort", proof=fake)
+        assert receipt.ok
+        assert escrow.peek_state() is EscrowState.REFUNDED

@@ -1,0 +1,224 @@
+"""Unit tests for the EscrowManager contract (Figure 3)."""
+
+import pytest
+
+from repro.core.deal import Asset
+from repro.core.escrow import EscrowManager, EscrowState
+from repro.chain.contracts import CallContext, Contract
+from tests.conftest import call
+
+
+class ResolvableEscrow(EscrowManager):
+    """Test subclass exposing release/refund directly."""
+
+    EXPORTS = EscrowManager.EXPORTS + ("force_release", "force_refund")
+
+    def force_release(self, ctx: CallContext):
+        self._release(ctx)
+        return True
+
+    def force_refund(self, ctx: CallContext):
+        self._refund(ctx)
+        return True
+
+
+@pytest.fixture
+def coin_escrow(chain, coin, alice, bob, carol):
+    asset = Asset(asset_id="a-coins", chain_id="testchain", token="coin",
+                  owner=carol.address, amount=300)
+    escrow = ResolvableEscrow(
+        "escrow-coins", b"deal", (alice.address, bob.address, carol.address), asset
+    )
+    chain.publish(escrow)
+    return escrow
+
+
+@pytest.fixture
+def ticket_escrow(chain, tickets, alice, bob, carol):
+    asset = Asset(asset_id="a-tix", chain_id="testchain", token="tickets",
+                  owner=bob.address, token_ids=("t0", "t1"))
+    escrow = ResolvableEscrow(
+        "escrow-tix", b"deal", (alice.address, bob.address, carol.address), asset
+    )
+    chain.publish(escrow)
+    return escrow
+
+
+def deposit_coins(chain, escrow, carol):
+    call(chain, carol.address, "coin", "approve", spender=escrow.address, amount=300)
+    return call(chain, carol.address, escrow.name, "deposit")
+
+
+def deposit_tickets(chain, escrow, bob):
+    for token_id in ("t0", "t1"):
+        call(chain, bob.address, "tickets", "approve", spender=escrow.address, token_id=token_id)
+    return call(chain, bob.address, escrow.name, "deposit")
+
+
+class TestDeposit:
+    def test_deposit_moves_asset_to_contract(self, chain, coin, coin_escrow, carol):
+        receipt = deposit_coins(chain, coin_escrow, carol)
+        assert receipt.ok
+        assert coin.peek_balance(carol.address) == 700
+        assert coin.peek_balance(coin_escrow.address) == 300
+        assert coin_escrow.peek_deposited()
+
+    def test_deposit_sets_c_and_a_maps_to_owner(self, chain, coin_escrow, carol):
+        deposit_coins(chain, coin_escrow, carol)
+        assert coin_escrow.peek_commit_holding(carol.address) == 300
+        assert coin_escrow.escrow_map.peek(carol.address) == 300
+
+    def test_deposit_costs_four_writes(self, chain, coin_escrow, carol):
+        # §7.1: "2 storage writes (in a function call) to transfer the
+        # token ... and 1 storage write each to update the escrow and
+        # the onCommit maps, for a total of 4" — plus the allowance
+        # decrement and the deposited flag in this implementation.
+        receipt = deposit_coins(chain, coin_escrow, carol)
+        token_writes = 2
+        map_writes = 2
+        allowance_write = 1
+        flag_write = 1
+        assert receipt.gas.sstore == token_writes + map_writes + allowance_write + flag_write
+
+    def test_non_owner_cannot_deposit(self, chain, coin, coin_escrow, alice):
+        call(chain, alice.address, "coin", "approve", spender=coin_escrow.address, amount=300)
+        receipt = call(chain, alice.address, coin_escrow.name, "deposit")
+        assert not receipt.ok
+
+    def test_outsider_cannot_deposit(self, chain, coin, coin_escrow):
+        from repro.crypto.keys import KeyPair
+        outsider = KeyPair.from_label("outsider")
+        receipt = call(chain, outsider.address, coin_escrow.name, "deposit")
+        assert not receipt.ok
+
+    def test_double_deposit_rejected(self, chain, coin_escrow, carol):
+        deposit_coins(chain, coin_escrow, carol)
+        receipt = call(chain, carol.address, coin_escrow.name, "deposit")
+        assert not receipt.ok
+
+    def test_deposit_without_approval_fails_atomically(self, chain, coin, coin_escrow, carol):
+        receipt = call(chain, carol.address, coin_escrow.name, "deposit")
+        assert not receipt.ok
+        assert coin.peek_balance(carol.address) == 1000
+        assert not coin_escrow.peek_deposited()
+
+    def test_nft_deposit(self, chain, tickets, ticket_escrow, bob):
+        receipt = deposit_tickets(chain, ticket_escrow, bob)
+        assert receipt.ok
+        assert tickets.peek_owner("t0") == ticket_escrow.address
+        assert ticket_escrow.peek_commit_holding(bob.address) == {"t0", "t1"}
+
+
+class TestTentativeTransfer:
+    def test_fungible_transfer_updates_c_map_only(self, chain, coin, coin_escrow, carol, alice):
+        deposit_coins(chain, coin_escrow, carol)
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=alice.address, amount=100)
+        assert receipt.ok
+        assert coin_escrow.peek_commit_holding(carol.address) == 200
+        assert coin_escrow.peek_commit_holding(alice.address) == 100
+        # On-chain owner unchanged: still the contract.
+        assert coin.peek_balance(coin_escrow.address) == 300
+        # A-map (refund) unchanged.
+        assert coin_escrow.escrow_map.peek(carol.address) == 300
+
+    def test_transfer_costs_two_writes(self, chain, coin_escrow, carol, alice):
+        deposit_coins(chain, coin_escrow, carol)
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=alice.address, amount=100)
+        assert receipt.gas.sstore == 2  # §7.1: debit + credit
+
+    def test_cannot_overdraw_tentative_balance(self, chain, coin_escrow, carol, alice):
+        deposit_coins(chain, coin_escrow, carol)
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=alice.address, amount=301)
+        assert not receipt.ok
+
+    def test_double_spend_rejected(self, chain, coin_escrow, carol, alice, bob):
+        deposit_coins(chain, coin_escrow, carol)
+        call(chain, carol.address, coin_escrow.name, "transfer", to=alice.address, amount=300)
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=bob.address, amount=300)
+        assert not receipt.ok
+
+    def test_recipient_must_be_in_plist(self, chain, coin_escrow, carol):
+        from repro.crypto.keys import KeyPair
+        deposit_coins(chain, coin_escrow, carol)
+        outsider = KeyPair.from_label("outsider")
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=outsider.address, amount=10)
+        assert not receipt.ok
+
+    def test_transfer_before_deposit_rejected(self, chain, coin_escrow, carol, alice):
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=alice.address, amount=10)
+        assert not receipt.ok
+
+    def test_multi_hop_transfer(self, chain, coin_escrow, carol, alice, bob):
+        deposit_coins(chain, coin_escrow, carol)
+        call(chain, carol.address, coin_escrow.name, "transfer", to=alice.address, amount=300)
+        receipt = call(chain, alice.address, coin_escrow.name, "transfer",
+                       to=bob.address, amount=200)
+        assert receipt.ok
+        assert coin_escrow.peek_commit_holding(alice.address) == 100
+        assert coin_escrow.peek_commit_holding(bob.address) == 200
+
+    def test_nft_transfer_and_double_spend(self, chain, ticket_escrow, bob, alice, carol):
+        deposit_tickets(chain, ticket_escrow, bob)
+        receipt = call(chain, bob.address, ticket_escrow.name, "transfer",
+                       to=alice.address, token_ids=("t0",))
+        assert receipt.ok
+        assert ticket_escrow.peek_commit_holding(alice.address) == {"t0"}
+        # Bob no longer tentatively owns t0.
+        second = call(chain, bob.address, ticket_escrow.name, "transfer",
+                      to=carol.address, token_ids=("t0",))
+        assert not second.ok
+
+
+class TestTermination:
+    def test_release_pays_c_map(self, chain, coin, coin_escrow, carol, alice, bob):
+        deposit_coins(chain, coin_escrow, carol)
+        call(chain, carol.address, coin_escrow.name, "transfer", to=alice.address, amount=300)
+        call(chain, alice.address, coin_escrow.name, "transfer", to=bob.address, amount=200)
+        receipt = call(chain, carol.address, coin_escrow.name, "force_release")
+        assert receipt.ok
+        assert coin.peek_balance(alice.address) == 1100
+        assert coin.peek_balance(bob.address) == 1200
+        assert coin.peek_balance(carol.address) == 700
+        assert coin.peek_balance(coin_escrow.address) == 0
+        assert coin_escrow.peek_state() is EscrowState.RELEASED
+
+    def test_refund_pays_a_map(self, chain, coin, coin_escrow, carol, alice):
+        deposit_coins(chain, coin_escrow, carol)
+        call(chain, carol.address, coin_escrow.name, "transfer", to=alice.address, amount=300)
+        receipt = call(chain, carol.address, coin_escrow.name, "force_refund")
+        assert receipt.ok
+        assert coin.peek_balance(carol.address) == 1000  # fully restored
+        assert coin.peek_balance(alice.address) == 1000
+        assert coin_escrow.peek_state() is EscrowState.REFUNDED
+
+    def test_nft_release_and_refund(self, chain, tickets, ticket_escrow, bob, carol):
+        deposit_tickets(chain, ticket_escrow, bob)
+        call(chain, bob.address, ticket_escrow.name, "transfer",
+             to=carol.address, token_ids=("t0", "t1"))
+        call(chain, bob.address, ticket_escrow.name, "force_release")
+        assert tickets.peek_owner("t0") == carol.address
+        assert tickets.peek_owner("t1") == carol.address
+
+    def test_double_termination_rejected(self, chain, coin_escrow, carol):
+        deposit_coins(chain, coin_escrow, carol)
+        call(chain, carol.address, coin_escrow.name, "force_release")
+        receipt = call(chain, carol.address, coin_escrow.name, "force_refund")
+        assert not receipt.ok
+
+    def test_transfer_after_termination_rejected(self, chain, coin_escrow, carol, alice):
+        deposit_coins(chain, coin_escrow, carol)
+        call(chain, carol.address, coin_escrow.name, "force_release")
+        receipt = call(chain, carol.address, coin_escrow.name, "transfer",
+                       to=alice.address, amount=10)
+        assert not receipt.ok
+
+    def test_release_without_deposit_is_empty(self, chain, coin, coin_escrow, carol):
+        receipt = call(chain, carol.address, coin_escrow.name, "force_release")
+        assert receipt.ok
+        assert coin.peek_balance(carol.address) == 1000

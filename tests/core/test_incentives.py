@@ -1,0 +1,140 @@
+"""Tests for the §9 incentive-deposit mechanism."""
+
+import pytest
+
+from repro.core.incentives import DepositManager
+from repro.crypto.pathsig import extend_path_signature, sign_vote
+from tests.conftest import call
+
+DEAL = b"deposit-deal"
+T0 = 100.0
+DELTA = 10.0
+AMOUNT = 50
+
+
+@pytest.fixture
+def manager(chain, coin, alice, bob, carol):
+    contract = DepositManager(
+        "deposits", DEAL, (alice.address, bob.address, carol.address),
+        token="coin", amount=AMOUNT, t0=T0, delta=DELTA,
+    )
+    chain.publish(contract)
+    for keypair in (alice, bob, carol):
+        call(chain, keypair.address, "coin", "approve",
+             spender=contract.address, amount=AMOUNT)
+        call(chain, keypair.address, "deposits", "deposit")
+    return contract
+
+
+def advance_to(simulator, time):
+    simulator.schedule_at(time, lambda: None)
+    simulator.run()
+
+
+def test_deposits_collected(chain, coin, manager, alice, bob, carol):
+    for keypair in (alice, bob, carol):
+        assert coin.peek_balance(keypair.address) == 950
+    assert coin.peek_balance(manager.address) == 150
+
+
+def test_double_deposit_rejected(chain, manager, alice):
+    receipt = call(chain, alice.address, "deposits", "deposit")
+    assert not receipt.ok
+
+
+def test_outsider_cannot_deposit(chain, manager):
+    from repro.crypto.keys import KeyPair
+    outsider = KeyPair.from_label("outsider")
+    receipt = call(chain, outsider.address, "deposits", "deposit")
+    assert not receipt.ok
+
+
+def test_all_vote_full_refunds(chain, coin, manager, alice, bob, carol):
+    for keypair in (alice, bob, carol):
+        receipt = call(chain, keypair.address, "deposits", "commit",
+                       path=sign_vote(keypair, DEAL))
+        assert receipt.ok
+    assert manager.peek_settled()
+    for keypair in (alice, bob, carol):
+        assert coin.peek_balance(keypair.address) == 1000
+
+
+def test_non_voter_slashed(simulator, chain, coin, manager, alice, bob, carol):
+    # Alice and Bob vote; Carol does not.
+    for keypair in (alice, bob):
+        call(chain, keypair.address, "deposits", "commit",
+             path=sign_vote(keypair, DEAL))
+    advance_to(simulator, T0 + 3 * DELTA + 1)
+    receipt = call(chain, alice.address, "deposits", "settle")
+    assert receipt.ok
+    # Voters get their deposit + 25 each from Carol's slashed 50.
+    assert coin.peek_balance(alice.address) == 1025
+    assert coin.peek_balance(bob.address) == 1025
+    assert coin.peek_balance(carol.address) == 950
+    assert coin.peek_balance(manager.address) == 0
+
+
+def test_two_non_voters_slashed(simulator, chain, coin, manager, alice, bob, carol):
+    call(chain, alice.address, "deposits", "commit", path=sign_vote(alice, DEAL))
+    advance_to(simulator, T0 + 3 * DELTA + 1)
+    call(chain, alice.address, "deposits", "settle")
+    assert coin.peek_balance(alice.address) == 1100  # deposit + 2 slashed
+    assert coin.peek_balance(bob.address) == 950
+    assert coin.peek_balance(carol.address) == 950
+
+
+def test_nobody_voted_everyone_refunded(simulator, chain, coin, manager, alice, bob, carol):
+    advance_to(simulator, T0 + 3 * DELTA + 1)
+    call(chain, alice.address, "deposits", "settle")
+    for keypair in (alice, bob, carol):
+        assert coin.peek_balance(keypair.address) == 1000
+
+
+def test_settle_before_timeout_rejected(chain, manager, alice):
+    receipt = call(chain, alice.address, "deposits", "settle")
+    assert not receipt.ok
+
+
+def test_double_settle_rejected(simulator, chain, manager, alice):
+    advance_to(simulator, T0 + 3 * DELTA + 1)
+    call(chain, alice.address, "deposits", "settle")
+    receipt = call(chain, alice.address, "deposits", "settle")
+    assert not receipt.ok
+
+
+def test_forwarded_votes_accepted(simulator, chain, coin, manager, alice, bob, carol):
+    # Carol's vote forwarded by Bob counts for Carol.
+    path = extend_path_signature(sign_vote(carol, DEAL), bob)
+    receipt = call(chain, bob.address, "deposits", "commit", path=path)
+    assert receipt.ok
+    assert carol.address in manager.peek_voted()
+
+
+def test_late_vote_rejected(simulator, chain, manager, alice):
+    advance_to(simulator, T0 + DELTA + 1)
+    receipt = call(chain, alice.address, "deposits", "commit",
+                   path=sign_vote(alice, DEAL))
+    assert not receipt.ok
+
+
+def test_remainder_distributed_deterministically(simulator, chain, coin, alice, bob, carol):
+    # Deposit 49 with one slashed party: 49 // 2 = 24 rem 1 — the
+    # first voter in plist order gets the extra unit.
+    contract = DepositManager(
+        "deposits49", DEAL + b"49", (alice.address, bob.address, carol.address),
+        token="coin", amount=49, t0=T0, delta=DELTA,
+    )
+    chain.publish(contract)
+    for keypair in (alice, bob, carol):
+        call(chain, keypair.address, "coin", "approve",
+             spender=contract.address, amount=49)
+        call(chain, keypair.address, "deposits49", "deposit")
+    for keypair in (alice, bob):
+        call(chain, keypair.address, "deposits49", "commit",
+             path=sign_vote(keypair, DEAL + b"49"))
+    advance_to(simulator, T0 + 3 * DELTA + 1)
+    call(chain, alice.address, "deposits49", "settle")
+    assert coin.peek_balance(alice.address) == 1000 + 25  # 49+25+... wait
+    assert coin.peek_balance(bob.address) == 1000 + 24
+    assert coin.peek_balance(carol.address) == 1000 - 49
+    assert coin.peek_balance(contract.address) == 0

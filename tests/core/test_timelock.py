@@ -1,0 +1,161 @@
+"""Unit tests for the timelock escrow contract (Figure 5)."""
+
+import pytest
+
+from repro.core.deal import Asset
+from repro.core.escrow import EscrowState
+from repro.core.timelock import TimelockEscrow
+from repro.crypto.pathsig import PathSignature, extend_path_signature, sign_vote
+from tests.conftest import call
+
+DEAL = b"deal-timelock"
+T0 = 100.0
+DELTA = 10.0
+
+
+@pytest.fixture
+def escrow(chain, coin, alice, bob, carol):
+    asset = Asset(asset_id="coins", chain_id="testchain", token="coin",
+                  owner=carol.address, amount=300)
+    contract = TimelockEscrow(
+        "tl-escrow", DEAL, (alice.address, bob.address, carol.address),
+        asset, t0=T0, delta=DELTA,
+    )
+    chain.publish(contract)
+    call(chain, carol.address, "coin", "approve", spender=contract.address, amount=300)
+    call(chain, carol.address, contract.name, "deposit")
+    return contract
+
+
+def advance_to(simulator, time: float) -> None:
+    simulator.schedule_at(time, lambda: None)
+    simulator.run()
+
+
+class TestVoting:
+    def test_direct_vote_accepted(self, chain, escrow, alice):
+        receipt = call(chain, alice.address, escrow.name, "commit",
+                       path=sign_vote(alice, DEAL))
+        assert receipt.ok
+        assert escrow.peek_voted() == {alice.address}
+
+    def test_vote_costs_path_length_verifications(self, chain, escrow, alice, bob, carol):
+        direct = call(chain, alice.address, escrow.name, "commit", path=sign_vote(alice, DEAL))
+        assert direct.gas.sig_verify == 1
+        path = extend_path_signature(sign_vote(carol, DEAL), bob)
+        forwarded = call(chain, bob.address, escrow.name, "commit", path=path)
+        assert forwarded.gas.sig_verify == 2
+
+    def test_all_votes_release_escrow(self, chain, coin, escrow, alice, bob, carol):
+        call(chain, carol.address, escrow.name, "transfer", to=alice.address, amount=300)
+        for keypair in (alice, bob, carol):
+            receipt = call(chain, keypair.address, escrow.name, "commit",
+                           path=sign_vote(keypair, DEAL))
+            assert receipt.ok
+        assert escrow.peek_state() is EscrowState.RELEASED
+        assert coin.peek_balance(alice.address) == 1300
+
+    def test_duplicate_vote_rejected(self, chain, escrow, alice):
+        call(chain, alice.address, escrow.name, "commit", path=sign_vote(alice, DEAL))
+        receipt = call(chain, alice.address, escrow.name, "commit",
+                       path=sign_vote(alice, DEAL))
+        assert not receipt.ok
+        assert "duplicate" in receipt.error
+
+    def test_non_plist_voter_rejected(self, chain, escrow):
+        from repro.crypto.keys import KeyPair
+        outsider = KeyPair.from_label("outsider")
+        chain.wallet.register(outsider)
+        receipt = call(chain, outsider.address, escrow.name, "commit",
+                       path=sign_vote(outsider, DEAL))
+        assert not receipt.ok
+
+    def test_non_plist_signer_rejected(self, chain, escrow, alice):
+        from repro.crypto.keys import KeyPair
+        outsider = KeyPair.from_label("outsider")
+        chain.wallet.register(outsider)
+        path = extend_path_signature(sign_vote(alice, DEAL), outsider)
+        receipt = call(chain, outsider.address, escrow.name, "commit", path=path)
+        assert not receipt.ok
+
+    def test_duplicate_signers_rejected(self, chain, escrow, alice, bob):
+        path = sign_vote(alice, DEAL)
+        path = extend_path_signature(path, bob)
+        path = extend_path_signature(path, alice)
+        receipt = call(chain, alice.address, escrow.name, "commit", path=path)
+        assert not receipt.ok
+
+    def test_invalid_signature_rejected(self, chain, escrow, alice, bob):
+        good = sign_vote(alice, DEAL)
+        forged = PathSignature(
+            voter=bob.address, signers=(bob.address,), signatures=good.signatures
+        )
+        receipt = call(chain, bob.address, escrow.name, "commit", path=forged)
+        assert not receipt.ok
+
+    def test_vote_for_wrong_deal_rejected(self, chain, escrow, alice):
+        receipt = call(chain, alice.address, escrow.name, "commit",
+                       path=sign_vote(alice, b"other-deal"))
+        assert not receipt.ok
+
+
+class TestDeadlines:
+    def test_direct_vote_deadline_is_t0_plus_delta(self, simulator, chain, escrow, alice):
+        advance_to(simulator, T0 + DELTA + 1)
+        receipt = call(chain, alice.address, escrow.name, "commit",
+                       path=sign_vote(alice, DEAL))
+        assert not receipt.ok
+        assert "deadline" in receipt.error
+
+    def test_forwarded_vote_gets_extra_delta(self, simulator, chain, escrow, alice, bob):
+        advance_to(simulator, T0 + DELTA + 1)
+        # A path of length 2 is still acceptable before t0 + 2Δ.
+        path = extend_path_signature(sign_vote(alice, DEAL), bob)
+        receipt = call(chain, bob.address, escrow.name, "commit", path=path)
+        assert receipt.ok
+
+    def test_vote_within_deadline_accepted(self, simulator, chain, escrow, alice):
+        advance_to(simulator, T0 + DELTA - 2)
+        receipt = call(chain, alice.address, escrow.name, "commit",
+                       path=sign_vote(alice, DEAL))
+        assert receipt.ok
+
+    def test_terminal_deadline(self, escrow):
+        assert escrow.terminal_deadline() == T0 + 3 * DELTA
+
+
+class TestRefund:
+    def test_refund_before_timeout_rejected(self, chain, escrow, carol):
+        receipt = call(chain, carol.address, escrow.name, "refund")
+        assert not receipt.ok
+
+    def test_refund_after_timeout(self, simulator, chain, coin, escrow, carol, alice):
+        call(chain, carol.address, escrow.name, "transfer", to=alice.address, amount=300)
+        advance_to(simulator, T0 + 3 * DELTA + 1)
+        receipt = call(chain, carol.address, escrow.name, "refund")
+        assert receipt.ok
+        assert escrow.peek_state() is EscrowState.REFUNDED
+        assert coin.peek_balance(carol.address) == 1000
+
+    def test_anyone_can_trigger_refund(self, simulator, chain, escrow, alice):
+        advance_to(simulator, T0 + 3 * DELTA + 1)
+        receipt = call(chain, alice.address, escrow.name, "refund")
+        assert receipt.ok
+
+    def test_refund_after_release_rejected(self, simulator, chain, escrow, alice, bob, carol):
+        for keypair in (alice, bob, carol):
+            call(chain, keypair.address, escrow.name, "commit", path=sign_vote(keypair, DEAL))
+        advance_to(simulator, T0 + 3 * DELTA + 1)
+        receipt = call(chain, carol.address, escrow.name, "refund")
+        assert not receipt.ok
+
+    def test_vote_after_own_deadline_cannot_release(self, simulator, chain, escrow, alice, bob, carol):
+        # Two votes arrive on time; the third misses every deadline.
+        call(chain, alice.address, escrow.name, "commit", path=sign_vote(alice, DEAL))
+        call(chain, bob.address, escrow.name, "commit", path=sign_vote(bob, DEAL))
+        advance_to(simulator, T0 + 4 * DELTA)
+        late = call(chain, carol.address, escrow.name, "commit", path=sign_vote(carol, DEAL))
+        assert not late.ok
+        refund = call(chain, carol.address, escrow.name, "refund")
+        assert refund.ok
+        assert escrow.peek_state() is EscrowState.REFUNDED

@@ -1,0 +1,65 @@
+"""Tests for Schnorr batch verification (§9 signature combining)."""
+
+from repro.crypto.schnorr import Signature, batch_verify, generate_keypair, sign
+
+
+def make_items(count: int):
+    items = []
+    for index in range(count):
+        private, public = generate_keypair(f"batch-{index}".encode())
+        message = f"message-{index}".encode()
+        items.append((public, message, sign(private, message)))
+    return items
+
+
+def test_empty_batch_vacuously_valid():
+    assert batch_verify([])
+
+
+def test_single_item_batch():
+    assert batch_verify(make_items(1))
+
+
+def test_valid_batch_of_many():
+    assert batch_verify(make_items(10))
+
+
+def test_one_bad_signature_fails_whole_batch():
+    items = make_items(5)
+    public, message, signature = items[2]
+    items[2] = (public, message + b"!", signature)
+    assert not batch_verify(items)
+
+
+def test_swapped_signatures_fail():
+    items = make_items(3)
+    swapped = [items[0], (items[1][0], items[1][1], items[2][2]),
+               (items[2][0], items[2][1], items[1][2])]
+    assert not batch_verify(swapped)
+
+
+def test_wrong_key_fails():
+    items = make_items(3)
+    _, other_public = generate_keypair(b"stranger")
+    items[0] = (other_public, items[0][1], items[0][2])
+    assert not batch_verify(items)
+
+
+def test_out_of_range_signature_fails():
+    items = make_items(2)
+    public, message, signature = items[0]
+    items[0] = (public, message, Signature(1, signature.response))
+    assert not batch_verify(items)
+
+
+def test_duplicate_items_allowed():
+    items = make_items(2)
+    assert batch_verify(items + items)
+
+
+def test_batch_agrees_with_individual_verification():
+    from repro.crypto.schnorr import verify
+
+    items = make_items(6)
+    individually = all(verify(pk, msg, sig) for pk, msg, sig in items)
+    assert batch_verify(items) == individually

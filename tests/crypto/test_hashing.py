@@ -1,0 +1,59 @@
+"""Unit tests for hashing helpers."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import (
+    bytes_to_int,
+    commitment,
+    hash_concat,
+    int_to_bytes,
+    sha256,
+    sha256_hex,
+    tagged_hash,
+)
+
+
+def test_sha256_matches_stdlib():
+    assert sha256(b"data") == hashlib.sha256(b"data").digest()
+    assert sha256_hex(b"data") == hashlib.sha256(b"data").hexdigest()
+
+
+def test_tagged_hash_separates_domains():
+    assert tagged_hash("tag-a", b"x") != tagged_hash("tag-b", b"x")
+
+
+def test_tagged_hash_is_deterministic():
+    assert tagged_hash("tag", b"x") == tagged_hash("tag", b"x")
+
+
+def test_hash_concat_is_unambiguous():
+    # Without length prefixes these would collide.
+    assert hash_concat(b"ab", b"c") != hash_concat(b"a", b"bc")
+
+
+def test_hash_concat_sensitive_to_arity():
+    assert hash_concat(b"a", b"") != hash_concat(b"a")
+
+
+def test_commitment_hides_and_binds():
+    c1 = commitment(b"secret", b"salt")
+    c2 = commitment(b"secret", b"salt")
+    assert c1 == c2
+    assert commitment(b"secret", b"other-salt") != c1
+    assert commitment(b"other", b"salt") != c1
+
+
+def test_int_bytes_roundtrip():
+    for value in (0, 1, 255, 256, 2**64, 2**255 + 12345):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+
+def test_int_to_bytes_fixed_width():
+    assert int_to_bytes(5, 8) == b"\x00" * 7 + b"\x05"
+
+
+def test_int_to_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        int_to_bytes(-1)

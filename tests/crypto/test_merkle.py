@@ -1,0 +1,80 @@
+"""Unit tests for Merkle trees and inclusion proofs."""
+
+import pytest
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import CryptoError
+
+
+def test_single_leaf_tree():
+    tree = MerkleTree([b"only"])
+    assert len(tree) == 1
+    assert tree.verify_leaf(0, b"only")
+    assert not tree.verify_leaf(0, b"other")
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(CryptoError):
+        MerkleTree([])
+
+
+@pytest.mark.parametrize("count", [2, 3, 4, 5, 7, 8, 9, 16, 33])
+def test_all_leaves_provable(count):
+    leaves = [f"leaf-{i}".encode() for i in range(count)]
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        proof = tree.proof(index)
+        assert proof.verify(leaf, tree.root)
+
+
+def test_proof_fails_for_wrong_leaf():
+    leaves = [f"leaf-{i}".encode() for i in range(8)]
+    tree = MerkleTree(leaves)
+    proof = tree.proof(3)
+    assert not proof.verify(b"leaf-4", tree.root)
+
+
+def test_proof_fails_for_wrong_root():
+    leaves = [f"leaf-{i}".encode() for i in range(8)]
+    other = MerkleTree([b"x", b"y"])
+    proof = MerkleTree(leaves).proof(0)
+    assert not proof.verify(b"leaf-0", other.root)
+
+
+def test_proof_fails_for_wrong_index():
+    leaves = [f"leaf-{i}".encode() for i in range(8)]
+    tree = MerkleTree(leaves)
+    proof = tree.proof(2)
+    moved = MerkleProof(leaf_index=3, siblings=proof.siblings)
+    assert not moved.verify(b"leaf-2", tree.root)
+
+
+def test_proof_rejects_negative_index():
+    tree = MerkleTree([b"a", b"b"])
+    bad = MerkleProof(leaf_index=-1, siblings=tree.proof(0).siblings)
+    assert not bad.verify(b"a", tree.root)
+
+
+def test_out_of_range_proof_request():
+    tree = MerkleTree([b"a", b"b"])
+    with pytest.raises(CryptoError):
+        tree.proof(2)
+
+
+def test_roots_differ_when_leaves_differ():
+    assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+
+def test_leaf_interior_domain_separation():
+    # A tree over [H(a)||H(b)] must not equal the parent of [a, b]:
+    # leaf and node hashes use distinct tags.
+    inner = MerkleTree([b"a", b"b"])
+    outer = MerkleTree([inner.root])
+    assert inner.root != outer.root
+
+
+def test_odd_level_duplication_consistent():
+    # 3 leaves: last leaf duplicated; proofs still verify for all.
+    tree = MerkleTree([b"a", b"b", b"c"])
+    for index, leaf in enumerate([b"a", b"b", b"c"]):
+        assert tree.verify_leaf(index, leaf)

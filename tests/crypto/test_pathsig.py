@@ -1,0 +1,139 @@
+"""Unit tests for path signatures (the §5 forwarding mechanism)."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, Wallet
+from repro.crypto.pathsig import (
+    PathSignature,
+    extend_path_signature,
+    sign_vote,
+    vote_message,
+)
+from repro.errors import CryptoError
+
+DEAL = b"deal-id-1234"
+
+
+@pytest.fixture
+def keys():
+    return {label: KeyPair.from_label(label) for label in ("alice", "bob", "carol")}
+
+
+@pytest.fixture
+def wallet(keys):
+    wallet = Wallet()
+    for keypair in keys.values():
+        wallet.register(keypair)
+    return wallet
+
+
+def test_direct_vote_verifies(keys, wallet):
+    path = sign_vote(keys["alice"], DEAL)
+    assert path.path_length == 1
+    assert path.voter == keys["alice"].address
+    assert path.verify(wallet, DEAL)
+
+
+def test_forwarded_vote_verifies(keys, wallet):
+    path = sign_vote(keys["carol"], DEAL)
+    path = extend_path_signature(path, keys["bob"])
+    path = extend_path_signature(path, keys["alice"])
+    assert path.path_length == 3
+    assert path.voter == keys["carol"].address
+    assert path.signers == (
+        keys["carol"].address,
+        keys["bob"].address,
+        keys["alice"].address,
+    )
+    assert path.verify(wallet, DEAL)
+
+
+def test_vote_bound_to_deal(keys, wallet):
+    path = sign_vote(keys["alice"], DEAL)
+    assert not path.verify(wallet, b"other-deal")
+
+
+def test_vote_bound_to_decision(keys, wallet):
+    path = sign_vote(keys["alice"], DEAL, decision="commit")
+    assert not path.verify(wallet, DEAL, decision="abort")
+
+
+def test_cannot_claim_anothers_vote(keys, wallet):
+    # Bob takes Alice's signature but claims Carol voted.
+    alice_path = sign_vote(keys["alice"], DEAL)
+    forged = PathSignature(
+        voter=keys["carol"].address,
+        signers=(keys["carol"].address,),
+        signatures=alice_path.signatures,
+    )
+    assert not forged.verify(wallet, DEAL)
+
+
+def test_cannot_strip_forwarder(keys, wallet):
+    # A two-hop path whose outer signature is dropped and the signer
+    # list shortened must not verify as the inner vote with the outer
+    # signer claimed.
+    path = sign_vote(keys["carol"], DEAL)
+    extended = extend_path_signature(path, keys["bob"])
+    tampered = PathSignature(
+        voter=keys["carol"].address,
+        signers=(keys["carol"].address, keys["alice"].address),
+        signatures=extended.signatures,
+    )
+    assert not tampered.verify(wallet, DEAL)
+
+
+def test_cannot_swap_signature_order(keys, wallet):
+    path = sign_vote(keys["carol"], DEAL)
+    path = extend_path_signature(path, keys["bob"])
+    swapped = PathSignature(
+        voter=keys["carol"].address,
+        signers=path.signers,
+        signatures=(path.signatures[1], path.signatures[0]),
+    )
+    assert not swapped.verify(wallet, DEAL)
+
+
+def test_unknown_signer_fails(keys, wallet):
+    stranger = KeyPair.from_label("stranger")
+    path = sign_vote(stranger, DEAL)
+    assert not path.verify(wallet, DEAL)
+
+
+def test_duplicate_signers_detected(keys):
+    path = sign_vote(keys["alice"], DEAL)
+    path = extend_path_signature(path, keys["bob"])
+    duplicated = extend_path_signature(path, keys["alice"])
+    assert duplicated.has_duplicate_signers()
+    assert not path.has_duplicate_signers()
+
+
+def test_first_signer_must_be_voter(keys):
+    path = sign_vote(keys["alice"], DEAL)
+    with pytest.raises(CryptoError):
+        PathSignature(
+            voter=keys["bob"].address,
+            signers=path.signers,
+            signatures=path.signatures,
+        )
+
+
+def test_empty_path_rejected(keys):
+    with pytest.raises(CryptoError):
+        PathSignature(voter=keys["alice"].address, signers=(), signatures=())
+
+
+def test_signer_signature_count_mismatch(keys):
+    path = sign_vote(keys["alice"], DEAL)
+    with pytest.raises(CryptoError):
+        PathSignature(
+            voter=keys["alice"].address,
+            signers=path.signers + (keys["bob"].address,),
+            signatures=path.signatures,
+        )
+
+
+def test_vote_message_distinct_per_voter(keys):
+    assert vote_message(DEAL, keys["alice"].address) != vote_message(
+        DEAL, keys["bob"].address
+    )

@@ -1,0 +1,133 @@
+"""End-to-end integration: both protocols across workload families."""
+
+import pytest
+
+from repro.analysis.sweep import run_deal
+from repro.core.config import ProofKind, ProtocolKind
+from repro.core.executor import auto_config
+from repro.core.outcomes import evaluate_outcome
+from repro.workloads.generators import brokered_deal, clique_deal, random_well_formed_deal, ring_deal
+from repro.workloads.scenarios import auction_deal, ticket_broker_deal
+
+PROTOCOLS = [ProtocolKind.TIMELOCK, ProtocolKind.CBC]
+
+
+@pytest.mark.parametrize("kind", PROTOCOLS)
+class TestAllCompliantWorkloads:
+    def assert_clean(self, result):
+        report = evaluate_outcome(result)
+        assert result.all_committed(), result.escrow_states
+        assert report.safety_ok
+        assert report.strong_liveness_ok
+        assert report.weak_liveness_ok
+        assert report.uniform_outcome
+
+    def test_ticket_broker(self, kind):
+        spec, keys = ticket_broker_deal()
+        self.assert_clean(run_deal(spec, keys, kind))
+
+    def test_ring(self, kind):
+        spec, keys = ring_deal(n=5)
+        self.assert_clean(run_deal(spec, keys, kind))
+
+    def test_brokered_pairs(self, kind):
+        spec, keys = brokered_deal(pairs=2)
+        self.assert_clean(run_deal(spec, keys, kind))
+
+    def test_clique(self, kind):
+        spec, keys = clique_deal(n=4)
+        self.assert_clean(run_deal(spec, keys, kind))
+
+    def test_auction(self, kind):
+        spec, keys, _ = auction_deal({"bob": 20, "carol": 25, "dave": 15})
+        self.assert_clean(run_deal(spec, keys, kind))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_deals(self, kind, seed):
+        spec, keys = random_well_formed_deal(seed=seed, n=4, extra_assets=2)
+        self.assert_clean(run_deal(spec, keys, kind, seed=seed))
+
+
+class TestCbcSpecifics:
+    def test_block_proofs_cost_more_than_status(self):
+        spec, keys = ticket_broker_deal(nonce=b"s")
+        status_cfg = auto_config(spec, ProtocolKind.CBC)
+        status = run_deal(spec, keys, ProtocolKind.CBC, config=status_cfg)
+        spec2, keys2 = ticket_broker_deal(nonce=b"b")
+        block_cfg = auto_config(spec2, ProtocolKind.CBC, proof_kind=ProofKind.BLOCK_PROOF)
+        blocks = run_deal(spec2, keys2, ProtocolKind.CBC, config=block_cfg)
+        assert status.all_committed() and blocks.all_committed()
+        status_sv = status.gas_by_phase()["commit"].sig_verify
+        block_sv = blocks.gas_by_phase()["commit"].sig_verify
+        assert block_sv > status_sv
+
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_reconfiguration_cost_multiplier(self, k):
+        spec, keys = ticket_broker_deal(nonce=bytes([k]))
+        result = run_deal(spec, keys, ProtocolKind.CBC, validators_f=1, reconfigurations=k)
+        assert result.all_committed()
+        measured = result.gas_by_phase()["commit"].sig_verify
+        assert measured == spec.m_assets * (k + 1) * 3  # m(k+1)(2f+1)
+
+    @pytest.mark.parametrize("f", [0, 1, 2, 3])
+    def test_quorum_cost_scales_with_f(self, f):
+        spec, keys = ticket_broker_deal(nonce=bytes([10 + f]))
+        result = run_deal(spec, keys, ProtocolKind.CBC, validators_f=f)
+        assert result.all_committed()
+        assert result.gas_by_phase()["commit"].sig_verify == spec.m_assets * (2 * f + 1)
+
+    def test_cbc_commits_despite_pre_gst_asynchrony(self):
+        spec, keys = ticket_broker_deal(nonce=b"gst")
+        result = run_deal(spec, keys, ProtocolKind.CBC, gst=40.0)
+        report = evaluate_outcome(result)
+        assert report.safety_ok
+        assert report.uniform_outcome
+        # After GST the network stabilizes and the deal completes.
+        assert result.all_committed() or result.all_refunded()
+
+    def test_censored_deal_stays_safe(self):
+        from repro.core.executor import DealExecutor
+        from repro.core.parties import CompliantParty
+
+        spec, keys = ticket_broker_deal(nonce=b"censor")
+        parties = [CompliantParty(kp, label) for label, kp in keys.items()]
+        config = auto_config(spec, ProtocolKind.CBC)
+        executor = DealExecutor(spec, parties, config)
+        original_build = executor._build
+
+        def censored_build():
+            env = original_build()
+            env.cbc.censored_deals.add(spec.deal_id)
+            return env
+
+        executor._build = censored_build
+        result = executor.run()
+        # With all entries censored nothing can be proven; no escrow
+        # settles either way, but assets remain attributable (weak
+        # liveness here fails by design - the §9 censorship threat).
+        assert not result.all_committed()
+        report = evaluate_outcome(result)
+        assert report.safety_ok
+
+
+class TestTimelockSpecifics:
+    def test_ill_formed_deal_still_refunds(self):
+        # The timelock protocol "can handle ill-formed deals if
+        # needed" (§5.1): with a free rider that never reciprocates,
+        # compliant parties vote only where motivated, the deal times
+        # out, and everyone is refunded.
+        from repro.workloads.generators import ill_formed_deal
+
+        spec, keys = ill_formed_deal()
+        result = run_deal(spec, keys, ProtocolKind.TIMELOCK)
+        report = evaluate_outcome(result)
+        assert report.safety_ok
+        assert report.weak_liveness_ok
+
+    def test_deadline_arithmetic_prevents_the_alice_dilemma(self):
+        # §5's motivating scenario: with path-dependent deadlines the
+        # forwarded votes are accepted even when cast near the direct
+        # deadline.  A committing run exercises every path length.
+        spec, keys = ring_deal(n=6)
+        result = run_deal(spec, keys, ProtocolKind.TIMELOCK)
+        assert result.all_committed()

@@ -1,0 +1,120 @@
+"""§10 isolation: escrow as the concurrency control of deals.
+
+"What if Bob somehow concurrently sells the same tickets to Carol and
+to someone else, collecting coins from both?  Escrow contracts
+replace classical locks or snapshots, ensuring that ownership cannot
+unexpectedly change while a deal is being executed."
+
+These tests overlap two deals on the same assets and check that the
+escrow mechanism serializes them: once an asset is escrowed for one
+deal, the competing deal's escrow cannot take it, so at most one deal
+can ever commit the asset.
+"""
+
+import pytest
+
+from repro.core.deal import Asset
+from repro.core.escrow import EscrowState
+from repro.core.timelock import TimelockEscrow
+from repro.crypto.pathsig import sign_vote
+from tests.conftest import call
+
+DEAL_A = b"deal-with-carol"
+DEAL_B = b"deal-with-dave"
+T0 = 100.0
+DELTA = 10.0
+
+
+@pytest.fixture
+def dave():
+    from repro.crypto.keys import KeyPair
+
+    return KeyPair.from_label("dave")
+
+
+@pytest.fixture
+def competing_escrows(chain, tickets, wallet, alice, bob, carol, dave):
+    """Two escrow contracts both wanting Bob's tickets."""
+    wallet.register(dave)
+    asset_a = Asset(asset_id="tix-a", chain_id="testchain", token="tickets",
+                    owner=bob.address, token_ids=("t0", "t1"))
+    asset_b = Asset(asset_id="tix-b", chain_id="testchain", token="tickets",
+                    owner=bob.address, token_ids=("t0", "t1"))
+    escrow_a = TimelockEscrow("escrow-a", DEAL_A, (bob.address, carol.address),
+                              asset_a, t0=T0, delta=DELTA)
+    escrow_b = TimelockEscrow("escrow-b", DEAL_B, (bob.address, dave.address),
+                              asset_b, t0=T0, delta=DELTA)
+    chain.publish(escrow_a)
+    chain.publish(escrow_b)
+    return escrow_a, escrow_b
+
+
+def deposit_into(chain, bob, escrow):
+    for token_id in ("t0", "t1"):
+        call(chain, bob.address, "tickets", "approve",
+             spender=escrow.address, token_id=token_id)
+    return call(chain, bob.address, escrow.name, "deposit")
+
+
+def test_second_escrow_cannot_take_escrowed_tickets(chain, tickets, competing_escrows, bob):
+    escrow_a, escrow_b = competing_escrows
+    assert deposit_into(chain, bob, escrow_a).ok
+    # The tickets now belong to contract A; Bob's approvals for B are
+    # worthless because Bob no longer owns the tokens.
+    receipt = deposit_into(chain, bob, escrow_b)
+    assert not receipt.ok
+    assert tickets.peek_owner("t0") == escrow_a.address
+    assert not escrow_b.peek_deposited()
+
+
+def test_double_sale_cannot_double_commit(chain, tickets, competing_escrows,
+                                          alice, bob, carol, dave):
+    escrow_a, escrow_b = competing_escrows
+    deposit_into(chain, bob, escrow_a)
+    deposit_into(chain, bob, escrow_b)  # bounces
+    # Deal A proceeds: tickets tentatively to Carol, both vote.
+    call(chain, bob.address, "escrow-a", "transfer",
+         to=carol.address, token_ids=("t0", "t1"))
+    for keypair in (bob, carol):
+        call(chain, keypair.address, "escrow-a", "commit",
+             path=sign_vote(keypair, DEAL_A))
+    assert escrow_a.peek_state() is EscrowState.RELEASED
+    assert tickets.peek_owner("t0") == carol.address
+    # Deal B can never commit the tickets: its escrow never held them.
+    assert escrow_b.peek_state() is EscrowState.ACTIVE
+    assert not escrow_b.peek_deposited()
+
+
+def test_failed_deal_releases_the_lock(simulator, chain, tickets,
+                                       competing_escrows, bob, dave):
+    """Serialization, not starvation: after deal A times out and
+    refunds, Bob can escrow the same tickets for deal B' (a fresh
+    contract, since B's deadlines also lapsed)."""
+    escrow_a, escrow_b = competing_escrows
+    deposit_into(chain, bob, escrow_a)
+    simulator.schedule_at(T0 + 2 * DELTA + 1 + DELTA, lambda: None)
+    simulator.run()
+    assert call(chain, bob.address, "escrow-a", "refund").ok
+    assert tickets.peek_owner("t0") == bob.address
+    # A fresh deal with Dave can now escrow them.
+    asset_c = Asset(asset_id="tix-c", chain_id="testchain", token="tickets",
+                    owner=bob.address, token_ids=("t0", "t1"))
+    escrow_c = TimelockEscrow("escrow-c", b"deal-retry", (bob.address, dave.address),
+                              asset_c, t0=simulator.now + 100, delta=DELTA)
+    chain.publish(escrow_c)
+    assert deposit_into(chain, bob, escrow_c).ok
+    assert tickets.peek_owner("t0") == escrow_c.address
+
+
+def test_late_deposit_into_terminated_escrow_bounces(simulator, chain, tickets,
+                                                     competing_escrows, bob):
+    """The asynchrony regression: an empty escrow that timed out and
+    refunded must reject deposits arriving afterwards."""
+    escrow_a, _ = competing_escrows
+    simulator.schedule_at(T0 + 2 * DELTA + 1, lambda: None)
+    simulator.run()
+    assert call(chain, bob.address, "escrow-a", "refund").ok  # empty refund
+    receipt = deposit_into(chain, bob, escrow_a)
+    assert not receipt.ok
+    assert "not active" in receipt.error
+    assert tickets.peek_owner("t0") == bob.address

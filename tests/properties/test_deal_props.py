@@ -1,0 +1,91 @@
+"""Property-based tests for deal-spec invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deal import deal_digraph, deal_matrix
+from repro.workloads.generators import (
+    brokered_deal,
+    clique_deal,
+    random_well_formed_deal,
+    ring_deal,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n=st.integers(min_value=2, max_value=7),
+       extra=st.integers(min_value=0, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_generated_deals_are_well_formed(seed, n, extra):
+    spec, keys = random_well_formed_deal(seed=seed, n=n, extra_assets=extra)
+    assert spec.is_well_formed()
+    assert spec.n_parties == n
+    assert len(keys) == n
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n=st.integers(min_value=2, max_value=7))
+@settings(max_examples=30, deadline=None)
+def test_value_conservation_under_commit(seed, n):
+    # The projected commit state conserves every asset exactly.
+    spec, _ = random_well_formed_deal(seed=seed, n=n, extra_assets=3)
+    final = spec.final_commit_holdings()
+    for asset in spec.assets:
+        per_party = final[asset.asset_id]
+        if asset.fungible:
+            assert sum(per_party.values()) == asset.amount
+            assert all(amount >= 0 for amount in per_party.values())
+        else:
+            owned = [ids for ids in per_party.values()]
+            union = set().union(*owned) if owned else set()
+            assert union == set(asset.token_ids)
+            # No token owned twice.
+            total = sum(len(ids) for ids in owned)
+            assert total == len(asset.token_ids)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_matrix_and_digraph_agree(seed):
+    spec, _ = random_well_formed_deal(seed=seed, n=5, extra_assets=2)
+    matrix = deal_matrix(spec)
+    graph = deal_digraph(spec)
+    assert set(matrix) == set(graph.edges())
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_deal_id_stable_and_content_sensitive(seed):
+    a, _ = random_well_formed_deal(seed=seed)
+    b, _ = random_well_formed_deal(seed=seed)
+    c, _ = random_well_formed_deal(seed=seed + 1)
+    assert a.deal_id == b.deal_id
+    assert a.deal_id != c.deal_id
+
+
+@given(n=st.integers(min_value=2, max_value=8))
+@settings(max_examples=10, deadline=None)
+def test_family_shapes(n):
+    ring, _ = ring_deal(n=n)
+    assert ring.t_transfers == n
+    clique, _ = clique_deal(n=n)
+    assert clique.t_transfers == n * (n - 1)
+    brokered, _ = brokered_deal(pairs=max(1, n // 2))
+    assert brokered.is_well_formed()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_incoming_outgoing_consistency(seed):
+    # Summed over parties, incoming == outgoing per fungible asset.
+    spec, _ = random_well_formed_deal(seed=seed, n=4, extra_assets=2)
+    for asset in spec.assets:
+        if not asset.fungible:
+            continue
+        total_in = sum(
+            spec.incoming(party).get(asset.asset_id, 0) for party in spec.parties
+        )
+        total_out = sum(
+            spec.outgoing(party).get(asset.asset_id, 0) for party in spec.parties
+        )
+        assert total_in == total_out

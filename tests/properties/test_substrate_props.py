@@ -1,0 +1,135 @@
+"""Property-based tests for the simulation and chain substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.contracts import Contract
+from repro.chain.ledger import Chain
+from repro.chain.tx import Transaction
+from repro.crypto.keys import KeyPair, Wallet
+from repro.sim.network import SynchronousNetwork
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    delta=st.floats(min_value=0.1, max_value=10.0),
+    sends=st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_synchronous_network_respects_delta_and_fifo(seed, delta, sends):
+    simulator = Simulator()
+    network = SynchronousNetwork(simulator, delta=delta, rng=DeterministicRng(seed))
+    arrivals: list[tuple[int, float]] = []
+    network.register("sink", lambda message: arrivals.append((message.payload, simulator.now)))
+    for index, when in enumerate(sorted(sends)):
+        simulator.schedule_at(
+            when, lambda index=index: network.send("src", "sink", index)
+        )
+    simulator.run()
+    assert len(arrivals) == len(sends)
+    # FIFO per pair: payload order matches send order.
+    assert [payload for payload, _ in arrivals] == list(range(len(sends)))
+    # Delta bound: arrival within delta of send (plus FIFO epsilon).
+    for (payload, arrived), sent in zip(arrivals, sorted(sends)):
+        assert arrived <= sent + delta + 1e-6 * len(sends)
+
+
+@given(
+    times=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_simulator_never_goes_backwards(times):
+    simulator = Simulator()
+    observed = []
+    for when in times:
+        simulator.schedule_at(when, lambda: observed.append(simulator.now))
+    simulator.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)
+
+
+class FuzzTarget(Contract):
+    """A contract whose method writes several keys then maybe fails."""
+
+    EXPORTS = ("poke",)
+
+    def __init__(self):
+        super().__init__("fuzz")
+        self.data = self.storage("data")
+
+    def poke(self, ctx, writes, fail):
+        for key, value in writes:
+            self.data[key] = value
+        ctx.require(not fail, "fuzz failure")
+        return len(writes)
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.lists(
+                st.tuples(st.integers(0, 5), st.integers(0, 100)),
+                min_size=0,
+                max_size=4,
+            ),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_storage_rollback_model(operations):
+    """The contract's storage always equals a model that ignores
+    writes from reverted transactions."""
+    simulator = Simulator()
+    wallet = Wallet()
+    user = KeyPair.from_label("fuzzer")
+    wallet.register(user)
+    chain = Chain("fuzz-chain", simulator, wallet)
+    target = FuzzTarget()
+    chain.publish(target)
+    model: dict[int, int] = {}
+    for writes, fail in operations:
+        receipt = chain.execute_now(
+            Transaction(
+                sender=user.address,
+                contract="fuzz",
+                method="poke",
+                args={"writes": writes, "fail": fail},
+            )
+        )
+        assert receipt.ok == (not fail)
+        if not fail:
+            for key, value in writes:
+                model[key] = value
+        actual = {key: target.data.peek(key) for key in model}
+        assert actual == model
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    n=st.integers(min_value=2, max_value=4),
+    kind_index=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=15, deadline=None)
+def test_token_supply_conserved_across_runs(seed, n, kind_index):
+    """No deal execution creates or destroys tokens, whatever happens."""
+    from repro.analysis.sweep import run_deal
+    from repro.core.config import ProtocolKind
+    from repro.workloads.generators import random_well_formed_deal
+
+    kinds = [ProtocolKind.TIMELOCK, ProtocolKind.CBC, ProtocolKind.CBC_POW]
+    spec, keys = random_well_formed_deal(seed=seed, n=n, extra_assets=1)
+    result = run_deal(spec, keys, kinds[kind_index], seed=seed)
+    for key, initial_map in result.initial_holdings.items():
+        initial_total = sum(
+            v if isinstance(v, int) else len(v) for v in initial_map.values()
+        )
+        final_total = sum(
+            v if isinstance(v, int) else len(v)
+            for v in result.final_holdings[key].values()
+        )
+        assert final_total == initial_total

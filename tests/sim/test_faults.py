@@ -1,0 +1,115 @@
+"""Unit tests for fault injection."""
+
+from repro.sim.faults import (
+    CrashFault,
+    FaultPlan,
+    OfflineWindow,
+    Partition,
+    TargetedDelay,
+)
+from repro.sim.network import SynchronousNetwork
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+
+def make_net(delta=1.0):
+    sim = Simulator()
+    net = SynchronousNetwork(sim, delta=delta, rng=DeterministicRng(0))
+    return sim, net
+
+
+def test_crash_fault_silences_endpoint():
+    sim, net = make_net()
+    received = []
+    net.register("victim", lambda message: received.append(sim.now))
+    net.register("other", lambda message: received.append(("other", sim.now)))
+    CrashFault(endpoint="victim", at_time=5.0).install(net)
+    net.send("a", "victim", "before")  # sent at t=0: delivered
+    sim.schedule(6.0, lambda: net.send("a", "victim", "after"))
+    sim.schedule(6.0, lambda: net.send("victim", "other", "outbound"))
+    sim.run()
+    assert len(received) == 1
+
+
+def test_offline_window_delays_inbound_and_drops_outbound():
+    sim, net = make_net()
+    inbound = []
+    outbound = []
+    net.register("victim", lambda message: inbound.append(sim.now))
+    net.register("peer", lambda message: outbound.append(sim.now))
+    window = OfflineWindow(endpoint="victim", start=5.0, end=20.0)
+    window.install(net)
+    sim.schedule(10.0, lambda: net.send("peer", "victim", "inbound"))
+    sim.schedule(10.0, lambda: net.send("victim", "peer", "outbound"))
+    sim.run()
+    assert outbound == []  # dropped
+    assert len(inbound) == 1 and inbound[0] >= 20.0  # delayed to window end
+    assert window.dropped == 1
+    assert window.delayed == 1
+
+
+def test_offline_window_covers():
+    window = OfflineWindow(endpoint="v", start=5.0, end=10.0)
+    assert window.covers(5.0)
+    assert window.covers(9.9)
+    assert not window.covers(10.0)
+    assert not window.covers(4.9)
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, net = make_net()
+    received = []
+    for name in ("a", "b", "c"):
+        net.register(name, lambda message, name=name: received.append(name))
+    Partition(groups=[{"a", "b"}, {"c"}], start=0.0, end=100.0).install(net)
+    net.send("a", "b", "same-group")
+    net.send("a", "c", "cross-group")
+    sim.run()
+    assert received == ["b"]
+
+
+def test_partition_ignores_unlisted_endpoints():
+    sim, net = make_net()
+    received = []
+    net.register("x", lambda message: received.append("x"))
+    Partition(groups=[{"a"}, {"b"}], start=0.0, end=100.0).install(net)
+    net.send("a", "x", "to-unlisted")
+    sim.run()
+    assert received == ["x"]
+
+
+def test_partition_heals_after_window():
+    sim, net = make_net()
+    received = []
+    net.register("c", lambda message: received.append(sim.now))
+    Partition(groups=[{"a"}, {"c"}], start=0.0, end=5.0).install(net)
+    net.send("a", "c", "during")
+    sim.schedule(6.0, lambda: net.send("a", "c", "after"))
+    sim.run()
+    assert len(received) == 1 and received[0] >= 6.0
+
+
+def test_targeted_delay_slows_but_delivers():
+    sim, net = make_net(delta=1.0)
+    received = []
+    net.register("victim", lambda message: received.append(sim.now))
+    TargetedDelay(endpoint="victim", extra_delay=50.0).install(net)
+    net.send("a", "victim", "slowed")
+    sim.run()
+    assert len(received) == 1
+    assert received[0] >= 50.0
+
+
+def test_fault_plan_installs_all():
+    sim, net = make_net()
+    received = []
+    net.register("v1", lambda message: received.append("v1"))
+    net.register("v2", lambda message: received.append("v2"))
+    plan = FaultPlan()
+    plan.add(CrashFault(endpoint="v1", at_time=0.0))
+    plan.add(CrashFault(endpoint="v2", at_time=0.0))
+    plan.install(net)
+    net.send("a", "v1", "x")
+    net.send("a", "v2", "x")
+    sim.run()
+    assert received == []

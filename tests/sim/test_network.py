@@ -1,0 +1,133 @@
+"""Unit tests for network timing models."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.network import (
+    EventuallySynchronousNetwork,
+    SynchronousNetwork,
+)
+from repro.sim.rng import DeterministicRng
+from repro.sim.simulator import Simulator
+
+
+def make_sync(delta=2.0, seed=0):
+    sim = Simulator()
+    net = SynchronousNetwork(sim, delta=delta, rng=DeterministicRng(seed))
+    return sim, net
+
+
+def test_synchronous_delivery_within_delta():
+    sim, net = make_sync(delta=2.0)
+    arrivals = []
+    net.register("b", lambda message: arrivals.append(sim.now))
+    for _ in range(50):
+        net.send("a", "b", "ping")
+    sim.run()
+    assert len(arrivals) == 50
+    assert all(t <= 2.0 + 1e-6 for t in arrivals)
+
+
+def test_fifo_per_pair():
+    sim, net = make_sync(delta=5.0, seed=3)
+    order = []
+    net.register("b", lambda message: order.append(message.payload))
+    for index in range(20):
+        net.send("a", "b", index)
+    sim.run()
+    assert order == list(range(20))
+
+
+def test_fifo_does_not_apply_across_pairs():
+    # Messages from different senders may interleave arbitrarily.
+    sim, net = make_sync(delta=5.0, seed=1)
+    order = []
+    net.register("c", lambda message: order.append(message.sender))
+    net.send("a", "c", 1)
+    net.send("b", "c", 2)
+    sim.run()
+    assert sorted(order) == ["a", "b"]
+
+
+def test_unknown_recipient_dropped():
+    sim, net = make_sync()
+    net.send("a", "ghost", "boo")
+    sim.run()
+    assert net.stats["dropped"] == 1
+    assert net.stats["delivered"] == 0
+
+
+def test_duplicate_registration_rejected():
+    _, net = make_sync()
+    net.register("x", lambda message: None)
+    with pytest.raises(NetworkError):
+        net.register("x", lambda message: None)
+
+
+def test_deregister_stops_delivery():
+    sim, net = make_sync()
+    received = []
+    net.register("b", lambda message: received.append(1))
+    net.deregister("b")
+    net.send("a", "b", "late")
+    sim.run()
+    assert received == []
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    sim, net = make_sync()
+    received = []
+    for name in ("a", "b", "c"):
+        net.register(name, lambda message, name=name: received.append(name))
+    net.broadcast("a", "hello")
+    sim.run()
+    assert sorted(received) == ["b", "c"]
+
+
+def test_invalid_delta_rejected():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        SynchronousNetwork(sim, delta=0)
+    with pytest.raises(NetworkError):
+        SynchronousNetwork(sim, delta=1.0, min_latency=2.0)
+
+
+def test_eventually_synchronous_holds_messages_until_gst():
+    sim = Simulator()
+    net = EventuallySynchronousNetwork(
+        sim, delta=1.0, gst=100.0, rng=DeterministicRng(0)
+    )
+    arrivals = []
+    net.register("b", lambda message: arrivals.append(sim.now))
+    for _ in range(20):
+        net.send("a", "b", "early")
+    sim.run()
+    assert len(arrivals) == 20
+    # Default adversarial schedule: nothing delivered before GST.
+    assert all(t >= 100.0 for t in arrivals)
+    assert all(t <= 101.0 + 1e-6 for t in arrivals)
+
+
+def test_eventually_synchronous_fast_after_gst():
+    sim = Simulator()
+    net = EventuallySynchronousNetwork(
+        sim, delta=1.0, gst=10.0, rng=DeterministicRng(0)
+    )
+    arrivals = []
+    net.register("b", lambda message: arrivals.append(sim.now))
+    sim.schedule(20.0, lambda: net.send("a", "b", "late"))
+    sim.run()
+    assert len(arrivals) == 1
+    assert 20.0 <= arrivals[0] <= 21.0 + 1e-6
+
+
+def test_eventually_synchronous_bounded_pre_gst_delay():
+    sim = Simulator()
+    net = EventuallySynchronousNetwork(
+        sim, delta=1.0, gst=100.0, rng=DeterministicRng(0), pre_gst_max=5.0
+    )
+    arrivals = []
+    net.register("b", lambda message: arrivals.append(sim.now))
+    net.send("a", "b", "early")
+    sim.run()
+    assert arrivals and arrivals[0] <= 5.0 + 1e-6

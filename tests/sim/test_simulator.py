@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5.0, lambda tag=tag: fired.append(tag))
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+    assert sim.now == 7.5
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, lambda: chain(depth + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    seen = []
+    sim.schedule_at(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancellation():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("cancelled"))
+    sim.schedule(2.0, lambda: fired.append("kept"))
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+    assert handle.cancelled
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_max_events_guards_against_loops():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert not sim.step()
+    sim.schedule(1.0, lambda: None)
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_pending_counts_uncancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    handle.cancel()
+    assert sim.pending == 1
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

@@ -1,0 +1,93 @@
+"""Tests for deal generators."""
+
+import pytest
+
+from repro.errors import MalformedDealError
+from repro.workloads.generators import (
+    brokered_deal,
+    clique_deal,
+    ill_formed_deal,
+    random_well_formed_deal,
+    ring_deal,
+)
+
+
+class TestRing:
+    @pytest.mark.parametrize("n", [2, 3, 7])
+    def test_parameters(self, n):
+        spec, keys = ring_deal(n=n)
+        assert spec.n_parties == n
+        assert spec.m_assets == n
+        assert spec.t_transfers == n
+        assert spec.is_well_formed()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(MalformedDealError):
+            ring_deal(n=1)
+
+    def test_chain_count_configurable(self):
+        spec, _ = ring_deal(n=6, chains=2)
+        assert len(spec.chains()) == 2
+
+    def test_deterministic(self):
+        a, _ = ring_deal(n=4)
+        b, _ = ring_deal(n=4)
+        assert a.deal_id == b.deal_id
+
+
+class TestBrokered:
+    @pytest.mark.parametrize("pairs", [1, 2, 4])
+    def test_parameters(self, pairs):
+        spec, keys = brokered_deal(pairs=pairs)
+        assert spec.n_parties == 2 * pairs + 1
+        assert spec.m_assets == 2 * pairs
+        assert spec.t_transfers == 4 * pairs
+        assert spec.is_well_formed()
+
+    def test_broker_profit(self):
+        spec, keys = brokered_deal(pairs=2, margin=3)
+        broker = keys["broker"].address
+        incoming = spec.incoming(broker)
+        assert sum(v for v in incoming.values() if isinstance(v, int)) == 6
+
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(MalformedDealError):
+            brokered_deal(pairs=0)
+
+
+class TestClique:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_parameters(self, n):
+        spec, _ = clique_deal(n=n)
+        assert spec.n_parties == n
+        assert spec.m_assets == n
+        assert spec.t_transfers == n * (n - 1)
+        assert spec.is_well_formed()
+
+
+class TestRandom:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_well_formed(self, seed):
+        spec, _ = random_well_formed_deal(seed=seed, n=5, extra_assets=3)
+        assert spec.is_well_formed()
+
+    def test_deterministic_per_seed(self):
+        a, _ = random_well_formed_deal(seed=3)
+        b, _ = random_well_formed_deal(seed=3)
+        assert a.deal_id == b.deal_id
+
+    def test_seeds_differ(self):
+        a, _ = random_well_formed_deal(seed=1)
+        b, _ = random_well_formed_deal(seed=2)
+        assert a.deal_id != b.deal_id
+
+    def test_dimensions(self):
+        spec, _ = random_well_formed_deal(seed=0, n=6, extra_assets=4, chains=3)
+        assert spec.n_parties == 6
+        assert spec.m_assets == 10
+        assert len(spec.chains()) <= 3
+
+
+def test_ill_formed_deal_is_ill_formed():
+    spec, _ = ill_formed_deal()
+    assert not spec.is_well_formed()

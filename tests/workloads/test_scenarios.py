@@ -1,0 +1,87 @@
+"""Tests for the canonical scenarios."""
+
+import pytest
+
+from repro.core.config import ProtocolKind
+from repro.core.executor import DealExecutor, auto_config
+from repro.core.outcomes import evaluate_outcome
+from repro.core.parties import CompliantParty
+from repro.errors import MalformedDealError
+from repro.workloads.scenarios import SealedBid, auction_deal, make_parties, ticket_broker_deal
+
+
+class TestTicketBroker:
+    def test_defaults_match_figure_1(self):
+        spec, keys = ticket_broker_deal()
+        assert spec.n_parties == 3
+        carol = keys["carol"].address
+        assert spec.outgoing(carol) == {"carol-coins": 101}
+
+    def test_broker_margin_parameterizable(self):
+        spec, keys = ticket_broker_deal(retail_price=150, wholesale_price=120)
+        alice = keys["alice"].address
+        assert spec.incoming(alice) == {"carol-coins": 30}
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(MalformedDealError):
+            ticket_broker_deal(retail_price=99, wholesale_price=100)
+
+    def test_ticket_count_scales(self):
+        spec, _ = ticket_broker_deal(ticket_count=5)
+        assert spec.asset("bob-tickets").units() == 5
+
+
+class TestSealedBids:
+    def test_commit_reveal_roundtrip(self):
+        bid = SealedBid.seal("bob", 42, b"salt")
+        assert bid.check_reveal(42, b"salt")
+        assert not bid.check_reveal(43, b"salt")
+        assert not bid.check_reveal(42, b"other")
+
+    def test_equal_bids_different_salts_hide(self):
+        a = SealedBid.seal("bob", 42, b"salt-a")
+        b = SealedBid.seal("carol", 42, b"salt-b")
+        assert a.commitment != b.commitment
+
+
+class TestAuction:
+    def test_highest_bid_wins(self):
+        spec, keys, winner = auction_deal({"bob": 10, "carol": 12})
+        assert winner == "carol"
+
+    def test_tie_broken_deterministically(self):
+        _, _, winner1 = auction_deal({"bob": 10, "carol": 10})
+        _, _, winner2 = auction_deal({"bob": 10, "carol": 10})
+        assert winner1 == winner2
+
+    def test_auction_needs_two_bidders(self):
+        with pytest.raises(MalformedDealError):
+            auction_deal({"bob": 10})
+
+    def test_auction_is_well_formed(self):
+        spec, _, _ = auction_deal({"bob": 10, "carol": 12, "dave": 7})
+        assert spec.is_well_formed()
+
+    @pytest.mark.parametrize("kind", [ProtocolKind.TIMELOCK, ProtocolKind.CBC])
+    def test_auction_executes(self, kind):
+        spec, keys, winner = auction_deal({"bob": 10, "carol": 12})
+        parties = [CompliantParty(kp, label) for label, kp in keys.items()]
+        result = DealExecutor(spec, parties, auto_config(spec, kind)).run()
+        assert result.all_committed()
+        report = evaluate_outcome(result)
+        assert report.safety_ok and report.strong_liveness_ok
+        # Winner gets the ticket; loser keeps its coins; Alice gets
+        # the winning bid.
+        who = {label: keys[label].address for label in keys}
+        tickets = result.final_holdings[("ticketchain", "tickets")]
+        coins = result.final_holdings[("coinchain", "coins")]
+        assert tickets[who["carol"]] == {"auction-ticket"}
+        assert coins[who["alice"]] == 12
+        assert coins[who["bob"]] == 10  # refunded through the deal
+        assert coins[who["carol"]] == 0
+
+
+def test_make_parties_deterministic():
+    a = make_parties(["x", "y"])
+    b = make_parties(["x", "y"])
+    assert a["x"].address == b["x"].address
