@@ -2,15 +2,25 @@
 
 Usage::
 
-    python benchmarks/run_all.py [output-file]
+    python benchmarks/run_all.py [output-file] [--jobs N]
 
 Writes the concatenated paper-style tables for E1..E15 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
+
+``--jobs N`` fans the experiments out over ``N`` worker processes
+(``--jobs 0`` uses every CPU).  Every experiment is a deterministic
+seeded simulation, so the report file is byte-identical whatever the
+job count — timing lines go to stdout only, never into the report.
+A per-experiment timing summary is printed at the end either way
+(it feeds the perf trajectory in BENCHMARKS.md).
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import multiprocessing
+import os
 import sys
 import time
 
@@ -32,23 +42,79 @@ EXPERIMENTS = [
     ("E15", "bench_e15_asynchrony"),
 ]
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _ensure_importable() -> None:
+    """Make the bench modules importable (needed in spawned workers)."""
+    if _BENCH_DIR not in sys.path:
+        sys.path.insert(0, _BENCH_DIR)
+
+
+def run_experiment(item: tuple[str, str]) -> tuple[str, str, str, float]:
+    """Run one experiment; return (id, module, report, elapsed seconds)."""
+    experiment_id, module_name = item
+    _ensure_importable()
+    started = time.monotonic()
+    module = importlib.import_module(module_name)
+    report = module.make_report()
+    return experiment_id, module_name, report, time.monotonic() - started
+
+
+def _timing_table(results: list[tuple[str, str, str, float]], wall: float) -> str:
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [experiment_id, module_name, f"{elapsed:.2f}s"]
+        for experiment_id, module_name, _, elapsed in results
+    ]
+    rows.append(["total", "(sum of experiments)", f"{sum(r[3] for r in results):.2f}s"])
+    rows.append(["total", "(wall clock)", f"{wall:.2f}s"])
+    return render_table(["experiment", "module", "time"], rows, title="Timing summary")
+
 
 def main(argv: list[str]) -> int:
-    sections = []
-    for experiment_id, module_name in EXPERIMENTS:
-        started = time.monotonic()
-        module = importlib.import_module(module_name)
-        report = module.make_report()
-        elapsed = time.monotonic() - started
-        header = f"===== {experiment_id} ({module_name}, {elapsed:.1f}s) ====="
-        sections.append(f"{header}\n{report}\n")
-        print(sections[-1])
-    if len(argv) > 1:
-        with open(argv[1], "w", encoding="utf-8") as handle:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default=None,
+                        help="optional file to write the concatenated reports to")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU, default 1)")
+    args = parser.parse_args(argv[1:])
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    jobs = min(jobs, len(EXPERIMENTS))
+
+    # Stream each experiment's section as soon as it is ready (pool
+    # results arrive in experiment order either way).
+    results: list[tuple[str, str, str, float]] = []
+    sections: list[str] = []
+
+    def consume(iterator) -> None:
+        for result in iterator:
+            experiment_id, module_name, report, _ = result
+            sections.append(f"===== {experiment_id} ({module_name}) =====\n{report}\n")
+            print(sections[-1])
+            results.append(result)
+
+    started = time.monotonic()
+    if jobs > 1:
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=jobs) as pool:
+            consume(pool.imap(run_experiment, EXPERIMENTS))
+    else:
+        consume(run_experiment(item) for item in EXPERIMENTS)
+    wall = time.monotonic() - started
+
+    print(_timing_table(results, wall))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
             handle.write("\n".join(sections))
-        print(f"wrote {argv[1]}")
+        print(f"wrote {args.output}")
     return 0
 
 
 if __name__ == "__main__":
+    _ensure_importable()
     sys.exit(main(sys.argv))

@@ -9,6 +9,8 @@ returns the least-squares exponent of ``y ~ x^e`` on log-log axes.
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 
 import numpy as np
 
@@ -54,6 +56,39 @@ def sweep(values, make_record) -> list[dict]:
         record = make_record(value)
         record.setdefault("x", value)
         records.append(record)
+    return records
+
+
+def sweep_parallel(values, make_record, jobs: int | None = None) -> list[dict]:
+    """Like :func:`sweep`, but fan the points out over worker processes.
+
+    Produces records identical to the serial :func:`sweep` — each
+    record must depend only on its sweep value, which holds throughout
+    this package because every stochastic choice flows through
+    :class:`repro.sim.rng.DeterministicRng` seeded from the sweep value
+    (deterministic per-seed RNG), never from global state.
+
+    ``jobs=None`` (or any non-positive count) uses every CPU;
+    ``jobs=1`` (or a single point) falls back to the serial path with
+    no worker processes.  ``make_record`` must be picklable (a
+    module-level function).
+    """
+    values = list(values)
+    if not values:
+        return []
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, len(values))
+    if jobs == 1:
+        return sweep(values, make_record)
+    # fork (where available) lets workers inherit warm crypto tables
+    # and already-imported modules; spawn is the portable fallback.
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    context = multiprocessing.get_context(method)
+    with context.Pool(processes=jobs) as pool:
+        records = pool.map(make_record, values)
+    for value, record in zip(values, records):
+        record.setdefault("x", value)
     return records
 
 

@@ -27,11 +27,7 @@ from repro.chain.events import Event
 from repro.chain.gas import GasMeter
 from repro.crypto.hashing import tagged_hash
 from repro.crypto.keys import Address, Wallet
-from repro.crypto.schnorr import (
-    Signature,
-    batch_verify as schnorr_batch_verify,
-    verify as schnorr_verify,
-)
+from repro.crypto.schnorr import Signature, verify as schnorr_verify
 from repro.errors import ContractError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -193,13 +189,7 @@ class CallContext:
         Unknown signers fail the whole batch.
         """
         self.meter.charge_sig_verify_batch(len(items))
-        wallet = self.chain.wallet
-        resolved = []
-        for signer, message, signature in items:
-            if not wallet.knows(signer):
-                return False
-            resolved.append((wallet.public_key(signer), message, signature))
-        return schnorr_batch_verify(resolved)
+        return self.chain.wallet.batch_verify(items)
 
     def emit(self, contract: "Contract", name: str, **fields: object) -> None:
         """Emit an event into the transaction's log."""

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.crypto.hashing import hash_concat
 from repro.crypto.keys import KeyPair
-from repro.crypto.schnorr import PublicKey, Signature
+from repro.crypto.schnorr import PublicKey, Signature, batch_verify as schnorr_batch_verify
 from repro.errors import ConsensusError
 
 
@@ -86,6 +86,49 @@ class ValidatorSet:
     def next_epoch(self, seed: str = "validators") -> "ValidatorSet":
         """Generate the successor set for a reconfiguration."""
         return ValidatorSet.generate(self.f, seed=seed, epoch=self.epoch + 1)
+
+    def batch_verify(
+        self, message: bytes, signatures: tuple[QuorumSignature, ...]
+    ) -> bool:
+        """Check a quorum certificate over ``message`` in one batch."""
+        return batch_verify_quorum(
+            self.public_keys(), self.quorum, message, signatures
+        )
+
+
+def batch_verify_quorum(
+    valid_keys: tuple[PublicKey, ...],
+    quorum: int,
+    message: bytes,
+    signatures,
+) -> bool:
+    """Batch-verify a quorum certificate: one combined check for all.
+
+    Structural rules match the per-signature replay in
+    :mod:`repro.core.proofs`: every signer must be a member of
+    ``valid_keys``, no signer may appear twice, and at least ``quorum``
+    signatures must be present.  The cryptographic check itself is a
+    single randomized linear combination
+    (:func:`repro.crypto.schnorr.batch_verify`) instead of one
+    exponentiation pair per signature.
+
+    This is a wall-clock API — gas accounting stays with the caller,
+    which still charges the protocol's full per-verification price.
+    """
+    entries = list(signatures)
+    if len(entries) < quorum:
+        return False
+    key_set = set(valid_keys)
+    seen: set[int] = set()
+    for entry in entries:
+        if entry.public_key.point in seen:
+            return False  # duplicate signer: malformed certificate
+        seen.add(entry.public_key.point)
+        if entry.public_key not in key_set:
+            return False  # only validators may vote
+    return schnorr_batch_verify(
+        [(entry.public_key, message, entry.signature) for entry in entries]
+    )
 
 
 @dataclass(frozen=True)

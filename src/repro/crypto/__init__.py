@@ -13,6 +13,7 @@ The paper's protocols lean on three primitives:
   :mod:`repro.crypto.merkle`.
 """
 
+from repro.crypto.fastexp import FixedBaseTable, base_pow, generator_pow, multi_pow
 from repro.crypto.hashing import sha256, sha256_hex, tagged_hash, hash_concat
 from repro.crypto.keys import Address, KeyPair, Wallet
 from repro.crypto.merkle import MerkleProof, MerkleTree
@@ -22,12 +23,18 @@ from repro.crypto.schnorr import (
     PublicKey,
     Signature,
     batch_verify,
+    clear_verification_caches,
     generate_keypair,
     sign,
     verify,
 )
 
 __all__ = [
+    "FixedBaseTable",
+    "base_pow",
+    "clear_verification_caches",
+    "generator_pow",
+    "multi_pow",
     "Address",
     "KeyPair",
     "MerkleProof",

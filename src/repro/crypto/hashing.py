@@ -10,6 +10,7 @@ same domain-separation trick used by BIP-340.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 
 def sha256(data: bytes) -> bytes:
@@ -22,15 +23,22 @@ def sha256_hex(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+@lru_cache(maxsize=256)
+def _tag_prefix(tag: str) -> bytes:
+    """The precomputed 64-byte ``SHA256(tag) || SHA256(tag)`` prefix."""
+    tag_digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    return tag_digest + tag_digest
+
+
 def tagged_hash(tag: str, data: bytes) -> bytes:
     """Return ``SHA256(SHA256(tag) || SHA256(tag) || data)``.
 
     Duplicating the tag digest (as BIP-340 does) lets implementations
-    precompute the 64-byte prefix block, and guarantees distinct tags
-    produce independent hash functions.
+    precompute the 64-byte prefix block — which we do, caching the
+    prefix per tag — and guarantees distinct tags produce independent
+    hash functions.
     """
-    tag_digest = sha256(tag.encode("utf-8"))
-    return sha256(tag_digest + tag_digest + data)
+    return sha256(_tag_prefix(tag) + data)
 
 
 def hash_concat(*parts: bytes) -> bytes:

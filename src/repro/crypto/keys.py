@@ -16,6 +16,7 @@ from repro.crypto.schnorr import (
     PrivateKey,
     PublicKey,
     Signature,
+    batch_verify,
     generate_keypair,
     sign,
     verify,
@@ -108,6 +109,20 @@ class Wallet:
         if not self.knows(address):
             return False
         return verify(self.public_key(address), message, signature)
+
+    def batch_verify(self, items: list[tuple[Address, bytes, Signature]]) -> bool:
+        """Batch-verify ``(address, message, signature)`` triples.
+
+        Resolves each address through the directory and checks the
+        whole batch in one combined equation.  An unknown signer fails
+        the batch, matching per-item :meth:`verify` semantics.
+        """
+        resolved = []
+        for address, message, signature in items:
+            if not self.knows(address):
+                return False
+            resolved.append((self.public_key(address), message, signature))
+        return batch_verify(resolved)
 
     def addresses(self) -> list[Address]:
         """Return all registered addresses, sorted for determinism."""

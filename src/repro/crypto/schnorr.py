@@ -15,33 +15,46 @@ believed hard.  We take ``g = 4`` (a quadratic residue) as generator.
 Nonces are derived deterministically from the private key and message
 (RFC 6979 style), so signing is reproducible — a requirement of the
 simulator's determinism policy (DESIGN.md §7).
+
+Performance: all exponentiation goes through
+:mod:`repro.crypto.fastexp` (fixed-base window tables for ``g``,
+per-public-key tables for hot keys, a shared-squaring multi-exponent
+for batches), and verification results are memoized in a bounded LRU
+keyed on the full ``(key, message, signature)`` triple — the timelock
+protocol re-verifies the same path signature at every hop and the CBC
+protocol re-verifies the same certificate on every chain, so repeats
+are dict hits.  None of this changes a single signature byte, and a
+cached verdict can never accept a tampered input: any change to the
+key, message, or signature is a different cache key.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
+from repro.crypto.fastexp import (
+    G,
+    P,
+    Q,
+    LruDict,
+    base_pow,
+    generator_pow,
+    multi_pow,
+)
 from repro.crypto.hashing import bytes_to_int, hash_concat, int_to_bytes, tagged_hash
 from repro.errors import CryptoError, SignatureError
 
-# RFC 3526, group 14 (2048-bit MODP).  p is a safe prime.
-P = int(
-    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
-    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
-    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
-    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
-    "49286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8"
-    "FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D"
-    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3BE39E772C"
-    "180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
-    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFF"
-    "FFFFFFFF",
-    16,
-)
-Q = (P - 1) // 2
-G = 4
-
 _SCALAR_BYTES = (Q.bit_length() + 7) // 8
+
+# Batch-verification weights: 128-bit random weights give a 2^-128
+# soundness bound (a forged signature passes only if the forger
+# predicts its Fiat-Shamir weight) while keeping the weighted
+# commitment exponents short.
+_BATCH_WEIGHT_BYTES = 16
+
+_VERIFY_CACHE = LruDict(1 << 15)
+_BATCH_CACHE = LruDict(1 << 12)
 
 
 @dataclass(frozen=True)
@@ -55,8 +68,13 @@ class PrivateKey:
             raise CryptoError("private key scalar out of range")
 
     def public_key(self) -> "PublicKey":
-        """Derive the matching public key ``g^x mod p``."""
-        return PublicKey(pow(G, self.scalar, P))
+        """Derive the matching public key ``g^x mod p`` (memoized)."""
+        return PublicKey(_public_point(self.scalar))
+
+
+@lru_cache(maxsize=4096)
+def _public_point(scalar: int) -> int:
+    return generator_pow(scalar)
 
 
 @dataclass(frozen=True)
@@ -102,11 +120,14 @@ def _challenge(commitment: int, public_key: PublicKey, message: bytes) -> int:
     return bytes_to_int(digest) % Q
 
 
+@lru_cache(maxsize=4096)
 def generate_keypair(seed: bytes) -> tuple[PrivateKey, PublicKey]:
     """Derive a keypair deterministically from ``seed``.
 
     Distinct seeds give independent keys; the same seed always gives the
-    same keypair, keeping simulations reproducible.
+    same keypair, keeping simulations reproducible.  Memoized: sweeps
+    regenerate the same labelled parties and validators for every deal,
+    and both returned objects are frozen.
     """
     scalar = bytes_to_int(tagged_hash("repro/schnorr/keygen", seed)) % (Q - 1) + 1
     private = PrivateKey(scalar)
@@ -120,7 +141,7 @@ def sign(private_key: PrivateKey, message: bytes) -> Signature:
         int_to_bytes(private_key.scalar, _SCALAR_BYTES) + message,
     )
     k = bytes_to_int(nonce_material) % (Q - 1) + 1
-    commitment = pow(G, k, P)
+    commitment = generator_pow(k)
     e = _challenge(commitment, private_key.public_key(), message)
     response = (k + e * private_key.scalar) % Q
     return Signature(commitment, response)
@@ -130,16 +151,27 @@ def verify(public_key: PublicKey, message: bytes, signature: Signature) -> bool:
     """Return ``True`` iff ``signature`` is valid for ``message``.
 
     This is the operation the gas model charges 3000 gas for when it
-    runs inside a contract (see :mod:`repro.chain.gas`).
+    runs inside a contract (see :mod:`repro.chain.gas`).  Wall-clock
+    only: verdicts are memoized on the full input triple, so repeated
+    re-verification of the same signature (every hop of a path
+    signature, every chain checking the same certificate) costs a dict
+    lookup.  A tampered message, key, or signature is a different
+    cache key and is always re-checked from scratch.
     """
     if not 1 < signature.commitment < P:
         return False
     if not 0 <= signature.response < Q:
         return False
+    key = (public_key.point, message, signature.commitment, signature.response)
+    cached = _VERIFY_CACHE.get(key)
+    if cached is not None:
+        return cached
     e = _challenge(signature.commitment, public_key, message)
-    lhs = pow(G, signature.response, P)
-    rhs = (signature.commitment * pow(public_key.point, e, P)) % P
-    return lhs == rhs
+    lhs = generator_pow(signature.response)
+    rhs = (signature.commitment * base_pow(public_key.point, e)) % P
+    result = lhs == rhs
+    _VERIFY_CACHE.put(key, result)
+    return result
 
 
 def require_valid(public_key: PublicKey, message: bytes, signature: Signature) -> None:
@@ -157,16 +189,23 @@ def batch_verify(items: list[tuple[PublicKey, bytes, Signature]]) -> bool:
 
         g^(Σ w_i·s_i)  ==  Π R_i^{w_i} · pk_i^{e_i·w_i}   (mod p)
 
-    A single multi-exponentiation replaces per-signature checks; the
-    left side needs just one fixed-base exponentiation.  Sound: a
-    forged signature only passes if the adversary predicts its random
+    The left side is one fixed-base exponentiation and the right side
+    is a single multi-exponentiation with a shared squaring chain
+    (:func:`repro.crypto.fastexp.multi_pow`), so a batch of ``k``
+    costs a fraction of ``k`` standalone checks.  Sound: a forged
+    signature only passes if the adversary predicts its 128-bit random
     weight, which the hash prevents.
 
     Returns True iff every signature in the batch is valid (an empty
-    batch is vacuously valid).
+    batch is vacuously valid).  Verdicts are memoized on the batch
+    transcript; a successful batch also seeds the per-signature verify
+    cache, since batch acceptance certifies each member.
     """
     if not items:
         return True
+    for _, _, signature in items:
+        if not 1 < signature.commitment < P or not 0 <= signature.response < Q:
+            return False
     # Fiat-Shamir weights binding the entire batch.
     transcript = hash_concat(
         *[
@@ -174,23 +213,47 @@ def batch_verify(items: list[tuple[PublicKey, bytes, Signature]]) -> bool:
             for public_key, message, signature in items
         ]
     )
+    cached = _BATCH_CACHE.get(transcript)
+    if cached is not None:
+        return cached
     weights = []
     for index in range(len(items)):
         material = tagged_hash(
             "repro/schnorr/batch-weight", transcript + index.to_bytes(8, "big")
         )
-        weights.append(bytes_to_int(material) % Q or 1)
+        weights.append(bytes_to_int(material[:_BATCH_WEIGHT_BYTES]) or 1)
 
     lhs_exponent = 0
-    rhs = 1
+    pairs = []
     for (public_key, message, signature), weight in zip(items, weights):
-        if not 1 < signature.commitment < P or not 0 <= signature.response < Q:
-            return False
         e = _challenge(signature.commitment, public_key, message)
         lhs_exponent = (lhs_exponent + weight * signature.response) % Q
-        rhs = (
-            rhs
-            * pow(signature.commitment, weight, P)
-            * pow(public_key.point, (e * weight) % Q, P)
-        ) % P
-    return pow(G, lhs_exponent, P) == rhs
+        pairs.append((signature.commitment, weight))
+        pairs.append((public_key.point, (e * weight) % Q))
+    result = generator_pow(lhs_exponent) == multi_pow(pairs, P)
+    _BATCH_CACHE.put(transcript, result)
+    if result:
+        for public_key, message, signature in items:
+            _VERIFY_CACHE.put(
+                (public_key.point, message, signature.commitment, signature.response),
+                True,
+            )
+    return result
+
+
+def cache_stats() -> dict:
+    """Hit/miss/size counters for the verification caches."""
+    return {
+        "verify_hits": _VERIFY_CACHE.hits,
+        "verify_misses": _VERIFY_CACHE.misses,
+        "verify_size": len(_VERIFY_CACHE),
+        "batch_hits": _BATCH_CACHE.hits,
+        "batch_misses": _BATCH_CACHE.misses,
+        "batch_size": len(_BATCH_CACHE),
+    }
+
+
+def clear_verification_caches() -> None:
+    """Drop all memoized verification verdicts (tests, benchmarks)."""
+    _VERIFY_CACHE.clear()
+    _BATCH_CACHE.clear()

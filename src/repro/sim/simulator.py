@@ -8,6 +8,12 @@ the same instant run in scheduling order.  Time is a float in abstract
 The simulator is single-threaded and re-entrant: callbacks may schedule
 further events (including at the current time, which run later in the
 same instant).
+
+Cancelled events are counted as they are cancelled (so :attr:`pending`
+is O(1), not a queue rescan) and purged eagerly once they make up a
+large fraction of the heap — timeout-heavy protocols cancel most of
+what they schedule, and without purging those tombstones would keep
+every captured closure alive and slow every heap operation.
 """
 
 from __future__ import annotations
@@ -19,25 +25,38 @@ from typing import Callable
 
 from repro.errors import SimulationError
 
+# Purge tombstones once there are at least this many cancelled events
+# queued *and* they outnumber the live ones.
+_PURGE_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     time: float
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    in_queue: bool = field(compare=False, default=True)
 
 
 class EventHandle:
     """A handle to a scheduled event, allowing cancellation."""
 
-    def __init__(self, event: _ScheduledEvent):
+    __slots__ = ("_event", "_simulator")
+
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator"):
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if event.in_queue:
+            self._simulator._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -66,6 +85,7 @@ class Simulator:
         self._queue: list[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> float:
@@ -79,8 +99,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """How many events are queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """How many uncancelled events are queued (O(1))."""
+        return len(self._queue) - self._cancelled_in_queue
 
     def schedule(
         self, delay: float, callback: Callable[[], None], label: str = ""
@@ -95,7 +115,7 @@ class Simulator:
             label=label,
         )
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_at(
         self, time: float, callback: Callable[[], None], label: str = ""
@@ -107,7 +127,9 @@ class Simulator:
         """Run the next event.  Return False if the queue was empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.in_queue = False
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -139,9 +161,32 @@ class Simulator:
         if until is not None and self._now < until:
             self._now = until
 
+    def _note_cancelled(self) -> None:
+        """Record a cancellation; purge tombstones once they dominate."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= _PURGE_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._purge_cancelled()
+
+    def _purge_cancelled(self) -> None:
+        """Drop every cancelled event and re-heapify the survivors."""
+        survivors = []
+        for event in self._queue:
+            if event.cancelled:
+                event.in_queue = False
+            else:
+                survivors.append(event)
+        self._queue = survivors
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
     def _peek_time(self) -> float | None:
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)
+            event.in_queue = False
+            self._cancelled_in_queue -= 1
         if not self._queue:
             return None
         return self._queue[0].time

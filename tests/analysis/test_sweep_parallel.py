@@ -1,0 +1,32 @@
+"""Tests for the parallel sweep driver."""
+
+from repro.analysis.sweep import sweep, sweep_parallel
+from repro.sim.rng import DeterministicRng
+
+
+def record_for_seed(seed: int) -> dict:
+    """A stochastic record that depends only on its seed (the package
+    discipline: all randomness flows through DeterministicRng)."""
+    stream = DeterministicRng(seed).stream("sweep-parallel-test")
+    return {"draw": stream.random(), "squared": seed * seed}
+
+
+def test_parallel_matches_serial():
+    values = [1, 2, 3, 4, 5]
+    assert sweep_parallel(values, record_for_seed, jobs=2) == sweep(
+        values, record_for_seed
+    )
+
+
+def test_parallel_preserves_order_and_adds_x():
+    records = sweep_parallel([3, 1, 2], record_for_seed, jobs=3)
+    assert [record["x"] for record in records] == [3, 1, 2]
+    assert [record["squared"] for record in records] == [9, 1, 4]
+
+
+def test_empty_values():
+    assert sweep_parallel([], record_for_seed, jobs=4) == []
+
+
+def test_single_job_falls_back_to_serial():
+    assert sweep_parallel([7], record_for_seed, jobs=1) == sweep([7], record_for_seed)

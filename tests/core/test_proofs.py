@@ -248,3 +248,34 @@ class TestPowProof:
             proof=private.proof_for(abort), claimed_status=DealStatus.ABORTED
         )
         assert verify_pow_proof(make_ctx(chain), fake, DEAL, plist, 1) is DealStatus.ABORTED
+
+
+class TestQuorumGasEquivalence:
+    def test_batched_fast_path_charges_same_gas_as_replay(self, world, monkeypatch):
+        # The batched wall-clock fast path must charge exactly what the
+        # per-signature replay charges: the protocol's gas accounting
+        # is unchanged by the crypto engine.
+        import repro.core.proofs as proofs_module
+        from repro.crypto.schnorr import clear_verification_caches
+
+        sim, wallet, cbc, chain, keys = world
+        plist, start_hash = commit_deal(sim, cbc, keys)
+        proof = StatusProof(certificate=cbc.status_certificate(DEAL))
+
+        fast_ctx = make_ctx(chain)
+        status = verify_status_proof(
+            fast_ctx, proof, cbc.initial_public_keys, DEAL, start_hash
+        )
+        assert status is DealStatus.COMMITTED
+
+        # Force the sequential replay and re-verify from a cold cache.
+        monkeypatch.setattr(
+            proofs_module, "batch_verify_quorum", lambda *args, **kwargs: False
+        )
+        clear_verification_caches()
+        slow_ctx = make_ctx(chain)
+        status = verify_status_proof(
+            slow_ctx, proof, cbc.initial_public_keys, DEAL, start_hash
+        )
+        assert status is DealStatus.COMMITTED
+        assert fast_ctx.meter.snapshot() == slow_ctx.meter.snapshot()

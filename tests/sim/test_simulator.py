@@ -122,3 +122,52 @@ def test_events_processed_counter():
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+def test_cancelled_events_are_purged_eagerly():
+    from repro.sim import simulator as simulator_module
+
+    sim = Simulator()
+    threshold = simulator_module._PURGE_MIN_CANCELLED
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(2 * threshold)]
+    live = sim.schedule(1000.0, lambda: None)
+    for handle in handles:
+        handle.cancel()
+    # Once cancellations dominate the heap, the tombstones are dropped.
+    assert len(sim._queue) < 2 * threshold
+    assert sim.pending == 1
+    sim.run()
+    assert sim.events_processed == 1
+    assert not live.cancelled
+
+
+def test_pending_is_consistent_through_pops_and_purges():
+    sim = Simulator()
+    kept = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    cancelled = [sim.schedule(float(i + 1) + 0.5, lambda: None) for i in range(10)]
+    for handle in cancelled:
+        handle.cancel()
+    assert sim.pending == 10
+    sim.step()
+    assert sim.pending == 9
+    for handle in cancelled:
+        handle.cancel()  # double-cancel is a no-op
+    assert sim.pending == 9
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_processed == 10
+    assert all(not handle.cancelled for handle in kept)
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    handle.cancel()  # already fired: must not corrupt the pending count
+    assert sim.pending == 0
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 2]

@@ -1,0 +1,61 @@
+"""Tier-1 smoke target for the crypto perf suite.
+
+Runs ``benchmarks/perfsuite.py`` in ``--quick`` mode and checks the
+``BENCH_crypto.json`` schema, so future PRs always have a working perf
+trajectory (and a regression here fails the tier-1 suite).
+"""
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import perfsuite  # noqa: E402
+
+EXPECTED_METRICS = {
+    "sign_per_s",
+    "seed_sign_per_s",
+    "sign_speedup",
+    "verify_distinct_per_s",
+    "seed_verify_per_s",
+    "verify_distinct_speedup",
+    "verify_deal_workload_per_s",
+    "verify_deal_workload_speedup",
+    "batch_verify_sigs_per_s",
+    "batch_verify_speedup",
+    "e1_wall_s",
+}
+
+
+def test_perfsuite_quick_smoke(tmp_path):
+    output = tmp_path / "BENCH_crypto.json"
+    assert perfsuite.main(["--quick", "--output", str(output)]) == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == "BENCH_crypto/v1"
+    assert report["quick"] is True
+    metrics = report["metrics"]
+    assert set(metrics) == EXPECTED_METRICS
+    assert all(value > 0 for value in metrics.values())
+    # The engine must beat the seed implementation on its hot paths.
+    # (Thresholds are intentionally far below the measured ~10x/~25x so
+    # a noisy CI box cannot flake the smoke test.)
+    assert metrics["sign_speedup"] > 1.5
+    assert metrics["verify_deal_workload_speedup"] > 1.5
+
+
+def test_seed_replicas_agree_with_engine():
+    # The in-process baseline must be a faithful replica: same bytes
+    # out of sign, same verdicts out of verify.
+    from repro.crypto.schnorr import generate_keypair, sign, verify
+
+    private, public = generate_keypair(b"perfsuite-replica")
+    message = b"replica check"
+    assert perfsuite.seed_sign(private, message) == sign(private, message)
+    signature = sign(private, message)
+    assert perfsuite.seed_verify(public, message, signature)
+    assert not perfsuite.seed_verify(public, b"other", signature)
+    assert verify(public, message, signature)
