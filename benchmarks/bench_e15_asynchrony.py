@@ -17,7 +17,7 @@ both (aborting is allowed; losing assets is not).
 
 from dataclasses import replace
 
-from repro.analysis.sweep import run_deal, sweep
+from repro.analysis.sweep import run_deal, sweep_parallel
 from repro.analysis.tables import render_table
 from repro.core.config import ProtocolKind
 from repro.core.executor import auto_config
@@ -64,7 +64,9 @@ def record_for_gst(gst: float) -> dict:
 
 
 def make_report() -> str:
-    records = sweep(GST_VALUES, record_for_gst)
+    # Each GST point is an independent seeded trial batch; fan them
+    # over the process pool (serial when nested under run_all --jobs).
+    records = sweep_parallel(GST_VALUES, record_for_gst)
     rows = [
         [r["x"], f"{r['timelock_rate']:.0%}", f"{r['cbc_rate']:.0%}", r["violations"]]
         for r in records
@@ -96,7 +98,7 @@ def test_shape_late_gst_kills_timelock_liveness_not_cbc():
 
 
 def test_shape_timelock_rate_monotone_decreasing():
-    records = sweep(GST_VALUES, record_for_gst)
+    records = sweep_parallel(GST_VALUES, record_for_gst)
     rates = [r["timelock_rate"] for r in records]
     assert all(a >= b for a, b in zip(rates, rates[1:]))
     assert all(r["cbc_rate"] == 1.0 for r in records)

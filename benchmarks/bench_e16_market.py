@@ -1,0 +1,232 @@
+"""E16 — the concurrent deal market: throughput, latency, abort rates.
+
+The paper specifies its protocols per deal; the ROADMAP's north star
+is heavy traffic.  E16 measures the gap-closer: the
+:mod:`repro.market` runtime drives thousands of deals concurrently
+over four shared chains — per-chain mempools, whole-block order
+verification via ``batch_verify_quorum``, one escrow book per chain,
+a single commit log, first-committed-wins conflict resolution.
+
+Two measurements:
+
+* the **headline run** (``MarketProfile.headline``): 5,600 deals with
+  adversaries mixed in (vote withholders, escrow no-shows, forged
+  orders) and account balances tight enough that real escrow conflicts
+  occur; it must commit >= 5,000 deals with every conservation
+  invariant holding;
+* an **arrival-rate sweep** showing how commit latency and the abort
+  rate respond to load on fixed block space.
+
+The report contains simulation quantities only (chain ticks, counts,
+fingerprints), so it is byte-identical across hosts, runs, and
+``--jobs`` settings.  Wall-clock throughput goes to
+``BENCH_market.json`` (schema ``BENCH_market/v1``) via ``main``::
+
+    python benchmarks/bench_e16_market.py [--quick] [--jobs N]
+                                          [--output BENCH_market.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from functools import partial
+
+from repro.analysis.tables import render_table
+from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
+from repro.workloads.market import MarketProfile, MarketWorkload
+
+RATE_SWEEP = [2.0, 6.0, 12.0]
+
+_SWEEP_BASE = MarketProfile(
+    deals=400, chains=4, accounts=24, initial_balance=1_800, seed=7
+)
+
+
+def run_market(
+    profile: MarketProfile, config: MarketConfig | None = None
+) -> tuple[MarketReport, float]:
+    """Run one market; return (report, wall seconds)."""
+    started = time.perf_counter()
+    workload = MarketWorkload(profile)
+    scheduler = DealScheduler(workload, config)
+    report = scheduler.run()
+    return report, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Arrival-rate sweep
+# ----------------------------------------------------------------------
+def sweep_point(rate: float, base: MarketProfile = _SWEEP_BASE) -> dict:
+    """One sweep record (simulation quantities only)."""
+    report, _ = run_market(replace(base, arrival_rate=rate))
+    return {
+        "x": rate,
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "conflicts": report.conflicts,
+        "abort_rate": report.abort_rate,
+        "p50": report.latency_p50,
+        "p99": report.latency_p99,
+        "throughput": report.deals_per_kilotick,
+    }
+
+
+def rate_sweep(
+    jobs: int | None = None, base: MarketProfile = _SWEEP_BASE
+) -> list[dict]:
+    """Fan the sweep points over the process pool (serial if nested)."""
+    from repro.analysis.sweep import sweep_parallel
+
+    return sweep_parallel(RATE_SWEEP, partial(sweep_point, base=base), jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Report and JSON
+# ----------------------------------------------------------------------
+def sweep_table(jobs: int | None = None, quick: bool = False) -> str:
+    base = replace(_SWEEP_BASE, deals=80) if quick else _SWEEP_BASE
+    records = rate_sweep(jobs=jobs, base=base)
+    sweep_rows = [
+        [
+            f"{r['x']:.0f}",
+            r["committed"],
+            r["conflicts"],
+            f"{r['abort_rate']:.1%}",
+            f"{r['p50']:.2f}",
+            f"{r['p99']:.2f}",
+            f"{r['throughput']:.1f}",
+        ]
+        for r in records
+    ]
+    return render_table(
+        ["arrivals/tick", "committed", "conflicts", "abort rate",
+         "p50 (ticks)", "p99 (ticks)", "deals/kilotick"],
+        sweep_rows,
+        title=f"E16 — load sweep ({base.deals} deals, "
+              f"{base.chains} chains, shared accounts)",
+    )
+
+
+def make_report(jobs: int | None = None, quick: bool = False) -> str:
+    profile = MarketProfile.smoke() if quick else MarketProfile.headline()
+    headline, _ = run_market(profile)
+    return headline.render() + "\n" + sweep_table(jobs=jobs, quick=quick)
+
+
+def market_metrics(report: MarketReport, wall_s: float) -> dict:
+    """The BENCH_market.json metrics block for one run."""
+    return {
+        "deals_spawned": report.deals,
+        "deals_committed": report.committed,
+        "deals_aborted": report.aborted,
+        "deals_rejected": report.rejected,
+        "deals_stuck": report.stuck,
+        "escrow_conflicts": report.conflicts,
+        "patience_timeouts": report.timeouts,
+        "abort_rate": round(report.abort_rate, 4),
+        "latency_p50_ticks": round(report.latency_p50, 3),
+        "latency_p90_ticks": round(report.latency_p90, 3),
+        "latency_p99_ticks": round(report.latency_p99, 3),
+        "chain_ticks": round(report.end_time, 3),
+        "deals_per_kilotick": round(report.deals_per_kilotick, 2),
+        "chains": report.chains,
+        "blocks": report.blocks,
+        "txs_executed": report.txs_executed,
+        "txs_reverted": report.txs_reverted,
+        "max_mempool_depth": report.max_mempool_depth,
+        "invariant_violations": len(report.invariant_violations),
+        "fingerprint": report.fingerprint(),
+        "wall_s": round(wall_s, 3),
+        "deals_per_wall_s": round(report.committed / wall_s, 2) if wall_s else 0.0,
+    }
+
+
+def write_market_json(
+    path: str,
+    quick: bool = False,
+    run: tuple[MarketReport, float] | None = None,
+    profile: MarketProfile | None = None,
+) -> dict:
+    """Write ``BENCH_market.json``; runs the market unless given a run.
+
+    A caller supplying a precomputed ``run`` must supply the profile
+    that produced it, so the JSON's profile block always describes the
+    metrics next to it.
+    """
+    if run is not None and profile is None:
+        raise ValueError("a precomputed run needs its profile")
+    if profile is None:
+        profile = MarketProfile.smoke() if quick else MarketProfile.headline()
+    report, wall_s = run if run is not None else run_market(profile)
+    payload = {
+        "schema": "BENCH_market/v1",
+        "python": platform.python_version(),
+        "quick": quick,
+        "profile": {
+            "deals": profile.deals,
+            "chains": profile.chains,
+            "accounts": profile.accounts,
+            "arrival_rate": profile.arrival_rate,
+            "initial_balance": profile.initial_balance,
+            "seed": profile.seed,
+        },
+        "metrics": market_metrics(report, wall_s),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small fixed-seed profile (smoke test)")
+    parser.add_argument("--output", default="BENCH_market.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the load sweep")
+    args = parser.parse_args(argv)
+    profile = MarketProfile.smoke() if args.quick else MarketProfile.headline()
+    run = run_market(profile)
+    payload = write_market_json(args.output, quick=args.quick, run=run,
+                                profile=profile)
+    metrics = payload["metrics"]
+    width = max(len(name) for name in metrics)
+    for name, value in metrics.items():
+        print(f"{name.ljust(width)}  {value}")
+    print(f"wrote {args.output}")
+    print()
+    print(run[0].render())
+    print(sweep_table(jobs=args.jobs, quick=args.quick))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Shape checks (run with the benchmark suite, not tier-1)
+# ----------------------------------------------------------------------
+def test_shape_smoke_market_commits_and_conserves():
+    report, _ = run_market(MarketProfile.smoke())
+    assert report.committed > report.deals * 0.8
+    assert report.stuck == 0
+    assert report.invariant_violations == ()
+
+
+def test_shape_sweep_is_job_count_invariant():
+    serial = rate_sweep(jobs=1)
+    parallel = rate_sweep(jobs=2)
+    assert serial == parallel
+
+
+def test_shape_contention_aborts_rise_with_load():
+    records = rate_sweep(jobs=1)
+    assert records[0]["abort_rate"] <= records[-1]["abort_rate"]
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

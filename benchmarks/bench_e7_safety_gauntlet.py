@@ -14,6 +14,7 @@ Paper claims reproduced as measurements:
 """
 
 from repro.adversary.strategies import ALL_STRATEGIES
+from repro.analysis.sweep import sweep_parallel
 from repro.analysis.tables import render_table
 from repro.core.config import ProtocolKind
 from repro.core.executor import DealExecutor, auto_config
@@ -43,7 +44,43 @@ def run_case(deal_seed: int, deviator_index: int, strategy: str, kind: ProtocolK
     return evaluate_outcome(result, compliant), result
 
 
-def run_gauntlet() -> dict:
+def _case_grid() -> list[tuple]:
+    """Every (protocol, seed, deviator, strategy) case, in grid order."""
+    return [
+        (kind, deal_seed, deviator_index, strategy)
+        for kind in PROTOCOLS
+        for deal_seed in DEAL_SEEDS
+        for deviator_index in range(3)
+        for strategy in GRID_STRATEGIES
+    ]
+
+
+def _case_tally(case: tuple) -> dict:
+    """Run one case and reduce it to its tally contribution."""
+    kind, deal_seed, deviator_index, strategy = case
+    report, result = run_case(deal_seed, deviator_index, strategy, kind)
+    return {
+        "cases": 1,
+        "safety_violations": 0 if report.safety_ok else 1,
+        "liveness_violations": 0 if report.weak_liveness_ok else 1,
+        "uniformity_violations": (
+            1 if kind is ProtocolKind.CBC and not report.uniform_outcome else 0
+        ),
+        "committed": 1 if result.all_committed() else 0,
+        "aborted": 0 if result.all_committed() else 1,
+    }
+
+
+def run_gauntlet(jobs: int | None = None) -> dict:
+    """Run the full grid, fanned over worker processes.
+
+    Every case is an independent seeded simulation, so the merged
+    tallies are identical whatever the job count.  ``sweep_parallel``
+    supplies the fan-out policy: ``jobs=None`` uses every CPU, and
+    inside an already-parallel run (a daemonic pool worker, e.g.
+    ``run_all.py --jobs``) it degrades to serial.
+    """
+    per_case = sweep_parallel(_case_grid(), _case_tally, jobs=jobs)
     tallies = {
         "cases": 0,
         "safety_violations": 0,
@@ -52,22 +89,9 @@ def run_gauntlet() -> dict:
         "aborted": 0,
         "committed": 0,
     }
-    for kind in PROTOCOLS:
-        for deal_seed in DEAL_SEEDS:
-            for deviator_index in range(3):
-                for strategy in GRID_STRATEGIES:
-                    report, result = run_case(deal_seed, deviator_index, strategy, kind)
-                    tallies["cases"] += 1
-                    if not report.safety_ok:
-                        tallies["safety_violations"] += 1
-                    if not report.weak_liveness_ok:
-                        tallies["liveness_violations"] += 1
-                    if kind is ProtocolKind.CBC and not report.uniform_outcome:
-                        tallies["uniformity_violations"] += 1
-                    if result.all_committed():
-                        tallies["committed"] += 1
-                    else:
-                        tallies["aborted"] += 1
+    for contribution in per_case:
+        for key in tallies:
+            tallies[key] += contribution[key]
     return tallies
 
 

@@ -25,6 +25,7 @@ experiment hammers) and writes ``BENCH_crypto.json``:
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import os
 import platform
@@ -48,6 +49,13 @@ from repro.crypto.schnorr import (
 )
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _import_bench(name: str):
+    """Import a sibling benchmark module (works from any CWD)."""
+    if _BENCH_DIR not in sys.path:
+        sys.path.insert(0, _BENCH_DIR)
+    return importlib.import_module(name)
 
 
 # ----------------------------------------------------------------------
@@ -180,9 +188,7 @@ def run_suite(quick: bool = False) -> dict:
     )
 
     # -- E1 end-to-end -------------------------------------------------
-    if _BENCH_DIR not in sys.path:
-        sys.path.insert(0, _BENCH_DIR)
-    import bench_e1_brokered_deal
+    bench_e1_brokered_deal = _import_bench("bench_e1_brokered_deal")
 
     started = time.perf_counter()
     bench_e1_brokered_deal.make_report()
@@ -209,12 +215,17 @@ def main(argv: list[str]) -> int:
                         help="short timing windows (smoke test)")
     parser.add_argument("--output", default="BENCH_crypto.json",
                         help="where to write the JSON report")
+    parser.add_argument("--market-output", default=None,
+                        help="also run the E16 market benchmark and write "
+                             "BENCH_market.json there (--quick shrinks it)")
     args = parser.parse_args(argv)
 
     # Fail on an unwritable destination *before* spending minutes
     # benchmarking.
-    with open(args.output, "a", encoding="utf-8"):
-        pass
+    for destination in (args.output, args.market_output):
+        if destination:
+            with open(destination, "a", encoding="utf-8"):
+                pass
 
     metrics = run_suite(quick=args.quick)
     report = {
@@ -232,6 +243,11 @@ def main(argv: list[str]) -> int:
     for name, value in metrics.items():
         print(f"{name.ljust(width)}  {value}")
     print(f"wrote {args.output}")
+
+    if args.market_output:
+        bench_e16_market = _import_bench("bench_e16_market")
+        bench_e16_market.write_market_json(args.market_output, quick=args.quick)
+        print(f"wrote {args.market_output}")
     return 0
 
 

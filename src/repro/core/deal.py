@@ -19,6 +19,7 @@ digraph: a deal that is not strongly connected contains free riders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import networkx as nx
 
@@ -121,9 +122,13 @@ class DealSpec:
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def deal_id(self) -> bytes:
-        """A content-derived identifier, used as the protocol nonce."""
+        """A content-derived identifier, used as the protocol nonce.
+
+        Cached: the spec is frozen, and the market runtime reads the
+        id on every step of every deal.
+        """
         parts = [b"repro/deal", self.nonce]
         parts.extend(address.value for address in self.parties)
         for asset in self.assets:

@@ -218,6 +218,24 @@ def base_pow(base: int, exponent: int) -> int:
     return table.pow(exponent)
 
 
+def prewarm_base(base: int) -> bool:
+    """Build ``base``'s window table immediately, skipping the threshold.
+
+    For bases that are *known* to be hot before the first
+    exponentiation — a fresh validator set's public keys will verify
+    certificates for the rest of the run — waiting for
+    ``_BASE_TABLE_THRESHOLD`` uses just moves the table build into the
+    measured path.  Called by
+    :class:`repro.consensus.validators.ValidatorSet` at generation
+    time.  Returns True when a table was built (False: already warm).
+    """
+    if _base_tables.get(base) is not None:
+        return False
+    _base_uses.pop(base, None)
+    _base_tables.put(base, FixedBaseTable(base, P, BASE_TABLE_BITS, BASE_WINDOW))
+    return True
+
+
 def multi_pow(pairs: list[tuple[int, int]], modulus: int = P, window: int = MULTI_WINDOW) -> int:
     """``Π base_i^{exp_i} mod modulus`` with one shared squaring chain.
 

@@ -34,6 +34,10 @@ class NetworkError(ReproError):
     """A network model rejected a send (unknown endpoint, closed network)."""
 
 
+class MarketError(ReproError):
+    """The deal-market runtime rejected an order or was misconfigured."""
+
+
 class ChainError(ReproError):
     """Base class for blockchain-substrate failures."""
 

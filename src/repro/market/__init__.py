@@ -1,0 +1,62 @@
+"""The concurrent deal-market runtime.
+
+The per-deal machinery in :mod:`repro.core` runs *one* deal on chains
+built just for it.  Real adversarial commerce is thousands of deals in
+flight at once, contending for the same escrows and the same block
+space.  This package is the runtime for that regime:
+
+* :mod:`repro.market.order` — a deal enters the market as a
+  :class:`~repro.market.order.SignedDealOrder`: a
+  :class:`~repro.core.deal.DealSpec` plus one signature per party over
+  the order manifest (the paper's "all parties agree to the deal",
+  made explicit as bytes).  Every subsequent step a party takes
+  derives its authority from that quorum.
+* :mod:`repro.market.mempool` — each chain front-ends its block
+  producer with a :class:`~repro.market.mempool.StepMempool` that
+  admits deal steps (escrow, transfer, vote, claim), seals them into
+  the next block batch, and performs **whole-block signature
+  checking**: every order first referenced in a block is verified with
+  :func:`repro.consensus.validators.batch_verify_quorum` — one batched
+  check per deal, merged across the block where possible.
+* :mod:`repro.market.book` / :mod:`repro.market.commitlog` — instead
+  of publishing one contract per (deal, asset), each chain hosts a
+  single :class:`~repro.market.book.MarketEscrowBook` holding every
+  deal's escrows (parties fund an internal account once, then trade
+  out of it), and a coordinator chain hosts the
+  :class:`~repro.market.commitlog.MarketCommitLog` that decides each
+  deal exactly once (first decision wins, commit xor abort).
+* :mod:`repro.market.scheduler` — the
+  :class:`~repro.market.scheduler.DealScheduler` drives N interleaved
+  deal state machines through escrow → transfer → vote → settle
+  against the simulated clock, detects escrow conflicts (two deals
+  drawing on the same account: the first open wins, the loser aborts
+  and is refunded), and reports throughput, chain-time latency
+  percentiles, and abort rates.
+* :mod:`repro.market.invariants` — conservation checks: token supply
+  is constant across any interleaving, the book's internal ledger
+  exactly backs its token holdings, no escrowed asset is double-spent,
+  and a deal's outcome is uniform across chains.
+
+Everything is deterministic given the workload seed; see
+``benchmarks/bench_e16_market.py`` and ``examples/market_storm.py``.
+"""
+
+from repro.market.book import MarketEscrowBook
+from repro.market.commitlog import MarketCommitLog
+from repro.market.invariants import check_market_invariants
+from repro.market.mempool import StepMempool
+from repro.market.order import SignedDealOrder, order_message, sign_order
+from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
+
+__all__ = [
+    "DealScheduler",
+    "MarketConfig",
+    "MarketReport",
+    "MarketEscrowBook",
+    "MarketCommitLog",
+    "StepMempool",
+    "SignedDealOrder",
+    "check_market_invariants",
+    "order_message",
+    "sign_order",
+]

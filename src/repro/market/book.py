@@ -1,0 +1,213 @@
+"""The per-chain market escrow book.
+
+The per-deal runtime publishes one escrow contract per (deal, asset) —
+fine for a single deal, hopeless for thousands.  The market instead
+publishes **one** :class:`MarketEscrowBook` per chain that holds every
+deal's escrows, keyed by ``(deal_id, asset_id)``.
+
+Parties *fund* an internal account once per token (a real token
+transfer into the book — the deposit-once-trade-many pattern of a
+production exchange), and deals then escrow out of that internal
+balance with pure storage operations.  Double-spends are structurally
+impossible: an ``open`` debits the internal balance under a ``require``
+and reverts when concurrent deals have already claimed the funds —
+that revert is exactly the escrow conflict the scheduler resolves
+(first open wins, the loser aborts and is refunded).
+
+Settlement is driven by the market coordinator once the commit log on
+the coordinator chain has decided the deal: ``commit`` credits every
+C-map holder's internal account, ``abort`` refunds every original
+depositor (the A-map).  Either way the book's token balance never
+moves — only the internal ledger does — so conservation is checkable
+at two levels (see :mod:`repro.market.invariants`).
+
+The book is fungible-only: the market workloads trade amounts of
+per-chain coins.  Non-fungible escrows stay on the per-deal
+:class:`~repro.core.escrow.EscrowManager` path.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts import CallContext, Contract
+from repro.crypto.keys import Address
+
+# Per-chain lifecycle of one deal's escrows.
+OPEN = "open"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class MarketEscrowBook(Contract):
+    """Every deal's escrows on one chain, plus the internal accounts."""
+
+    EXPORTS = ("fund", "withdraw", "open", "transfer", "commit", "abort")
+
+    def __init__(self, name: str, coordinator: Address):
+        super().__init__(name)
+        self.coordinator = coordinator
+        # party-facing internal ledger: (address, token) -> free balance
+        self.accounts = self.storage("accounts")
+        # (deal_id, asset_id) -> (owner, token, amount)   — the A-map
+        self.deposits = self.storage("deposits")
+        # (deal_id, asset_id) -> tuple[(party, amount), ...] — the C-map
+        self.cmap = self.storage("cmap")
+        # deal_id -> OPEN | COMMITTED | ABORTED (this chain's view)
+        self.deal_state = self.storage("dealState")
+        # deal_id -> tuple of asset_ids escrowed on this chain
+        self.deal_assets = self.storage("dealAssets")
+        # deal_id -> plist recorded at first open
+        self.plists = self.storage("plists")
+
+    # ------------------------------------------------------------------
+    # Session funding (once per party per token)
+    # ------------------------------------------------------------------
+    def fund(self, ctx: CallContext, token: str, amount: int) -> bool:
+        """Pull ``amount`` of ``token`` from the caller into the book."""
+        ctx.require(amount > 0, "non-positive funding amount")
+        ctx.call(
+            self, token, "transfer_from",
+            owner=ctx.sender, to=self.address, amount=amount,
+        )
+        key = (ctx.sender, token)
+        self.accounts[key] = self.accounts.get(key, 0) + amount
+        ctx.emit(self, "Funded", party=ctx.sender, token=token, amount=amount)
+        return True
+
+    def withdraw(self, ctx: CallContext, token: str, amount: int) -> bool:
+        """Move free internal balance back out to the caller's wallet."""
+        ctx.require(amount > 0, "non-positive withdrawal amount")
+        key = (ctx.sender, token)
+        held = self.accounts.get(key, 0)
+        ctx.require(held >= amount, "insufficient free balance")
+        self.accounts[key] = held - amount
+        ctx.call(self, token, "transfer", to=ctx.sender, amount=amount)
+        ctx.emit(self, "Withdrawn", party=ctx.sender, token=token, amount=amount)
+        return True
+
+    # ------------------------------------------------------------------
+    # Escrow and tentative transfer
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        ctx: CallContext,
+        deal_id: bytes,
+        asset_id: str,
+        token: str,
+        amount: int,
+        parties: tuple[Address, ...],
+    ) -> bool:
+        """Escrow ``amount`` of the caller's free balance for one asset.
+
+        This is the contention point of the whole market: the debit of
+        the internal account reverts when earlier opens (of *other*
+        deals) already hold the funds — first-committed-wins, enforced
+        by block order.
+        """
+        ctx.require(amount > 0, "non-positive escrow amount")
+        ctx.require(ctx.sender in parties, "owner not in plist")
+        state = self.deal_state.get(deal_id, OPEN)
+        ctx.require(state == OPEN, "deal already settled on this chain")
+        ctx.require((deal_id, asset_id) not in self.deposits, "asset already escrowed")
+        known_plist = self.plists.get(deal_id)
+        if known_plist is None:
+            self.plists[deal_id] = tuple(parties)
+            self.deal_state[deal_id] = OPEN
+        else:
+            ctx.require(known_plist == tuple(parties), "plist mismatch")
+        key = (ctx.sender, token)
+        free = self.accounts.get(key, 0)
+        ctx.require(free >= amount, "insufficient free balance for escrow")
+        self.accounts[key] = free - amount
+        self.deposits[(deal_id, asset_id)] = (ctx.sender, token, amount)
+        self.cmap[(deal_id, asset_id)] = ((ctx.sender, amount),)
+        self.deal_assets[deal_id] = self.deal_assets.get(deal_id, ()) + (asset_id,)
+        ctx.emit(self, "Escrowed", deal_id=deal_id, asset_id=asset_id,
+                 owner=ctx.sender, amount=amount)
+        return True
+
+    def transfer(
+        self, ctx: CallContext, deal_id: bytes, asset_id: str,
+        to: Address, amount: int,
+    ) -> bool:
+        """Tentatively move escrowed value from the caller to ``to``."""
+        ctx.require(amount > 0, "non-positive transfer amount")
+        ctx.require(self.deal_state.get(deal_id) == OPEN, "deal not open here")
+        ctx.require((deal_id, asset_id) in self.deposits, "asset not escrowed")
+        plist = self.plists[deal_id]
+        ctx.require(ctx.sender in plist, "giver not in plist")
+        ctx.require(to in plist, "receiver not in plist")
+        holdings = dict(self.cmap[(deal_id, asset_id)])
+        held = holdings.get(ctx.sender, 0)
+        ctx.require(held >= amount, "insufficient tentative balance")
+        holdings[ctx.sender] = held - amount
+        holdings[to] = holdings.get(to, 0) + amount
+        self.cmap[(deal_id, asset_id)] = tuple(
+            (party, value) for party, value in holdings.items() if value > 0
+        )
+        ctx.emit(self, "TentativeTransfer", deal_id=deal_id, asset_id=asset_id,
+                 giver=ctx.sender, receiver=to, amount=amount)
+        return True
+
+    # ------------------------------------------------------------------
+    # Settlement (coordinator only, after the commit log decided)
+    # ------------------------------------------------------------------
+    def commit(self, ctx: CallContext, deal_id: bytes) -> bool:
+        """Release every escrow of the deal per its C-map."""
+        ctx.require(ctx.sender == self.coordinator, "only the coordinator settles")
+        ctx.require(deal_id in self.deal_state, "deal unknown on this chain")
+        ctx.require(self.deal_state[deal_id] == OPEN, "deal already settled")
+        for asset_id in self.deal_assets.get(deal_id, ()):
+            _, token, _ = self.deposits[(deal_id, asset_id)]
+            for party, amount in self.cmap[(deal_id, asset_id)]:
+                key = (party, token)
+                self.accounts[key] = self.accounts.get(key, 0) + amount
+        self.deal_state[deal_id] = COMMITTED
+        ctx.emit(self, "DealCommitted", deal_id=deal_id)
+        return True
+
+    def abort(self, ctx: CallContext, deal_id: bytes) -> bool:
+        """Refund every escrow of the deal per its A-map.
+
+        Aborting a deal this chain has never seen is allowed and
+        records the terminal state, so a delayed ``open`` that lands
+        after the abort bounces instead of trapping funds.
+        """
+        ctx.require(ctx.sender == self.coordinator, "only the coordinator settles")
+        state = self.deal_state.get(deal_id, OPEN)
+        ctx.require(state == OPEN, "deal already settled")
+        for asset_id in self.deal_assets.get(deal_id, ()):
+            owner, token, amount = self.deposits[(deal_id, asset_id)]
+            key = (owner, token)
+            self.accounts[key] = self.accounts.get(key, 0) + amount
+        self.deal_state[deal_id] = ABORTED
+        ctx.emit(self, "DealAborted", deal_id=deal_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Off-chain inspection (scheduler, invariants, tests)
+    # ------------------------------------------------------------------
+    def peek_account(self, party: Address, token: str) -> int:
+        """A party's free internal balance (unmetered)."""
+        return self.accounts.peek((party, token), 0)
+
+    def peek_deal_state(self, deal_id: bytes) -> str | None:
+        """This chain's lifecycle state for a deal (unmetered)."""
+        return self.deal_state.peek(deal_id)
+
+    def peek_escrowed_total(self, token: str) -> int:
+        """Total still locked in *open* escrows of ``token`` (unmetered)."""
+        total = 0
+        for (deal_id, _), (_, asset_token, amount) in self.deposits.items():
+            if asset_token != token:
+                continue
+            if self.deal_state.peek(deal_id) == OPEN:
+                total += amount
+        return total
+
+    def peek_internal_total(self, token: str) -> int:
+        """Sum of all internal account balances of ``token`` (unmetered)."""
+        return sum(
+            balance
+            for (_, account_token), balance in self.accounts.items()
+            if account_token == token
+        )

@@ -1,0 +1,88 @@
+"""The market's commit log: one decision per deal, first one wins.
+
+The per-deal CBC (:mod:`repro.consensus.bft`) gives each deal its own
+certified log.  The market collapses that to a single
+:class:`MarketCommitLog` contract on the coordinator chain: deals are
+registered with their plist, parties vote commit, and the deal is
+*decided* exactly once — either the block that carries the last missing
+vote (commit) or the block that carries an abort mark (timeout or
+escrow conflict), whichever executes first.  Block order on the
+coordinator chain is the tie-breaker, which is what makes concurrent
+conflict resolution deterministic: a vote landing after an abort mark
+reverts, an abort mark landing after the deciding vote reverts.
+
+The scheduler watches ``DealDecided`` events and fans the outcome out
+to every involved chain's :class:`~repro.market.book.MarketEscrowBook`
+as commit/abort claims.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts import CallContext, Contract
+from repro.crypto.keys import Address
+
+PENDING = "pending"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class MarketCommitLog(Contract):
+    """Registration, votes, and the single decision per deal."""
+
+    EXPORTS = ("register", "vote", "mark_abort")
+
+    def __init__(self, name: str, coordinator: Address):
+        super().__init__(name)
+        self.coordinator = coordinator
+        self.plists = self.storage("plists")
+        self.status = self.storage("status")
+        self.voted = self.storage("voted")
+        self.vote_counts = self.storage("voteCounts")
+
+    def register(self, ctx: CallContext, deal_id: bytes, parties: tuple[Address, ...]) -> bool:
+        """Enter a deal into the log (coordinator, after order checks)."""
+        ctx.require(ctx.sender == self.coordinator, "only the coordinator registers")
+        ctx.require(len(parties) > 0, "empty plist")
+        ctx.require(deal_id not in self.status, "deal already registered")
+        self.plists[deal_id] = tuple(parties)
+        self.status[deal_id] = PENDING
+        self.vote_counts[deal_id] = 0
+        ctx.emit(self, "DealRegistered", deal_id=deal_id)
+        return True
+
+    def vote(self, ctx: CallContext, deal_id: bytes) -> bool:
+        """Record the caller's commit vote; the last one decides."""
+        status = self.status.get(deal_id)
+        ctx.require(status is not None, "deal not registered")
+        ctx.require(status == PENDING, "deal already decided")
+        plist = self.plists[deal_id]
+        ctx.require(ctx.sender in plist, "voter not in plist")
+        ctx.require(not self.voted.get((deal_id, ctx.sender), False), "duplicate vote")
+        self.voted[(deal_id, ctx.sender)] = True
+        count = self.vote_counts[deal_id] + 1
+        self.vote_counts[deal_id] = count
+        ctx.emit(self, "VoteRecorded", deal_id=deal_id, voter=ctx.sender)
+        if count == len(plist):
+            self.status[deal_id] = COMMITTED
+            ctx.emit(self, "DealDecided", deal_id=deal_id, outcome="commit")
+        return True
+
+    def mark_abort(self, ctx: CallContext, deal_id: bytes) -> bool:
+        """Decide abort (timeout or escrow conflict) unless already committed."""
+        status = self.status.get(deal_id)
+        ctx.require(status is not None, "deal not registered")
+        ctx.require(status == PENDING, "deal already decided")
+        ctx.require(
+            ctx.sender == self.coordinator or ctx.sender in self.plists[deal_id],
+            "only the coordinator or a party may abort",
+        )
+        self.status[deal_id] = ABORTED
+        ctx.emit(self, "DealDecided", deal_id=deal_id, outcome="abort")
+        return True
+
+    # ------------------------------------------------------------------
+    # Off-chain inspection
+    # ------------------------------------------------------------------
+    def peek_status(self, deal_id: bytes) -> str | None:
+        """The deal's decision state (unmetered)."""
+        return self.status.peek(deal_id)

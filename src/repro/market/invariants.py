@@ -1,0 +1,100 @@
+"""Ledger conservation invariants for the concurrent market.
+
+These checks are the market's safety net: whatever interleaving of
+thousands of deals the scheduler produces — commits, conflict aborts,
+timeouts, forged orders — the following must hold on every chain:
+
+1. **Supply conservation** — the total minted supply of each chain's
+   token is exactly the sum of all holder balances (accounts, the
+   book, the coordinator).  No interleaving creates or destroys value.
+2. **Book backing** — the escrow book's *token* balance equals its
+   internal ledger: every free internal account balance plus every
+   still-open escrow deposit.  Committed and aborted escrows must have
+   been credited back; nothing is double-counted and nothing leaks.
+3. **No double-spend** — internal balances are non-negative (an
+   escrowed amount can never be escrowed again; the contract's
+   ``require`` makes over-draws revert, this check proves none
+   slipped through) and every open escrow's C-map sums to exactly its
+   A-map deposit.
+4. **Uniform outcomes** — a settled deal is committed everywhere or
+   aborted everywhere; no chain disagrees with the commit log.
+
+:func:`check_market_invariants` returns a list of human-readable
+violations (empty means all invariants hold).  The scheduler runs it
+at the end of every run — and after every block when
+``MarketConfig.check_invariants_per_block`` is set (tests).
+"""
+
+from __future__ import annotations
+
+from repro.market.book import ABORTED, COMMITTED, OPEN
+
+
+def check_market_invariants(scheduler) -> list[str]:
+    """Check every conservation invariant; return the violations."""
+    violations: list[str] = []
+    for chain_id, chain in scheduler.chains.items():
+        token = scheduler.tokens[chain_id]
+        book = scheduler.books[chain_id]
+        minted = scheduler.minted.get(chain_id, 0)
+
+        # 1. Supply conservation across every on-chain holder.
+        holders = set(scheduler.workload.accounts)
+        holders.add(book.address)
+        holders.add(scheduler.coordinator.address)
+        total = sum(token.peek_balance(holder) for holder in holders)
+        if total != minted:
+            violations.append(
+                f"{chain_id}: token supply {total} != minted {minted}"
+            )
+
+        # 2. The book's token balance is exactly backed by its ledger.
+        book_balance = token.peek_balance(book.address)
+        internal = book.peek_internal_total(token.name)
+        escrowed = book.peek_escrowed_total(token.name)
+        if book_balance != internal + escrowed:
+            violations.append(
+                f"{chain_id}: book holds {book_balance} but ledger says "
+                f"{internal} free + {escrowed} escrowed"
+            )
+
+        # 3a. No internal account has gone negative.
+        for (holder, account_token), balance in book.accounts.items():
+            if balance < 0:
+                violations.append(
+                    f"{chain_id}: negative internal balance {balance} for "
+                    f"{holder} in {account_token}"
+                )
+
+        # 3b. Every open escrow's C-map sums to its deposit.
+        for (deal_id, asset_id), (_, _, amount) in book.deposits.items():
+            if book.deal_state.peek(deal_id) != OPEN:
+                continue
+            tentative = sum(
+                value for _, value in book.cmap.peek((deal_id, asset_id), ())
+            )
+            if tentative != amount:
+                violations.append(
+                    f"{chain_id}: escrow ({deal_id.hex()[:8]}, {asset_id}) "
+                    f"deposited {amount} but C-map sums to {tentative}"
+                )
+
+    # 4. Outcome uniformity: every chain agrees with the commit log.
+    for deal_id, run in scheduler.runs.items():
+        states = {
+            chain_id: scheduler.books[chain_id].peek_deal_state(deal_id)
+            for chain_id in run.claim_chains
+        }
+        if run.decided == "commit":
+            wrong = {c: s for c, s in states.items() if s != COMMITTED}
+            if run.terminal and wrong:
+                violations.append(
+                    f"deal #{run.order.index} committed but chains disagree: {wrong}"
+                )
+        elif run.decided == "abort" and run.terminal:
+            wrong = {c: s for c, s in states.items() if s not in (ABORTED, None)}
+            if wrong:
+                violations.append(
+                    f"deal #{run.order.index} aborted but chains disagree: {wrong}"
+                )
+    return violations

@@ -1,0 +1,204 @@
+"""Per-chain step mempools with whole-block signature checking.
+
+Each market chain front-ends its block producer with a
+:class:`StepMempool`.  Parties (driven by the scheduler) submit deal
+steps at any instant; the mempool *seals* once per block interval, on
+the half-grid between block boundaries, so every sealed step lands in
+the very next block the chain batches (:mod:`repro.chain.ledger`
+produces the block, :mod:`repro.chain.block` commits to it).
+
+Sealing is where order signatures are paid for, at block granularity:
+
+* every order first referenced in the sealing batch is structurally
+  checked (one signature per party, no duplicate signers, all signers
+  in the plist — the same rules
+  :func:`repro.consensus.validators.batch_verify_quorum` enforces);
+* a block carrying a single new order verifies it directly with
+  ``batch_verify_quorum`` (``quorum = n``: unanimity);
+* a block carrying several new orders merges all their signatures into
+  **one** batched Schnorr check (one shared squaring chain for the
+  whole block); only if that merged check fails does the mempool fall
+  back to per-order ``batch_verify_quorum`` to isolate the forgeries.
+
+Steps of a cleared deal flow to the chain; steps of a rejected deal
+are dropped and counted.  The shared :class:`OrderLedger` makes a deal
+cleared market-wide the moment its registration block seals on the
+coordinator chain, so asset chains never re-verify the same order.
+
+A ``max_txs_per_block`` cap models bounded block space: overflow stays
+pending for the next seal (backpressure), and ``max_depth`` records
+the worst backlog for the E16 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.chain.tx import Transaction
+from repro.consensus.validators import batch_verify_quorum, quorum_structure_ok
+from repro.crypto.schnorr import batch_verify as schnorr_batch_verify
+from repro.errors import MarketError, ReproError
+from repro.market.order import SignedDealOrder, order_message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.ledger import Chain
+    from repro.crypto.keys import Wallet
+
+
+@dataclass
+class OrderLedger:
+    """Market-wide record of which orders cleared signature checks."""
+
+    cleared: set = field(default_factory=set)
+    rejected: set = field(default_factory=set)
+
+
+@dataclass
+class _PendingStep:
+    tx: Transaction
+    deal_id: bytes
+    order: SignedDealOrder | None  # set only on registration steps
+
+
+class StepMempool:
+    """One chain's admission queue for signed deal steps."""
+
+    def __init__(
+        self,
+        chain: "Chain",
+        wallet: "Wallet",
+        ledger: OrderLedger,
+        max_txs_per_block: int = 512,
+        on_order_rejected: Callable[[bytes], None] | None = None,
+    ):
+        if max_txs_per_block <= 0:
+            raise MarketError("max_txs_per_block must be positive")
+        self.chain = chain
+        self.wallet = wallet
+        self.ledger = ledger
+        self.max_txs_per_block = max_txs_per_block
+        self.on_order_rejected = on_order_rejected
+        self._pending: list[_PendingStep] = []
+        self._seal_scheduled = False
+        self.stats = {
+            "submitted": 0,
+            "sealed": 0,
+            "dropped": 0,
+            "seals": 0,
+            "orders_cleared": 0,
+            "orders_rejected": 0,
+            "max_depth": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tx: Transaction,
+        deal_id: bytes,
+        order: SignedDealOrder | None = None,
+    ) -> None:
+        """Queue a deal step; registrations carry their signed order."""
+        self._pending.append(_PendingStep(tx, deal_id, order))
+        self.stats["submitted"] += 1
+        if len(self._pending) > self.stats["max_depth"]:
+            self.stats["max_depth"] = len(self._pending)
+        self._ensure_seal_scheduled()
+
+    def _ensure_seal_scheduled(self) -> None:
+        if self._seal_scheduled:
+            return
+        self._seal_scheduled = True
+        interval = self.chain.block_interval
+        now = self.chain.simulator.now
+        # Seal on the half-grid so sealed steps make the very next block.
+        seal_at = (int(now / interval) + 0.5) * interval
+        if seal_at <= now:
+            seal_at += interval
+        self.chain.simulator.schedule_at(
+            seal_at, self._seal, label=f"{self.chain.chain_id}/mempool-seal"
+        )
+
+    # ------------------------------------------------------------------
+    # Sealing (whole-block signature checking)
+    # ------------------------------------------------------------------
+    def _seal(self) -> None:
+        self._seal_scheduled = False
+        batch = self._pending[: self.max_txs_per_block]
+        self._pending = self._pending[self.max_txs_per_block:]
+        self.stats["seals"] += 1
+
+        new_orders: dict[bytes, SignedDealOrder] = {}
+        for step in batch:
+            if step.order is not None and step.deal_id not in self.ledger.cleared:
+                new_orders.setdefault(step.deal_id, step.order)
+        if new_orders:
+            self._clear_orders(list(new_orders.values()))
+
+        for step in batch:
+            if step.deal_id in self.ledger.cleared:
+                self.chain.submit(step.tx)
+                self.stats["sealed"] += 1
+            else:
+                self.stats["dropped"] += 1
+        if self._pending:
+            self._ensure_seal_scheduled()
+
+    def _clear_orders(self, orders: list[SignedDealOrder]) -> None:
+        """Verify every order newly referenced in this seal batch."""
+        sound: list[tuple[SignedDealOrder, tuple, bytes]] = []
+        for order in orders:
+            keys = self._expected_keys(order)
+            if keys is None or not quorum_structure_ok(
+                keys, len(order.parties), order.signatures
+            ):
+                self._reject(order)
+                continue
+            sound.append((order, keys, order_message(order.deal_id)))
+        if not sound:
+            return
+        if len(sound) == 1:
+            order, keys, message = sound[0]
+            ok = batch_verify_quorum(keys, len(keys), message, order.signatures)
+            self._record(order, ok)
+            return
+        # Whole-block fast path: one merged Schnorr batch for every
+        # order sealing in this block.
+        merged = []
+        for order, _, message in sound:
+            for entry in order.signatures:
+                merged.append((entry.public_key, message, entry.signature))
+        if schnorr_batch_verify(merged):
+            for order, _, _ in sound:
+                self._record(order, True)
+            return
+        # Some order in the block is forged: isolate per order.
+        for order, keys, message in sound:
+            ok = batch_verify_quorum(keys, len(keys), message, order.signatures)
+            self._record(order, ok)
+
+    def _expected_keys(self, order: SignedDealOrder):
+        try:
+            return tuple(self.wallet.public_key(party) for party in order.parties)
+        except ReproError:
+            return None
+
+    def _record(self, order: SignedDealOrder, ok: bool) -> None:
+        if ok:
+            self.ledger.cleared.add(order.deal_id)
+            self.stats["orders_cleared"] += 1
+        else:
+            self._reject(order)
+
+    def _reject(self, order: SignedDealOrder) -> None:
+        self.ledger.rejected.add(order.deal_id)
+        self.stats["orders_rejected"] += 1
+        if self.on_order_rejected is not None:
+            self.on_order_rejected(order.deal_id)
+
+    @property
+    def depth(self) -> int:
+        """Steps currently waiting to be sealed."""
+        return len(self._pending)

@@ -1,0 +1,98 @@
+"""Signed deal orders: how a deal enters the market.
+
+A :class:`SignedDealOrder` bundles a :class:`~repro.core.deal.DealSpec`
+with one signature per party over the order manifest
+(:func:`order_message`).  The signatures reuse the
+:class:`~repro.consensus.validators.QuorumSignature` shape so an order
+is literally a quorum certificate with ``quorum = n`` — the mempool
+verifies it with :func:`repro.consensus.validators.batch_verify_quorum`
+at block-seal time, and every later step a party submits for the deal
+(escrow, transfer, vote) derives its authority from that one check.
+
+Adversarial knobs live on the order because the market's workload
+generator plays the parties: ``withhold_votes`` lists parties that will
+validate but never vote (the deal times out and aborts), and
+``no_show`` lists owners that never escrow their assets (the deal
+stalls in the escrow phase; whatever *was* escrowed is refunded).  A
+forged order — one whose signature set does not verify — is built by
+signing the wrong message; the mempool must reject it before any step
+reaches a chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.validators import QuorumSignature
+from repro.core.deal import DealSpec
+from repro.crypto.hashing import hash_concat
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import MarketError
+
+
+def order_message(deal_id: bytes) -> bytes:
+    """The manifest every party signs to authorize a deal."""
+    return hash_concat(b"repro/market/order", deal_id)
+
+
+@dataclass(frozen=True)
+class SignedDealOrder:
+    """A deal spec plus the unanimous party signatures over its manifest."""
+
+    spec: DealSpec
+    signatures: tuple[QuorumSignature, ...]
+    arrival: float = 0.0
+    index: int = 0
+    withhold_votes: frozenset = field(default_factory=frozenset)
+    no_show: frozenset = field(default_factory=frozenset)
+
+    @property
+    def deal_id(self) -> bytes:
+        """The order's deal identifier (content-derived, see DealSpec)."""
+        return self.spec.deal_id
+
+    @property
+    def parties(self) -> tuple[Address, ...]:
+        """The deal's plist."""
+        return self.spec.parties
+
+    def voters(self) -> tuple[Address, ...]:
+        """Parties that will actually cast commit votes."""
+        return tuple(p for p in self.spec.parties if p not in self.withhold_votes)
+
+
+def sign_order(
+    spec: DealSpec,
+    keypairs: dict[Address, KeyPair],
+    arrival: float = 0.0,
+    index: int = 0,
+    withhold_votes: frozenset = frozenset(),
+    no_show: frozenset = frozenset(),
+    forge: frozenset = frozenset(),
+) -> SignedDealOrder:
+    """Produce a :class:`SignedDealOrder` with every party's signature.
+
+    ``keypairs`` maps each party address to its keypair.  Parties in
+    ``forge`` sign the *wrong* message — the resulting order is
+    structurally well-shaped but must fail whole-block verification.
+    """
+    message = order_message(spec.deal_id)
+    signatures = []
+    for party in spec.parties:
+        keypair = keypairs.get(party)
+        if keypair is None:
+            raise MarketError(f"no keypair for party {party}")
+        signed_bytes = message
+        if party in forge:
+            signed_bytes = hash_concat(b"repro/market/forged", message)
+        signatures.append(
+            QuorumSignature(keypair.public_key, keypair.sign(signed_bytes))
+        )
+    return SignedDealOrder(
+        spec=spec,
+        signatures=tuple(signatures),
+        arrival=arrival,
+        index=index,
+        withhold_votes=frozenset(withhold_votes),
+        no_show=frozenset(no_show),
+    )

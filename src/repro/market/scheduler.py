@@ -1,0 +1,609 @@
+"""The multi-deal scheduler: N interleaved deals on shared chains.
+
+:class:`DealScheduler` assembles one simulated market — shared chains,
+one token and one :class:`~repro.market.book.MarketEscrowBook` per
+chain, a :class:`~repro.market.commitlog.MarketCommitLog` on the
+coordinator chain, a :class:`~repro.market.mempool.StepMempool` in
+front of every block producer — and drives every arriving
+:class:`~repro.market.order.SignedDealOrder` through the deal phases
+of :mod:`repro.core.deal` concurrently:
+
+``register → escrow (open per asset) → transfer (spec steps in order)
+→ vote (per party) → settle (commit/abort claims per chain)``
+
+Each phase advances when the scheduler observes the previous phase's
+receipts in a block, so thousands of deals pipeline through shared
+block space, one phase hop per block interval.  Conflicts and faults
+resolve deterministically:
+
+* an ``open`` that reverts (another deal already escrowed the same
+  internal balance — first-committed-wins by block order) aborts the
+  losing deal; every escrow it *did* take is refunded;
+* a party that withholds its vote, or never escrows at all, stalls its
+  deal until the scheduler's patience expires and an abort mark
+  settles it — again with full refunds;
+* a forged order is rejected at its sealing block and never touches a
+  chain.
+
+The scheduler plays the parties directly (it holds their orders and
+submits their steps); the per-deal network/party machinery of
+:mod:`repro.core.executor` stays the reference implementation for
+single-deal protocol fidelity, while this runtime answers the
+throughput question.  Everything is deterministic given the workload:
+time, latencies, and outcomes are simulation quantities, so a
+fixed-seed report is byte-identical on any host or job count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.analysis.tables import render_table
+from repro.chain.ledger import Chain
+from repro.chain.tokens import FungibleToken
+from repro.chain.tx import Receipt, Transaction
+from repro.core.deal import DealSpec
+from repro.crypto.hashing import tagged_hash
+from repro.crypto.keys import KeyPair, Wallet
+from repro.errors import MarketError
+from repro.market.book import MarketEscrowBook
+from repro.market.commitlog import MarketCommitLog
+from repro.market.invariants import check_market_invariants
+from repro.market.mempool import OrderLedger, StepMempool
+from repro.market.order import SignedDealOrder
+from repro.sim.simulator import Simulator
+
+BOOK_CONTRACT = "market-book"
+COMMIT_LOG_CONTRACT = "market-commitlog"
+
+_ABORT_RETRY_LIMIT = 5
+
+
+class DealPhase(Enum):
+    """Lifecycle of one deal inside the market."""
+
+    REGISTERING = "registering"
+    ESCROW = "escrow"
+    TRANSFER = "transfer"
+    VOTING = "voting"
+    SETTLING = "settling"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    REJECTED = "rejected"
+
+
+_TERMINAL = {DealPhase.COMMITTED, DealPhase.ABORTED, DealPhase.REJECTED}
+
+
+@dataclass
+class _DealRun:
+    """Scheduler-internal state machine for one deal."""
+
+    order: SignedDealOrder
+    phase: DealPhase = DealPhase.REGISTERING
+    opens_expected: int = 0
+    opens_done: int = 0
+    transfers_expected: int = 0
+    transfers_done: int = 0
+    decided: str | None = None
+    abort_requested: bool = False
+    abort_retries: int = 0
+    conflict: bool = False
+    reason: str = ""
+    claim_chains: tuple[str, ...] = ()
+    settled_chains: set = field(default_factory=set)
+    finished_at: float | None = None
+    patience_handle: object = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in _TERMINAL
+
+
+@dataclass
+class MarketConfig:
+    """Knobs of one market run (all times in simulator ticks)."""
+
+    block_interval: float = 1.0
+    patience: float = 60.0
+    max_txs_per_block: int = 512
+    horizon: float | None = None
+    max_events: int = 20_000_000
+    # Re-check every conservation invariant after every block (O(state)
+    # per block — for tests, not for 5000-deal runs).
+    check_invariants_per_block: bool = False
+
+
+@dataclass
+class MarketReport:
+    """The observable outcome of one market run (simulation units only)."""
+
+    deals: int
+    committed: int
+    aborted: int
+    rejected: int
+    stuck: int
+    conflicts: int
+    timeouts: int
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    end_time: float
+    deals_per_kilotick: float
+    chains: int
+    blocks: int
+    txs_executed: int
+    txs_reverted: int
+    max_mempool_depth: int
+    events_processed: int
+    invariant_violations: tuple[str, ...] = ()
+    outcome_log: tuple = ()
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted fraction of all terminally settled deals."""
+        settled = self.committed + self.aborted
+        return self.aborted / settled if settled else 0.0
+
+    def fingerprint(self) -> str:
+        """A digest of every deal's outcome — the determinism witness."""
+        parts = [b"repro/market/report"]
+        for index, outcome, reason, latency in self.outcome_log:
+            parts.append(
+                f"{index}:{outcome}:{reason}:{latency:.9f}".encode("utf-8")
+            )
+        return tagged_hash("repro/market/fingerprint", b"|".join(parts)).hex()[:32]
+
+    def render(self) -> str:
+        """Paper-style summary table (deterministic bytes)."""
+        rows = [
+            ["deals spawned", self.deals],
+            ["committed", self.committed],
+            ["aborted", self.aborted],
+            ["rejected (forged orders)", self.rejected],
+            ["stuck (non-terminal)", self.stuck],
+            ["escrow conflicts", self.conflicts],
+            ["patience timeouts", self.timeouts],
+            ["abort rate", f"{self.abort_rate:.1%}"],
+            ["commit latency p50 (ticks)", f"{self.latency_p50:.2f}"],
+            ["commit latency p90 (ticks)", f"{self.latency_p90:.2f}"],
+            ["commit latency p99 (ticks)", f"{self.latency_p99:.2f}"],
+            ["horizon (chain ticks)", f"{self.end_time:.1f}"],
+            ["throughput (deals / 1000 ticks)", f"{self.deals_per_kilotick:.1f}"],
+            ["chains", self.chains],
+            ["blocks produced", self.blocks],
+            ["transactions executed", self.txs_executed],
+            ["transactions reverted", self.txs_reverted],
+            ["max mempool depth", self.max_mempool_depth],
+            ["conservation violations", len(self.invariant_violations)],
+            ["fingerprint", self.fingerprint()],
+        ]
+        return render_table(["measure", "value"], rows, title="Market run")
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class DealScheduler:
+    """Build one market and run a workload of concurrent deals on it."""
+
+    def __init__(self, workload, config: MarketConfig | None = None):
+        self.workload = workload
+        self.config = config or MarketConfig()
+        self.simulator = Simulator()
+        self.wallet = Wallet()
+        self.coordinator = KeyPair.from_label(f"market-coordinator/{workload.seed}")
+        self.wallet.register(self.coordinator)
+        for keypair in workload.accounts.values():
+            self.wallet.register(keypair)
+
+        self.chains: dict[str, Chain] = {}
+        self.tokens: dict[str, FungibleToken] = {}
+        self.books: dict[str, MarketEscrowBook] = {}
+        self.mempools: dict[str, StepMempool] = {}
+        self.minted: dict[str, int] = {}  # chain_id -> total token supply
+        self.order_ledger = OrderLedger()
+        self.runs: dict[bytes, _DealRun] = {}
+        self._receipts_seen = 0
+        self._receipts_reverted = 0
+
+        if len(workload.chain_ids) < 1:
+            raise MarketError("a market needs at least one chain")
+        for chain_id in workload.chain_ids:
+            chain = Chain(
+                chain_id, self.simulator, self.wallet,
+                block_interval=self.config.block_interval,
+            )
+            self.chains[chain_id] = chain
+            token = FungibleToken(workload.tokens[chain_id])
+            chain.publish(token)
+            self.tokens[chain_id] = token
+            book = MarketEscrowBook(BOOK_CONTRACT, self.coordinator.address)
+            chain.publish(book)
+            self.books[chain_id] = book
+            self.mempools[chain_id] = StepMempool(
+                chain,
+                self.wallet,
+                self.order_ledger,
+                max_txs_per_block=self.config.max_txs_per_block,
+                on_order_rejected=self._on_order_rejected,
+            )
+            chain.subscribe(self._on_block)
+        self.coordinator_chain_id = workload.chain_ids[0]
+        self.commit_log = MarketCommitLog(COMMIT_LOG_CONTRACT, self.coordinator.address)
+        self.chains[self.coordinator_chain_id].publish(self.commit_log)
+        self._fund_accounts()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _fund_accounts(self) -> None:
+        """Mint and deposit every account's session balance (setup-time)."""
+        for chain_id in self.workload.chain_ids:
+            chain = self.chains[chain_id]
+            token = self.tokens[chain_id]
+            book = self.books[chain_id]
+            total = 0
+            for address in self.workload.accounts:
+                balance = self.workload.initial_balance
+                total += balance
+                for method, args in (
+                    ("mint", {"to": address, "amount": balance}),
+                    ("approve", {"spender": book.address, "amount": balance}),
+                ):
+                    receipt = chain.execute_now(Transaction(
+                        sender=address, contract=token.name, method=method,
+                        args=args, phase="market/setup",
+                    ))
+                    if not receipt.ok:  # pragma: no cover - setup must succeed
+                        raise MarketError(f"setup failed: {receipt.error}")
+                receipt = chain.execute_now(Transaction(
+                    sender=address, contract=BOOK_CONTRACT, method="fund",
+                    args={"token": token.name, "amount": balance},
+                    phase="market/setup",
+                ))
+                if not receipt.ok:  # pragma: no cover - setup must succeed
+                    raise MarketError(f"funding failed: {receipt.error}")
+            self.minted[chain_id] = total
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> MarketReport:
+        """Admit every order at its arrival time and run to quiescence."""
+        for order in self.workload.orders():
+            self.simulator.schedule_at(
+                order.arrival,
+                lambda order=order: self._admit(order),
+                label="market/arrival",
+            )
+        self.simulator.run(
+            until=self.config.horizon, max_events=self.config.max_events
+        )
+        return self._report()
+
+    def _admit(self, order: SignedDealOrder) -> None:
+        spec = order.spec
+        deal_id = spec.deal_id
+        if deal_id in self.runs:
+            raise MarketError(f"duplicate deal id for order #{order.index}")
+        run = _DealRun(order=order)
+        run.opens_expected = len(spec.assets)
+        run.transfers_expected = len(spec.steps)
+        run.claim_chains = spec.chains()
+        self.runs[deal_id] = run
+        if not self._admissible(spec):
+            run.phase = DealPhase.REJECTED
+            run.reason = "malformed"
+            run.finished_at = self.simulator.now
+            return
+        self.mempools[self.coordinator_chain_id].submit(
+            Transaction(
+                sender=self.coordinator.address,
+                contract=COMMIT_LOG_CONTRACT,
+                method="register",
+                args={"deal_id": deal_id, "parties": spec.parties},
+                phase="market/register",
+            ),
+            deal_id,
+            order=order,
+        )
+        run.patience_handle = self.simulator.schedule(
+            self.config.patience,
+            lambda: self._on_patience(run),
+            label="market/patience",
+        )
+
+    def _admissible(self, spec: DealSpec) -> bool:
+        if not spec.assets:
+            return False
+        if any(not asset.fungible for asset in spec.assets):
+            return False
+        for asset in spec.assets:
+            if asset.chain_id not in self.chains:
+                return False
+            if asset.token != self.tokens[asset.chain_id].name:
+                return False
+        return spec.is_well_formed()
+
+    # ------------------------------------------------------------------
+    # Receipt routing (the phase engine)
+    # ------------------------------------------------------------------
+    def _on_block(self, chain: Chain, block) -> None:
+        for receipt in block.receipts:
+            self._receipts_seen += 1
+            if not receipt.ok:
+                self._receipts_reverted += 1
+            self._route(chain, receipt)
+        if self.config.check_invariants_per_block:
+            violations = check_market_invariants(self)
+            if violations:
+                raise MarketError(
+                    f"conservation violated at block {block.height} of "
+                    f"{chain.chain_id}: {violations[0]}"
+                )
+
+    def _route(self, chain: Chain, receipt: Receipt) -> None:
+        if receipt.tx.contract not in (BOOK_CONTRACT, COMMIT_LOG_CONTRACT):
+            return  # token transfers etc. are not deal phase steps
+        deal_id = receipt.tx.args.get("deal_id")
+        run = self.runs.get(deal_id)
+        if run is None or run.terminal:
+            return
+        method = receipt.tx.method
+        if method == "register":
+            self._on_register(run, receipt)
+        elif method == "open":
+            self._on_open(run, receipt)
+        elif method == "transfer":
+            self._on_transfer(run, receipt)
+        elif method in ("vote", "mark_abort"):
+            self._on_log_receipt(run, receipt)
+        elif method in ("commit", "abort"):
+            self._on_claim(run, chain, receipt)
+
+    def _on_register(self, run: _DealRun, receipt: Receipt) -> None:
+        if not receipt.ok:
+            self._finish(run, DealPhase.REJECTED, "register-reverted",
+                         receipt.executed_at)
+            return
+        run.phase = DealPhase.ESCROW
+        spec = run.order.spec
+        for asset in spec.assets:
+            if asset.owner in run.order.no_show:
+                continue  # adversarial owner: never escrows
+            self.mempools[asset.chain_id].submit(
+                Transaction(
+                    sender=asset.owner,
+                    contract=BOOK_CONTRACT,
+                    method="open",
+                    args={
+                        "deal_id": spec.deal_id,
+                        "asset_id": asset.asset_id,
+                        "token": asset.token,
+                        "amount": asset.amount,
+                        "parties": spec.parties,
+                    },
+                    phase="market/escrow",
+                ),
+                spec.deal_id,
+            )
+
+    def _on_open(self, run: _DealRun, receipt: Receipt) -> None:
+        if not receipt.ok:
+            if run.decided is not None or run.abort_requested:
+                # A straggler open bouncing off an already-settled deal
+                # (e.g. after a patience abort) is not a conflict.
+                return
+            # Escrow conflict: another deal already holds the funds.
+            run.conflict = True
+            self._request_abort(run, "conflict")
+            return
+        run.opens_done += 1
+        if run.phase is DealPhase.ESCROW and run.opens_done == run.opens_expected:
+            run.phase = DealPhase.TRANSFER
+            if run.transfers_expected == 0:
+                self._start_voting(run)
+            else:
+                self._submit_transfers(run)
+
+    def _submit_transfers(self, run: _DealRun) -> None:
+        spec = run.order.spec
+        for step in spec.steps:
+            asset = spec.asset(step.asset_id)
+            self.mempools[asset.chain_id].submit(
+                Transaction(
+                    sender=step.giver,
+                    contract=BOOK_CONTRACT,
+                    method="transfer",
+                    args={
+                        "deal_id": spec.deal_id,
+                        "asset_id": step.asset_id,
+                        "to": step.receiver,
+                        "amount": step.amount,
+                    },
+                    phase="market/transfer",
+                ),
+                spec.deal_id,
+            )
+
+    def _on_transfer(self, run: _DealRun, receipt: Receipt) -> None:
+        if not receipt.ok:
+            self._request_abort(run, "transfer-failed")
+            return
+        run.transfers_done += 1
+        if (
+            run.phase is DealPhase.TRANSFER
+            and run.transfers_done == run.transfers_expected
+        ):
+            self._start_voting(run)
+
+    def _start_voting(self, run: _DealRun) -> None:
+        run.phase = DealPhase.VOTING
+        deal_id = run.order.deal_id
+        for party in run.order.voters():
+            self.mempools[self.coordinator_chain_id].submit(
+                Transaction(
+                    sender=party,
+                    contract=COMMIT_LOG_CONTRACT,
+                    method="vote",
+                    args={"deal_id": deal_id},
+                    phase="market/commit",
+                ),
+                deal_id,
+            )
+
+    def _on_log_receipt(self, run: _DealRun, receipt: Receipt) -> None:
+        if not receipt.ok:
+            # A mark_abort can only revert because the registration has
+            # not landed yet or because the deal is already decided; in
+            # the latter case the decision receipt precedes this one (the
+            # log's state changed first), so ``decided`` is already set
+            # and no retry fires.  No error-message inspection needed.
+            if (
+                receipt.tx.method == "mark_abort"
+                and run.decided is None
+                and run.abort_retries < _ABORT_RETRY_LIMIT
+            ):
+                run.abort_retries += 1
+                run.abort_requested = False
+                self.simulator.schedule(
+                    2 * self.config.block_interval,
+                    lambda: self._request_abort(run, run.reason or "timeout"),
+                    label="market/abort-retry",
+                )
+            return  # a vote losing the race with an abort mark is benign
+        for event in receipt.events:
+            if event.name == "DealDecided":
+                self._on_decided(run, event.fields["outcome"], receipt.executed_at)
+
+    def _request_abort(self, run: _DealRun, reason: str) -> None:
+        if run.abort_requested or run.decided is not None or run.terminal:
+            return
+        run.abort_requested = True
+        if not run.reason:
+            run.reason = reason
+        self.mempools[self.coordinator_chain_id].submit(
+            Transaction(
+                sender=self.coordinator.address,
+                contract=COMMIT_LOG_CONTRACT,
+                method="mark_abort",
+                args={"deal_id": run.order.deal_id},
+                phase="market/abort",
+            ),
+            run.order.deal_id,
+        )
+
+    def _on_decided(self, run: _DealRun, outcome: str, at: float) -> None:
+        if run.decided is not None:
+            return
+        run.decided = outcome
+        run.phase = DealPhase.SETTLING
+        method = "commit" if outcome == "commit" else "abort"
+        for chain_id in run.claim_chains:
+            self.mempools[chain_id].submit(
+                Transaction(
+                    sender=self.coordinator.address,
+                    contract=BOOK_CONTRACT,
+                    method=method,
+                    args={"deal_id": run.order.deal_id},
+                    phase=f"market/{method}-claim",
+                ),
+                run.order.deal_id,
+            )
+
+    def _on_claim(self, run: _DealRun, chain: Chain, receipt: Receipt) -> None:
+        if not receipt.ok:
+            return  # duplicate claim after the deal settled: benign
+        run.settled_chains.add(chain.chain_id)
+        if set(run.claim_chains) <= run.settled_chains:
+            if run.decided == "commit":
+                # A patience/abort request that lost the race with the
+                # deciding vote leaves a stale reason; the deal committed.
+                self._finish(run, DealPhase.COMMITTED, "", receipt.executed_at)
+            else:
+                self._finish(run, DealPhase.ABORTED, run.reason,
+                             receipt.executed_at)
+
+    def _on_patience(self, run: _DealRun) -> None:
+        if run.terminal or run.decided is not None:
+            return
+        self._request_abort(run, "timeout")
+
+    def _on_order_rejected(self, deal_id: bytes) -> None:
+        run = self.runs.get(deal_id)
+        if run is None or run.terminal:
+            return
+        self._finish(run, DealPhase.REJECTED, "forged", self.simulator.now)
+
+    def _finish(self, run: _DealRun, phase: DealPhase, reason: str, at: float) -> None:
+        run.phase = phase
+        run.reason = reason
+        run.finished_at = at
+        if run.patience_handle is not None:
+            run.patience_handle.cancel()
+            run.patience_handle = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self) -> MarketReport:
+        committed = aborted = rejected = stuck = conflicts = timeouts = 0
+        commit_latencies: list[float] = []
+        outcome_log = []
+        for run in self.runs.values():
+            latency = (
+                run.finished_at - run.order.arrival
+                if run.finished_at is not None
+                else -1.0
+            )
+            outcome_log.append(
+                (run.order.index, run.phase.value, run.reason, latency)
+            )
+            if run.phase is DealPhase.COMMITTED:
+                committed += 1
+                commit_latencies.append(latency)
+            elif run.phase is DealPhase.ABORTED:
+                aborted += 1
+            elif run.phase is DealPhase.REJECTED:
+                rejected += 1
+            else:
+                stuck += 1
+            if run.conflict:
+                conflicts += 1
+            if run.phase is DealPhase.ABORTED and run.reason == "timeout":
+                timeouts += 1
+        commit_latencies.sort()
+        outcome_log.sort()
+        end_time = self.simulator.now
+        return MarketReport(
+            deals=len(self.runs),
+            committed=committed,
+            aborted=aborted,
+            rejected=rejected,
+            stuck=stuck,
+            conflicts=conflicts,
+            timeouts=timeouts,
+            latency_p50=_percentile(commit_latencies, 0.50),
+            latency_p90=_percentile(commit_latencies, 0.90),
+            latency_p99=_percentile(commit_latencies, 0.99),
+            end_time=end_time,
+            deals_per_kilotick=(committed / end_time * 1000.0) if end_time else 0.0,
+            chains=len(self.chains),
+            blocks=sum(len(chain.blocks) - 1 for chain in self.chains.values()),
+            txs_executed=self._receipts_seen,
+            txs_reverted=self._receipts_reverted,
+            max_mempool_depth=max(
+                pool.stats["max_depth"] for pool in self.mempools.values()
+            ),
+            events_processed=self.simulator.events_processed,
+            invariant_violations=tuple(check_market_invariants(self)),
+            outcome_log=tuple(outcome_log),
+        )

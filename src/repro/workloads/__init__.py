@@ -1,4 +1,4 @@
-"""Deal workloads: canonical scenarios and random generators."""
+"""Deal workloads: canonical scenarios, random generators, markets."""
 
 from repro.workloads.generators import (
     brokered_deal,
@@ -7,6 +7,7 @@ from repro.workloads.generators import (
     random_well_formed_deal,
     ring_deal,
 )
+from repro.workloads.market import MarketProfile, MarketWorkload
 from repro.workloads.scenarios import (
     altcoin_brokered_deal,
     auction_deal,
@@ -15,6 +16,8 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "MarketProfile",
+    "MarketWorkload",
     "altcoin_brokered_deal",
     "auction_deal",
     "brokered_deal",

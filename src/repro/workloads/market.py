@@ -1,0 +1,265 @@
+"""Marketplace workload generation for the concurrent deal market.
+
+A :class:`MarketWorkload` produces a deterministic stream of
+:class:`~repro.market.order.SignedDealOrder`\\ s — brokered deals,
+payment rings, and sealed-outcome auctions — arriving at a
+configurable rate over a *shared* pool of accounts and chains, which
+is what distinguishes it from :mod:`repro.workloads.generators`: those
+builders mint fresh parties and chains per deal, while market deals
+contend for the same internal balances and the same block space.
+
+Adversaries ride along at configurable rates:
+
+* ``withhold_rate`` — one party of the deal validates but never votes;
+  the deal stalls in the voting phase until the scheduler's patience
+  aborts it (everyone is refunded);
+* ``no_show_rate`` — one owner never escrows its asset; the deal
+  stalls in the escrow phase (partial escrows are refunded on abort);
+* ``forge_rate`` — one signature in the order is over the wrong
+  message; whole-block verification must reject the order before any
+  step reaches a chain;
+* contention is implicit: with a small account pool, bounded
+  ``initial_balance``, and a high arrival rate, concurrent deals
+  overdraw shared internal balances and the losers abort
+  (first-committed-wins).
+
+All randomness flows through :class:`repro.sim.rng.DeterministicRng`,
+so a profile + seed fully determines the order stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.deal import Asset, DealSpec, TransferStep
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import MarketError
+from repro.market.order import SignedDealOrder, sign_order
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class MarketProfile:
+    """Shape of one market workload (all rates per simulator tick)."""
+
+    deals: int = 200
+    chains: int = 4
+    accounts: int = 32
+    arrival_rate: float = 4.0
+    initial_balance: int = 5_000
+    amount_lo: int = 50
+    amount_hi: int = 400
+    ring_weight: float = 0.5
+    broker_weight: float = 0.3
+    auction_weight: float = 0.2
+    withhold_rate: float = 0.03
+    no_show_rate: float = 0.02
+    forge_rate: float = 0.01
+    seed: int = 0
+
+    @staticmethod
+    def smoke(seed: int = 0) -> "MarketProfile":
+        """Small fixed-seed profile for the tier-1 smoke test."""
+        return MarketProfile(
+            deals=120, chains=4, accounts=16, arrival_rate=4.0,
+            initial_balance=2_000, seed=seed,
+        )
+
+    @staticmethod
+    def headline(seed: int = 0) -> "MarketProfile":
+        """The E16 acceptance-scale run: >5,000 commits over 4 chains.
+
+        Balances are sized so that account-level contention actually
+        happens (a busy account's balance random-walks low and its
+        next escrow conflicts) while the commit rate stays ~94%.
+        """
+        return MarketProfile(
+            deals=5_600, chains=4, accounts=48, arrival_rate=6.0,
+            initial_balance=4_500, seed=seed,
+        )
+
+    @staticmethod
+    def contended(seed: int = 0) -> "MarketProfile":
+        """Deliberately starved balances: frequent escrow conflicts."""
+        return MarketProfile(
+            deals=300, chains=4, accounts=8, arrival_rate=8.0,
+            initial_balance=700, amount_lo=150, amount_hi=400,
+            withhold_rate=0.0, no_show_rate=0.0, forge_rate=0.0, seed=seed,
+        )
+
+
+class MarketWorkload:
+    """A deterministic order stream plus the market it runs on."""
+
+    def __init__(self, profile: MarketProfile):
+        if profile.chains < 1 or profile.accounts < 3 or profile.deals < 1:
+            raise MarketError("profile needs >=1 chain, >=3 accounts, >=1 deal")
+        self.profile = profile
+        self.seed = profile.seed
+        self.chain_ids = tuple(f"mchain{c}" for c in range(profile.chains))
+        self.tokens = {chain_id: f"mcoin{c}" for c, chain_id in enumerate(self.chain_ids)}
+        self.initial_balance = profile.initial_balance
+        self.accounts: dict[Address, KeyPair] = {}
+        self._labels: dict[Address, str] = {}
+        for i in range(profile.accounts):
+            keypair = KeyPair.from_label(f"market/{profile.seed}/acct{i}")
+            self.accounts[keypair.address] = keypair
+            self._labels[keypair.address] = f"acct{i}"
+        self._addresses = list(self.accounts)
+        self._rng = DeterministicRng(f"market/{profile.seed}")
+
+    # ------------------------------------------------------------------
+    # Order stream
+    # ------------------------------------------------------------------
+    @cached_property
+    def _orders(self) -> tuple[SignedDealOrder, ...]:
+        profile = self.profile
+        rng = self._rng
+        weights = [
+            ("ring", profile.ring_weight),
+            ("broker", profile.broker_weight),
+            ("auction", profile.auction_weight),
+        ]
+        total_weight = sum(w for _, w in weights) or 1.0
+        orders = []
+        clock = 0.0
+        for index in range(profile.deals):
+            clock += -math.log(1.0 - rng.random("arrivals")) / profile.arrival_rate
+            pick = rng.random("template") * total_weight
+            template = weights[-1][0]
+            for name, weight in weights:
+                if pick < weight:
+                    template = name
+                    break
+                pick -= weight
+            if template == "ring":
+                spec = self._ring_spec(index)
+            elif template == "broker":
+                spec = self._broker_spec(index)
+            else:
+                spec = self._auction_spec(index)
+            withhold_votes: frozenset = frozenset()
+            no_show: frozenset = frozenset()
+            forge: frozenset = frozenset()
+            if rng.random("withhold") < profile.withhold_rate:
+                withhold_votes = frozenset({rng.choice("withhold-pick", list(spec.parties))})
+            elif rng.random("no-show") < profile.no_show_rate:
+                owners = sorted({asset.owner for asset in spec.assets})
+                no_show = frozenset({rng.choice("no-show-pick", owners)})
+            elif rng.random("forge") < profile.forge_rate:
+                forge = frozenset({rng.choice("forge-pick", list(spec.parties))})
+            orders.append(
+                sign_order(
+                    spec,
+                    self.accounts,
+                    arrival=clock,
+                    index=index,
+                    withhold_votes=withhold_votes,
+                    no_show=no_show,
+                    forge=forge,
+                )
+            )
+        return tuple(orders)
+
+    def orders(self) -> tuple[SignedDealOrder, ...]:
+        """The full deterministic order stream, in arrival order."""
+        return self._orders
+
+    # ------------------------------------------------------------------
+    # Deal templates (all fungible, over the shared account pool)
+    # ------------------------------------------------------------------
+    def _pick_parties(self, count: int, tag: str) -> list[Address]:
+        pool = self._rng.shuffle(f"parties/{tag}", self._addresses)
+        return pool[:count]
+
+    def _amount(self, tag: str) -> int:
+        return self._rng.randint(tag, self.profile.amount_lo, self.profile.amount_hi)
+
+    def _chain_for(self, tag: str) -> str:
+        return self._rng.choice(tag, list(self.chain_ids))
+
+    def _spec(self, parties, assets, steps, index: int) -> DealSpec:
+        return DealSpec(
+            parties=tuple(parties),
+            assets=tuple(assets),
+            steps=tuple(steps),
+            labels={p: self._labels[p] for p in parties},
+            nonce=f"market/{self.profile.seed}/deal{index}".encode("utf-8"),
+        )
+
+    def _ring_spec(self, index: int) -> DealSpec:
+        """Party *i* pays party *i+1* around a cycle of 2-4 accounts."""
+        n = min(self._rng.randint("ring-n", 2, 4), len(self._addresses))
+        parties = self._pick_parties(n, f"ring{index}")
+        assets, steps = [], []
+        for i, party in enumerate(parties):
+            chain_id = self._chain_for("ring-chain")
+            amount = self._amount("ring-amount")
+            asset_id = f"ring{i}"
+            assets.append(Asset(
+                asset_id=asset_id, chain_id=chain_id,
+                token=self.tokens[chain_id], owner=party, amount=amount,
+            ))
+            steps.append(TransferStep(
+                asset_id=asset_id, giver=party,
+                receiver=parties[(i + 1) % n], amount=amount,
+            ))
+        return self._spec(parties, assets, steps, index)
+
+    def _broker_spec(self, index: int) -> DealSpec:
+        """Figure 1's shape: seller -> broker -> buyer, margin kept."""
+        seller, broker, buyer = self._pick_parties(3, f"broker{index}")
+        goods_chain = self._chain_for("broker-goods-chain")
+        coin_chain = self._chain_for("broker-coin-chain")
+        price = self._amount("broker-price")
+        margin = max(1, price // 10)
+        goods = self._amount("broker-goods")
+        assets = [
+            Asset(asset_id="goods", chain_id=goods_chain,
+                  token=self.tokens[goods_chain], owner=seller, amount=goods),
+            Asset(asset_id="payment", chain_id=coin_chain,
+                  token=self.tokens[coin_chain], owner=buyer,
+                  amount=price + margin),
+        ]
+        steps = [
+            TransferStep(asset_id="goods", giver=seller, receiver=broker, amount=goods),
+            TransferStep(asset_id="goods", giver=broker, receiver=buyer, amount=goods),
+            TransferStep(asset_id="payment", giver=buyer, receiver=broker,
+                         amount=price + margin),
+            TransferStep(asset_id="payment", giver=broker, receiver=seller,
+                         amount=price),
+        ]
+        return self._spec([seller, broker, buyer], assets, steps, index)
+
+    def _auction_spec(self, index: int) -> DealSpec:
+        """A resolved auction: winner pays, seller delivers, loser refunded.
+
+        The losing bidder escrows its bid but no step touches it, so it
+        returns to the bidder on commit — the deal digraph drops the
+        isolated vertex, keeping the deal well-formed (§5.1).
+        """
+        seller, bidder_a, bidder_b = self._pick_parties(3, f"auction{index}")
+        lot_chain = self._chain_for("auction-lot-chain")
+        bid_a = self._amount("auction-bid-a")
+        bid_b = self._amount("auction-bid-b")
+        winner, loser = (bidder_a, bidder_b) if bid_a >= bid_b else (bidder_b, bidder_a)
+        winning_bid, losing_bid = max(bid_a, bid_b), min(bid_a, bid_b)
+        lot = self._amount("auction-lot")
+        win_chain = self._chain_for("auction-win-chain")
+        lose_chain = self._chain_for("auction-lose-chain")
+        assets = [
+            Asset(asset_id="lot", chain_id=lot_chain,
+                  token=self.tokens[lot_chain], owner=seller, amount=lot),
+            Asset(asset_id="winning-bid", chain_id=win_chain,
+                  token=self.tokens[win_chain], owner=winner, amount=winning_bid),
+            Asset(asset_id="losing-bid", chain_id=lose_chain,
+                  token=self.tokens[lose_chain], owner=loser, amount=losing_bid),
+        ]
+        steps = [
+            TransferStep(asset_id="lot", giver=seller, receiver=winner, amount=lot),
+            TransferStep(asset_id="winning-bid", giver=winner, receiver=seller,
+                         amount=winning_bid),
+        ]
+        return self._spec([seller, winner, loser], assets, steps, index)

@@ -95,6 +95,30 @@ def test_multi_pow_empty_is_identity():
     assert multi_pow([], P) == 1
 
 
+def test_prewarm_base_builds_table_immediately():
+    base = pow(G, 0xC0FFEE, P)
+    fastexp.clear_caches()
+    assert fastexp.prewarm_base(base)
+    assert not fastexp.prewarm_base(base)  # already warm
+    assert fastexp.cache_stats()["base_tables"] == 1
+    rng = random.Random(19)
+    exponent = rng.getrandbits(256)
+    assert base_pow(base, exponent) == pow(base, exponent, P)
+
+
+def test_validator_set_generation_prewarms_member_tables():
+    from repro.consensus.validators import ValidatorSet
+
+    fastexp.clear_caches()
+    validators = ValidatorSet.generate(1, seed="prewarm-check")
+    assert fastexp.cache_stats()["base_tables"] >= validators.size
+    # The warmed tables answer exactly like builtins.pow.
+    rng = random.Random(23)
+    for key in validators.public_keys():
+        exponent = rng.getrandbits(256)
+        assert base_pow(key.point, exponent) == pow(key.point, exponent, P)
+
+
 def test_lru_dict_evicts_least_recently_used():
     cache = LruDict(2)
     cache.put("a", 1)

@@ -1,0 +1,61 @@
+"""Shared builders for the market test suite (not a test module)."""
+
+from __future__ import annotations
+
+from repro.core.deal import Asset, DealSpec, TransferStep
+from repro.crypto.keys import KeyPair
+from repro.market.order import sign_order
+from repro.market.scheduler import DealScheduler, MarketConfig
+
+
+class HandWorkload:
+    """A workload with explicit orders over a tiny account pool."""
+
+    def __init__(self, orders_builder, accounts: int = 4, chains: int = 2,
+                 balance: int = 1_000, seed: str = "hand"):
+        self.seed = seed
+        self.chain_ids = tuple(f"mchain{c}" for c in range(chains))
+        self.tokens = {cid: f"mcoin{c}" for c, cid in enumerate(self.chain_ids)}
+        self.initial_balance = balance
+        self.accounts = {}
+        self.labels = []
+        for i in range(accounts):
+            keypair = KeyPair.from_label(f"{seed}/acct{i}")
+            self.accounts[keypair.address] = keypair
+            self.labels.append(keypair.address)
+        self._orders_builder = orders_builder
+
+    def orders(self):
+        return self._orders_builder(self)
+
+
+def two_party_swap(wl: HandWorkload, index=0, arrival=0.5, amount=100,
+                   a=0, b=1, **order_kwargs):
+    """p_a pays p_b on the first chain, p_b pays p_a on the last."""
+    pa, pb = wl.labels[a], wl.labels[b]
+    spec = DealSpec(
+        parties=(pa, pb),
+        assets=(
+            Asset(asset_id="left", chain_id=wl.chain_ids[0],
+                  token=wl.tokens[wl.chain_ids[0]], owner=pa, amount=amount),
+            Asset(asset_id="right", chain_id=wl.chain_ids[-1],
+                  token=wl.tokens[wl.chain_ids[-1]], owner=pb, amount=amount),
+        ),
+        steps=(
+            TransferStep(asset_id="left", giver=pa, receiver=pb, amount=amount),
+            TransferStep(asset_id="right", giver=pb, receiver=pa, amount=amount),
+        ),
+        nonce=f"hand/{index}".encode(),
+    )
+    return sign_order(spec, wl.accounts, arrival=arrival, index=index,
+                      **order_kwargs)
+
+
+def run_hand(orders_builder, **workload_kwargs):
+    """Run hand-built orders with per-block invariant checking on."""
+    workload = HandWorkload(orders_builder, **workload_kwargs)
+    scheduler = DealScheduler(
+        workload, MarketConfig(patience=30.0, check_invariants_per_block=True)
+    )
+    report = scheduler.run()
+    return scheduler, report
