@@ -7,22 +7,29 @@ over four shared chains — per-chain mempools, whole-block order
 verification via ``batch_verify_quorum``, one escrow book per chain,
 a single commit log, first-committed-wins conflict resolution.
 
-Two measurements:
+Three measurements:
 
 * the **headline run** (``MarketProfile.headline``): 5,600 deals with
   adversaries mixed in (vote withholders, escrow no-shows, forged
   orders) and account balances tight enough that real escrow conflicts
   occur; it must commit >= 5,000 deals with every conservation
   invariant holding;
+* a **protocol-mix run** (``MarketProfile.mixed``): the paper's two
+  real commit protocols — timelock path-signature voting (§5) and CBC
+  certified proofs (§6) — interleaved with unanimity deals and NFT
+  ticket sales on the same chains, with stale-proof forgers and
+  double-sellers mixed in; with ``--protocol-mix`` it must commit
+  >= 1,000 deals *per protocol* with zero invariant violations;
 * an **arrival-rate sweep** showing how commit latency and the abort
   rate respond to load on fixed block space.
 
 The report contains simulation quantities only (chain ticks, counts,
 fingerprints), so it is byte-identical across hosts, runs, and
 ``--jobs`` settings.  Wall-clock throughput goes to
-``BENCH_market.json`` (schema ``BENCH_market/v1``) via ``main``::
+``BENCH_market.json`` (schema ``BENCH_market/v2``) via ``main``::
 
     python benchmarks/bench_e16_market.py [--quick] [--jobs N]
+                                          [--protocol-mix]
                                           [--output BENCH_market.json]
 """
 
@@ -115,12 +122,56 @@ def sweep_table(jobs: int | None = None, quick: bool = False) -> str:
 def make_report(jobs: int | None = None, quick: bool = False) -> str:
     profile = MarketProfile.smoke() if quick else MarketProfile.headline()
     headline, _ = run_market(profile)
-    return headline.render() + "\n" + sweep_table(jobs=jobs, quick=quick)
+    return (
+        headline.render()
+        + "\n" + protocol_table(quick=quick)
+        + "\n" + sweep_table(jobs=jobs, quick=quick)
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol mix
+# ----------------------------------------------------------------------
+def protocol_table(quick: bool = False, seed: int = 5) -> str:
+    """A small protocol-mix run for the experiment report."""
+    profile = (
+        MarketProfile.mixed_smoke(seed=seed) if quick
+        else MarketProfile.mixed(seed=seed, deals=400)
+    )
+    report, _ = run_market(profile)
+    rows = report.protocol_outcome_rows(include_p90=False)
+    rows.append([
+        "(all)", report.committed, report.aborted, report.rejected,
+        f"{report.latency_p50:.2f}", f"{report.latency_p99:.2f}",
+    ])
+    return render_table(
+        ["protocol", "committed", "aborted", "rejected",
+         "p50 (ticks)", "p99 (ticks)"],
+        rows,
+        title=f"E16 — protocol mix ({profile.deals} deals: unanimity / "
+              f"timelock §5 / CBC §6, {report.stale_proofs_rejected} stale "
+              f"proofs rejected, {len(report.invariant_violations)} "
+              "invariant violations)",
+    )
 
 
 def market_metrics(report: MarketReport, wall_s: float) -> dict:
     """The BENCH_market.json metrics block for one run."""
+    per_protocol = {
+        protocol: {
+            "committed": committed,
+            "aborted": aborted,
+            "rejected": rejected,
+            "latency_p50_ticks": round(p50, 3),
+            "latency_p99_ticks": round(p99, 3),
+        }
+        for protocol, committed, aborted, rejected, p50, _p90, p99
+        in report.per_protocol
+    }
     return {
+        "per_protocol": per_protocol,
+        "stale_proofs_rejected": report.stale_proofs_rejected,
+        "timelock_refund_sweeps": report.timelock_refund_sweeps,
         "deals_spawned": report.deals,
         "deals_committed": report.committed,
         "deals_aborted": report.aborted,
@@ -146,9 +197,16 @@ def market_metrics(report: MarketReport, wall_s: float) -> dict:
     }
 
 
+def _pick_profile(quick: bool, mixed: bool) -> MarketProfile:
+    if mixed:
+        return MarketProfile.mixed_smoke() if quick else MarketProfile.mixed()
+    return MarketProfile.smoke() if quick else MarketProfile.headline()
+
+
 def write_market_json(
     path: str,
     quick: bool = False,
+    mixed: bool = False,
     run: tuple[MarketReport, float] | None = None,
     profile: MarketProfile | None = None,
 ) -> dict:
@@ -161,10 +219,10 @@ def write_market_json(
     if run is not None and profile is None:
         raise ValueError("a precomputed run needs its profile")
     if profile is None:
-        profile = MarketProfile.smoke() if quick else MarketProfile.headline()
+        profile = _pick_profile(quick, mixed)
     report, wall_s = run if run is not None else run_market(profile)
     payload = {
-        "schema": "BENCH_market/v1",
+        "schema": "BENCH_market/v2",
         "python": platform.python_version(),
         "quick": quick,
         "profile": {
@@ -173,6 +231,9 @@ def write_market_json(
             "accounts": profile.accounts,
             "arrival_rate": profile.arrival_rate,
             "initial_balance": profile.initial_balance,
+            "protocol_mix": [list(pair) for pair in profile.protocol_mix],
+            "nft_rate": profile.nft_rate,
+            "stale_proof_rate": profile.stale_proof_rate,
             "seed": profile.seed,
         },
         "metrics": market_metrics(report, wall_s),
@@ -187,14 +248,18 @@ def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small fixed-seed profile (smoke test)")
+    parser.add_argument("--protocol-mix", action="store_true",
+                        help="run the mixed unanimity/timelock/CBC profile "
+                             "instead of the unanimity headline")
     parser.add_argument("--output", default="BENCH_market.json",
                         help="where to write the JSON report")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the load sweep")
     args = parser.parse_args(argv)
-    profile = MarketProfile.smoke() if args.quick else MarketProfile.headline()
+    profile = _pick_profile(args.quick, args.protocol_mix)
     run = run_market(profile)
-    payload = write_market_json(args.output, quick=args.quick, run=run,
+    payload = write_market_json(args.output, quick=args.quick,
+                                mixed=args.protocol_mix, run=run,
                                 profile=profile)
     metrics = payload["metrics"]
     width = max(len(name) for name in metrics)
@@ -203,6 +268,26 @@ def main(argv: list[str]) -> int:
     print(f"wrote {args.output}")
     print()
     print(run[0].render())
+    if args.protocol_mix:
+        report = run[0]
+        # The quick profile runs ~60 deals per protocol; a floor of 25
+        # still catches a protocol path that stopped committing.
+        floor = 25 if args.quick else 1_000
+        shortfall = {
+            protocol: count
+            for protocol, count in report.committed_by_protocol().items()
+            if count < floor
+        }
+        if shortfall or len(report.committed_by_protocol()) < 3:
+            print(f"FAIL: protocols under the {floor}-commit floor: "
+                  f"{shortfall or report.committed_by_protocol()}")
+            return 1
+        if report.invariant_violations:
+            print(f"FAIL: {len(report.invariant_violations)} invariant "
+                  "violations")
+            return 1
+        print(f"protocol-mix acceptance: >= {floor} commits per protocol, "
+              "0 invariant violations")
     print(sweep_table(jobs=args.jobs, quick=args.quick))
     return 0
 
@@ -215,6 +300,16 @@ def test_shape_smoke_market_commits_and_conserves():
     assert report.committed > report.deals * 0.8
     assert report.stuck == 0
     assert report.invariant_violations == ()
+
+
+def test_shape_protocol_mix_commits_all_three():
+    report, _ = run_market(MarketProfile.mixed_smoke())
+    committed = report.committed_by_protocol()
+    assert set(committed) == {"unanimity", "timelock", "cbc"}
+    assert all(count > 0 for count in committed.values())
+    assert report.stuck == 0
+    assert report.invariant_violations == ()
+    assert report.stale_proofs_rejected > 0
 
 
 def test_shape_sweep_is_job_count_invariant():

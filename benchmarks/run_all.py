@@ -2,7 +2,7 @@
 
 Usage::
 
-    python benchmarks/run_all.py [output-file] [--jobs N]
+    python benchmarks/run_all.py [output-file] [--jobs N] [--quick]
 
 Writes the concatenated paper-style tables for E1..E16 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
@@ -13,12 +13,18 @@ seeded simulation, so the report file is byte-identical whatever the
 job count — timing lines go to stdout only, never into the report.
 A per-experiment timing summary is printed at the end either way
 (it feeds the perf trajectory in BENCHMARKS.md).
+
+``--quick`` shrinks experiments that support a quick mode (currently
+E16) so CI's determinism gate — serial vs ``--jobs 2`` reports must
+be byte-identical — stays cheap.  Quick reports are only comparable
+to other quick reports.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import multiprocessing
 import os
 import sys
@@ -52,13 +58,18 @@ def _ensure_importable() -> None:
         sys.path.insert(0, _BENCH_DIR)
 
 
-def run_experiment(item: tuple[str, str]) -> tuple[str, str, str, float]:
+def run_experiment(
+    item: tuple[str, str], quick: bool = False
+) -> tuple[str, str, str, float]:
     """Run one experiment; return (id, module, report, elapsed seconds)."""
     experiment_id, module_name = item
     _ensure_importable()
     started = time.monotonic()
     module = importlib.import_module(module_name)
-    report = module.make_report()
+    kwargs = {}
+    if quick and "quick" in inspect.signature(module.make_report).parameters:
+        kwargs["quick"] = True
+    report = module.make_report(**kwargs)
     return experiment_id, module_name, report, time.monotonic() - started
 
 
@@ -80,6 +91,9 @@ def main(argv: list[str]) -> int:
                         help="optional file to write the concatenated reports to")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes (0 = one per CPU, default 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink experiments that support a quick mode "
+                             "(CI determinism gate)")
     args = parser.parse_args(argv[1:])
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
@@ -97,14 +111,17 @@ def main(argv: list[str]) -> int:
             print(sections[-1])
             results.append(result)
 
+    from functools import partial
+
+    runner = partial(run_experiment, quick=args.quick)
     started = time.monotonic()
     if jobs > 1:
         method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         context = multiprocessing.get_context(method)
         with context.Pool(processes=jobs) as pool:
-            consume(pool.imap(run_experiment, EXPERIMENTS))
+            consume(pool.imap(runner, EXPERIMENTS))
     else:
-        consume(run_experiment(item) for item in EXPERIMENTS)
+        consume(runner(item) for item in EXPERIMENTS)
     wall = time.monotonic() - started
 
     print(_timing_table(results, wall))

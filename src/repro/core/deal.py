@@ -27,6 +27,15 @@ from repro.crypto.hashing import hash_concat
 from repro.crypto.keys import Address
 from repro.errors import IllFormedDealError, MalformedDealError
 
+# The atomic-commit protocols a deal may nominate (paper §5, §6, plus
+# the market's simplified unanimity-order flow).  The protocol is part
+# of the spec — and of ``deal_id`` — because the parties' signatures
+# must bind *how* the deal commits, not just what it trades.
+PROTOCOL_UNANIMITY = "unanimity"
+PROTOCOL_TIMELOCK = "timelock"
+PROTOCOL_CBC = "cbc"
+PROTOCOLS = (PROTOCOL_UNANIMITY, PROTOCOL_TIMELOCK, PROTOCOL_CBC)
+
 
 @dataclass(frozen=True)
 class Asset:
@@ -92,11 +101,14 @@ class DealSpec:
     steps: tuple[TransferStep, ...]
     labels: dict = field(default_factory=dict, compare=False, hash=False)
     nonce: bytes = b""
+    protocol: str = PROTOCOL_UNANIMITY
 
     def __post_init__(self) -> None:
         self._validate()
 
     def _validate(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise MalformedDealError(f"unknown commit protocol {self.protocol!r}")
         if len(set(self.parties)) != len(self.parties):
             raise MalformedDealError("duplicate parties")
         party_set = set(self.parties)
@@ -129,7 +141,7 @@ class DealSpec:
         Cached: the spec is frozen, and the market runtime reads the
         id on every step of every deal.
         """
-        parts = [b"repro/deal", self.nonce]
+        parts = [b"repro/deal", self.nonce, self.protocol.encode("utf-8")]
         parts.extend(address.value for address in self.parties)
         for asset in self.assets:
             parts.append(

@@ -2,11 +2,13 @@
 
 These checks are the market's safety net: whatever interleaving of
 thousands of deals the scheduler produces — commits, conflict aborts,
-timeouts, forged orders — the following must hold on every chain:
+timeouts, forged orders, stale proofs — the following must hold on
+every chain:
 
 1. **Supply conservation** — the total minted supply of each chain's
    token is exactly the sum of all holder balances (accounts, the
-   book, the coordinator).  No interleaving creates or destroys value.
+   book, the coordinator, and every per-deal timelock/CBC escrow
+   contract).  No interleaving creates or destroys value.
 2. **Book backing** — the escrow book's *token* balance equals its
    internal ledger: every free internal account balance plus every
    still-open escrow deposit.  Committed and aborted escrows must have
@@ -17,7 +19,15 @@ timeouts, forged orders — the following must hold on every chain:
    slipped through) and every open escrow's C-map sums to exactly its
    A-map deposit.
 4. **Uniform outcomes** — a settled deal is committed everywhere or
-   aborted everywhere; no chain disagrees with the commit log.
+   aborted everywhere.  Unanimity deals must agree with the commit
+   log on every book; timelock/CBC deals must have *all* their escrow
+   contracts released (commit) or none of them (abort).
+5. **NFT ownership uniqueness** — every minted token id has exactly
+   one owner: the chain-level owner is an account or the book, and a
+   book-held token has exactly one internal record — free under one
+   internal owner, or locked by exactly one *open* deal.  A settled
+   deal holds no locks; an open escrow's NFT C-map covers exactly its
+   deposited token ids.
 
 :func:`check_market_invariants` returns a list of human-readable
 violations (empty means all invariants hold).  The scheduler runs it
@@ -27,6 +37,7 @@ at the end of every run — and after every block when
 
 from __future__ import annotations
 
+from repro.core.escrow import EscrowState
 from repro.market.book import ABORTED, COMMITTED, OPEN
 
 
@@ -42,6 +53,9 @@ def check_market_invariants(scheduler) -> list[str]:
         holders = set(scheduler.workload.accounts)
         holders.add(book.address)
         holders.add(scheduler.coordinator.address)
+        holders.update(
+            contract.address for contract in scheduler.deal_escrows[chain_id]
+        )
         total = sum(token.peek_balance(holder) for holder in holders)
         if total != minted:
             violations.append(
@@ -79,8 +93,18 @@ def check_market_invariants(scheduler) -> list[str]:
                     f"deposited {amount} but C-map sums to {tentative}"
                 )
 
-    # 4. Outcome uniformity: every chain agrees with the commit log.
+        # 5. NFT ownership uniqueness on this chain.
+        nft_token = scheduler.nft_tokens.get(chain_id)
+        if nft_token is not None:
+            violations.extend(
+                _check_nft_uniqueness(scheduler, chain_id, nft_token, book)
+            )
+
+    # 4. Outcome uniformity: every chain agrees on every settled deal.
     for deal_id, run in scheduler.runs.items():
+        if run.driver is not None:
+            violations.extend(_check_escrow_uniformity(run))
+            continue
         states = {
             chain_id: scheduler.books[chain_id].peek_deal_state(deal_id)
             for chain_id in run.claim_chains
@@ -97,4 +121,82 @@ def check_market_invariants(scheduler) -> list[str]:
                 violations.append(
                     f"deal #{run.order.index} aborted but chains disagree: {wrong}"
                 )
+    return violations
+
+
+def _check_escrow_uniformity(run) -> list[str]:
+    """A terminal timelock/CBC deal released everywhere or nowhere."""
+    if not run.terminal or run.phase.value == "rejected":
+        return []
+    states = run.driver.escrow_states()
+    if run.decided == "commit":
+        wrong = {
+            asset_id: state for asset_id, state in states.items()
+            if state is not EscrowState.RELEASED
+        }
+    else:
+        wrong = {
+            asset_id: state for asset_id, state in states.items()
+            if state is EscrowState.RELEASED
+        }
+    if wrong:
+        return [
+            f"{run.protocol} deal #{run.order.index} decided "
+            f"{run.decided!r} but escrows disagree: {wrong}"
+        ]
+    return []
+
+
+def _check_nft_uniqueness(scheduler, chain_id, nft_token, book) -> list[str]:
+    """Every minted token id has exactly one unambiguous owner."""
+    violations: list[str] = []
+    records = book.peek_nft_records(nft_token.name)
+    minted = scheduler.nft_minted.get(chain_id, ())
+    accounts = set(scheduler.workload.accounts)
+    for token_id, _original_owner in minted:
+        chain_owner = nft_token.peek_owner(token_id)
+        record = records.pop(token_id, None)
+        if chain_owner == book.address:
+            if record is None:
+                violations.append(
+                    f"{chain_id}: token {token_id!r} held by the book "
+                    "without an internal record"
+                )
+            elif record[0] == "conflict":
+                violations.append(
+                    f"{chain_id}: token {token_id!r} is both free and locked"
+                )
+            elif record[0] == "locked":
+                deal_id = record[1]
+                if book.deal_state.peek(deal_id) != OPEN:
+                    violations.append(
+                        f"{chain_id}: token {token_id!r} locked by a "
+                        "settled deal"
+                    )
+        elif chain_owner in accounts:
+            if record is not None:
+                violations.append(
+                    f"{chain_id}: token {token_id!r} owned by an account "
+                    "but still recorded in the book"
+                )
+        else:
+            violations.append(
+                f"{chain_id}: token {token_id!r} owned by unknown holder "
+                f"{chain_owner}"
+            )
+    for token_id in records:
+        violations.append(
+            f"{chain_id}: book records unknown token {token_id!r}"
+        )
+    # Open NFT escrows: the C-map covers exactly the deposited ids.
+    for (deal_id, asset_id), (_, token, token_ids) in book.nft_deposits.items():
+        if token != nft_token.name or book.deal_state.peek(deal_id) != OPEN:
+            continue
+        cmap_ids = {tid for tid, _ in book.nft_cmap.peek((deal_id, asset_id), ())}
+        if cmap_ids != set(token_ids):
+            violations.append(
+                f"{chain_id}: NFT escrow ({deal_id.hex()[:8]}, {asset_id}) "
+                f"deposited {sorted(token_ids)} but C-map covers "
+                f"{sorted(cmap_ids)}"
+            )
     return violations

@@ -11,12 +11,15 @@ at block-seal time, and every later step a party submits for the deal
 
 Adversarial knobs live on the order because the market's workload
 generator plays the parties: ``withhold_votes`` lists parties that will
-validate but never vote (the deal times out and aborts), and
-``no_show`` lists owners that never escrow their assets (the deal
-stalls in the escrow phase; whatever *was* escrowed is refunded).  A
-forged order — one whose signature set does not verify — is built by
-signing the wrong message; the mempool must reject it before any step
-reaches a chain.
+validate but never vote (the deal times out and aborts — for the
+timelock protocol that means every escrow refunds at its terminal
+deadline), ``no_show`` lists owners that never escrow their assets
+(the deal stalls in the escrow phase; whatever *was* escrowed is
+refunded), and ``stale_proof`` lists parties that present a stale or
+forged commit proof to a CBC escrow before the deal actually decides
+(the contract must reject it).  A forged order — one whose signature
+set does not verify — is built by signing the wrong message; the
+mempool must reject it before any step reaches a chain.
 """
 
 from __future__ import annotations
@@ -45,11 +48,17 @@ class SignedDealOrder:
     index: int = 0
     withhold_votes: frozenset = field(default_factory=frozenset)
     no_show: frozenset = field(default_factory=frozenset)
+    stale_proof: frozenset = field(default_factory=frozenset)
 
     @property
     def deal_id(self) -> bytes:
         """The order's deal identifier (content-derived, see DealSpec)."""
         return self.spec.deal_id
+
+    @property
+    def protocol(self) -> str:
+        """Which atomic-commit protocol drives this deal."""
+        return self.spec.protocol
 
     @property
     def parties(self) -> tuple[Address, ...]:
@@ -69,6 +78,7 @@ def sign_order(
     withhold_votes: frozenset = frozenset(),
     no_show: frozenset = frozenset(),
     forge: frozenset = frozenset(),
+    stale_proof: frozenset = frozenset(),
 ) -> SignedDealOrder:
     """Produce a :class:`SignedDealOrder` with every party's signature.
 
@@ -95,4 +105,5 @@ def sign_order(
         index=index,
         withhold_votes=frozenset(withhold_votes),
         no_show=frozenset(no_show),
+        stale_proof=frozenset(stale_proof),
     )

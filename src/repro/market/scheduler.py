@@ -1,29 +1,44 @@
 """The multi-deal scheduler: N interleaved deals on shared chains.
 
 :class:`DealScheduler` assembles one simulated market — shared chains,
-one token and one :class:`~repro.market.book.MarketEscrowBook` per
-chain, a :class:`~repro.market.commitlog.MarketCommitLog` on the
-coordinator chain, a :class:`~repro.market.mempool.StepMempool` in
-front of every block producer — and drives every arriving
-:class:`~repro.market.order.SignedDealOrder` through the deal phases
-of :mod:`repro.core.deal` concurrently:
+one fungible and (optionally) one non-fungible token plus one
+:class:`~repro.market.book.MarketEscrowBook` per chain, a
+:class:`~repro.market.commitlog.MarketCommitLog` on the coordinator
+chain, a :class:`~repro.market.mempool.StepMempool` in front of every
+block producer — and drives every arriving
+:class:`~repro.market.order.SignedDealOrder` through its nominated
+commit protocol concurrently.  Every deal registers on the commit log
+first (that sealing block is where order signatures are verified);
+what happens next depends on ``spec.protocol``:
 
-``register → escrow (open per asset) → transfer (spec steps in order)
-→ vote (per party) → settle (commit/abort claims per chain)``
+* ``unanimity`` — PR 2's simplified flow: book escrows (fungible
+  amounts or NFT token-id locks), tentative transfers, one vote per
+  party on the commit log, commit/abort claims per chain;
+* ``timelock`` — the paper's §5 protocol, driven by
+  :class:`~repro.market.protocols.TimelockDealDriver`: one
+  :class:`~repro.core.timelock.TimelockEscrow` per (deal, asset) with
+  deadlines anchored at the registration block, path-signature votes
+  to every escrow, commit-on-last-vote or refund at the terminal
+  deadline;
+* ``cbc`` — the paper's §6 protocol, driven by
+  :class:`~repro.market.protocols.CbcDealDriver`: escrows resolved by
+  quorum-signed proofs extracted from the market's shared certified
+  blockchain.
 
 Each phase advances when the scheduler observes the previous phase's
 receipts in a block, so thousands of deals pipeline through shared
 block space, one phase hop per block interval.  Conflicts and faults
 resolve deterministically:
 
-* an ``open`` that reverts (another deal already escrowed the same
-  internal balance — first-committed-wins by block order) aborts the
-  losing deal; every escrow it *did* take is refunded;
-* a party that withholds its vote, or never escrows at all, stalls its
-  deal until the scheduler's patience expires and an abort mark
-  settles it — again with full refunds;
+* an ``open``/``deposit`` that reverts (another deal already claimed
+  the balance or token id — first-committed-wins by block order)
+  aborts the losing deal; every escrow it *did* take is refunded;
+* a party that withholds its vote, or never escrows at all, stalls
+  its deal until the scheduler's patience expires (unanimity, CBC) or
+  the timelock terminal deadline passes — either way with full
+  refunds;
 * a forged order is rejected at its sealing block and never touches a
-  chain.
+  chain; a stale CBC proof is rejected by the escrow it targets.
 
 The scheduler plays the parties directly (it holds their orders and
 submits their steps); the per-deal network/party machinery of
@@ -41,18 +56,27 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.analysis.tables import render_table
+from repro.chain.contracts import Contract
 from repro.chain.ledger import Chain
-from repro.chain.tokens import FungibleToken
+from repro.chain.tokens import FungibleToken, NonFungibleToken
 from repro.chain.tx import Receipt, Transaction
-from repro.core.deal import DealSpec
+from repro.consensus.bft import CertifiedBlockchain
+from repro.consensus.validators import ValidatorSet
+from repro.core.deal import (
+    PROTOCOL_CBC,
+    PROTOCOL_TIMELOCK,
+    PROTOCOL_UNANIMITY,
+    DealSpec,
+)
 from repro.crypto.hashing import tagged_hash
-from repro.crypto.keys import KeyPair, Wallet
+from repro.crypto.keys import Address, KeyPair, Wallet
 from repro.errors import MarketError
 from repro.market.book import MarketEscrowBook
 from repro.market.commitlog import MarketCommitLog
 from repro.market.invariants import check_market_invariants
 from repro.market.mempool import OrderLedger, StepMempool
 from repro.market.order import SignedDealOrder
+from repro.market.protocols import CbcDealDriver, DealDriver, TimelockDealDriver
 from repro.sim.simulator import Simulator
 
 BOOK_CONTRACT = "market-book"
@@ -96,6 +120,13 @@ class _DealRun:
     settled_chains: set = field(default_factory=set)
     finished_at: float | None = None
     patience_handle: object = None
+    # Timelock/CBC runs delegate their phase logic to a protocol driver
+    # (repro.market.protocols); unanimity runs keep driver = None.
+    driver: DealDriver | None = None
+
+    @property
+    def protocol(self) -> str:
+        return self.order.spec.protocol
 
     @property
     def terminal(self) -> bool:
@@ -114,6 +145,13 @@ class MarketConfig:
     # Re-check every conservation invariant after every block (O(state)
     # per block — for tests, not for 5000-deal runs).
     check_invariants_per_block: bool = False
+    # §5 deadline unit Δ for timelock deals.  A direct (path length 1)
+    # vote must execute before t0 + Δ; the market pipeline needs ~3
+    # block intervals from registration to the vote block, so Δ must
+    # comfortably exceed that plus any mempool backlog.
+    timelock_delta: float = 8.0
+    # Byzantine tolerance of the market's shared CBC (3f+1 validators).
+    cbc_f: int = 1
 
 
 @dataclass
@@ -140,6 +178,11 @@ class MarketReport:
     events_processed: int
     invariant_violations: tuple[str, ...] = ()
     outcome_log: tuple = ()
+    # (protocol, committed, aborted, rejected, p50, p90, p99) rows,
+    # one per protocol present in the workload, sorted by protocol.
+    per_protocol: tuple = ()
+    stale_proofs_rejected: int = 0
+    timelock_refund_sweeps: int = 0
 
     @property
     def abort_rate(self) -> float:
@@ -147,12 +190,32 @@ class MarketReport:
         settled = self.committed + self.aborted
         return self.aborted / settled if settled else 0.0
 
+    def committed_by_protocol(self) -> dict[str, int]:
+        """Committed deal count per protocol (empty rows omitted)."""
+        return {row[0]: row[1] for row in self.per_protocol}
+
+    def protocol_outcome_rows(self, include_p90: bool = True) -> list[list]:
+        """The per-protocol rows, formatted for a render_table call.
+
+        The single place that knows the ``per_protocol`` tuple layout —
+        both the report's own table and the E16 benchmark table build
+        on it.
+        """
+        rows = []
+        for protocol, committed, aborted, rejected, p50, p90, p99 in self.per_protocol:
+            row = [protocol, committed, aborted, rejected, f"{p50:.2f}"]
+            if include_p90:
+                row.append(f"{p90:.2f}")
+            row.append(f"{p99:.2f}")
+            rows.append(row)
+        return rows
+
     def fingerprint(self) -> str:
         """A digest of every deal's outcome — the determinism witness."""
         parts = [b"repro/market/report"]
-        for index, outcome, reason, latency in self.outcome_log:
+        for index, protocol, outcome, reason, latency in self.outcome_log:
             parts.append(
-                f"{index}:{outcome}:{reason}:{latency:.9f}".encode("utf-8")
+                f"{index}:{protocol}:{outcome}:{reason}:{latency:.9f}".encode("utf-8")
             )
         return tagged_hash("repro/market/fingerprint", b"|".join(parts)).hex()[:32]
 
@@ -166,6 +229,7 @@ class MarketReport:
             ["stuck (non-terminal)", self.stuck],
             ["escrow conflicts", self.conflicts],
             ["patience timeouts", self.timeouts],
+            ["stale proofs rejected", self.stale_proofs_rejected],
             ["abort rate", f"{self.abort_rate:.1%}"],
             ["commit latency p50 (ticks)", f"{self.latency_p50:.2f}"],
             ["commit latency p90 (ticks)", f"{self.latency_p90:.2f}"],
@@ -180,7 +244,15 @@ class MarketReport:
             ["conservation violations", len(self.invariant_violations)],
             ["fingerprint", self.fingerprint()],
         ]
-        return render_table(["measure", "value"], rows, title="Market run")
+        table = render_table(["measure", "value"], rows, title="Market run")
+        if len(self.per_protocol) <= 1:
+            return table
+        return table + "\n" + render_table(
+            ["protocol", "committed", "aborted", "rejected",
+             "p50 (ticks)", "p90 (ticks)", "p99 (ticks)"],
+            self.protocol_outcome_rows(),
+            title="Per-protocol outcomes",
+        )
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -206,13 +278,30 @@ class DealScheduler:
 
         self.chains: dict[str, Chain] = {}
         self.tokens: dict[str, FungibleToken] = {}
+        self.nft_tokens: dict[str, NonFungibleToken] = {}
         self.books: dict[str, MarketEscrowBook] = {}
         self.mempools: dict[str, StepMempool] = {}
         self.minted: dict[str, int] = {}  # chain_id -> total token supply
+        self.nft_minted: dict[str, tuple] = {}  # chain_id -> ((tid, owner), ...)
         self.order_ledger = OrderLedger()
         self.runs: dict[bytes, _DealRun] = {}
         self._receipts_seen = 0
         self._receipts_reverted = 0
+        # Per-deal escrow contracts (timelock/CBC): contract name ->
+        # (deal_id, asset_id) for receipt routing, and the published
+        # contracts per chain so the conservation invariants can count
+        # their token holdings.
+        self._escrow_index: dict[str, tuple[bytes, str]] = {}
+        self.deal_escrows: dict[str, list[Contract]] = {
+            chain_id: [] for chain_id in workload.chain_ids
+        }
+        self.stats = {"timelock_refund_sweeps": 0, "stale_proofs_rejected": 0}
+        # Protocol-safety breaches observed directly by the drivers
+        # (e.g. a stale proof accepted) — merged into the report's
+        # invariant violations.
+        self.protocol_violations: list[str] = []
+        self.cbc: CertifiedBlockchain | None = None
+        self._cbc_drivers: list[CbcDealDriver] = []
 
         if len(workload.chain_ids) < 1:
             raise MarketError("a market needs at least one chain")
@@ -225,6 +314,11 @@ class DealScheduler:
             token = FungibleToken(workload.tokens[chain_id])
             chain.publish(token)
             self.tokens[chain_id] = token
+            nft_name = getattr(workload, "nft_tokens", {}).get(chain_id)
+            if nft_name is not None:
+                nft_token = NonFungibleToken(nft_name)
+                chain.publish(nft_token)
+                self.nft_tokens[chain_id] = nft_token
             book = MarketEscrowBook(BOOK_CONTRACT, self.coordinator.address)
             chain.publish(book)
             self.books[chain_id] = book
@@ -244,8 +338,25 @@ class DealScheduler:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
+    def _setup_tx(self, chain: Chain, sender: Address, contract: str,
+                  method: str, **args) -> None:
+        receipt = chain.execute_now(Transaction(
+            sender=sender, contract=contract, method=method,
+            args=args, phase="market/setup",
+        ))
+        if not receipt.ok:  # pragma: no cover - setup must succeed
+            raise MarketError(f"setup failed: {receipt.error}")
+
     def _fund_accounts(self) -> None:
-        """Mint and deposit every account's session balance (setup-time)."""
+        """Mint and deposit every account's session balance (setup-time).
+
+        ``book_fund_fraction`` of each balance goes into the escrow
+        book (backing unanimity deals); the rest stays in the wallet,
+        where timelock/CBC deals escrow it into per-deal contracts.
+        Non-fungible tokens are minted per the workload's manifest and
+        funded into the book's custody (deposit-once).
+        """
+        fraction = getattr(self.workload, "book_fund_fraction", 1.0)
         for chain_id in self.workload.chain_ids:
             chain = self.chains[chain_id]
             token = self.tokens[chain_id]
@@ -253,25 +364,28 @@ class DealScheduler:
             total = 0
             for address in self.workload.accounts:
                 balance = self.workload.initial_balance
+                book_amount = int(balance * fraction)
                 total += balance
-                for method, args in (
-                    ("mint", {"to": address, "amount": balance}),
-                    ("approve", {"spender": book.address, "amount": balance}),
-                ):
-                    receipt = chain.execute_now(Transaction(
-                        sender=address, contract=token.name, method=method,
-                        args=args, phase="market/setup",
-                    ))
-                    if not receipt.ok:  # pragma: no cover - setup must succeed
-                        raise MarketError(f"setup failed: {receipt.error}")
-                receipt = chain.execute_now(Transaction(
-                    sender=address, contract=BOOK_CONTRACT, method="fund",
-                    args={"token": token.name, "amount": balance},
-                    phase="market/setup",
-                ))
-                if not receipt.ok:  # pragma: no cover - setup must succeed
-                    raise MarketError(f"funding failed: {receipt.error}")
+                self._setup_tx(chain, address, token.name, "mint",
+                               to=address, amount=balance)
+                if book_amount > 0:
+                    self._setup_tx(chain, address, token.name, "approve",
+                                   spender=book.address, amount=book_amount)
+                    self._setup_tx(chain, address, BOOK_CONTRACT, "fund",
+                                   token=token.name, amount=book_amount)
             self.minted[chain_id] = total
+            nft_token = self.nft_tokens.get(chain_id)
+            if nft_token is None:
+                continue
+            minted = tuple(getattr(self.workload, "nft_minted", {}).get(chain_id, ()))
+            self.nft_minted[chain_id] = minted
+            for token_id, owner in minted:
+                self._setup_tx(chain, owner, nft_token.name, "mint",
+                               to=owner, token_id=token_id)
+                self._setup_tx(chain, owner, nft_token.name, "approve",
+                               spender=book.address, token_id=token_id)
+                self._setup_tx(chain, owner, BOOK_CONTRACT, "fund_nft",
+                               token=nft_token.name, token_id=token_id)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -304,6 +418,11 @@ class DealScheduler:
             run.reason = "malformed"
             run.finished_at = self.simulator.now
             return
+        if spec.protocol == PROTOCOL_TIMELOCK:
+            run.driver = TimelockDealDriver(self, run)
+        elif spec.protocol == PROTOCOL_CBC:
+            run.driver = CbcDealDriver(self, run)
+            self._cbc_drivers.append(run.driver)
         self.mempools[self.coordinator_chain_id].submit(
             Transaction(
                 sender=self.coordinator.address,
@@ -315,23 +434,73 @@ class DealScheduler:
             deal_id,
             order=order,
         )
-        run.patience_handle = self.simulator.schedule(
-            self.config.patience,
-            lambda: self._on_patience(run),
-            label="market/patience",
-        )
+        if spec.protocol != PROTOCOL_TIMELOCK:
+            # Timelock deals need no patience timer: their own terminal
+            # deadline (t0 + N·Δ) already guarantees termination.
+            run.patience_handle = self.simulator.schedule(
+                self.config.patience,
+                lambda: self._on_patience(run),
+                label="market/patience",
+            )
 
     def _admissible(self, spec: DealSpec) -> bool:
         if not spec.assets:
             return False
-        if any(not asset.fungible for asset in spec.assets):
-            return False
         for asset in spec.assets:
             if asset.chain_id not in self.chains:
                 return False
-            if asset.token != self.tokens[asset.chain_id].name:
-                return False
+            if asset.fungible:
+                if asset.token != self.tokens[asset.chain_id].name:
+                    return False
+            else:
+                # NFT escrows live in the book: unanimity only.
+                if spec.protocol != PROTOCOL_UNANIMITY:
+                    return False
+                nft_token = self.nft_tokens.get(asset.chain_id)
+                if nft_token is None or asset.token != nft_token.name:
+                    return False
         return spec.is_well_formed()
+
+    # ------------------------------------------------------------------
+    # Services for the protocol drivers
+    # ------------------------------------------------------------------
+    def keypair_for(self, party: Address) -> KeyPair:
+        """The keypair of a market account (drivers sign votes with it)."""
+        return self.workload.accounts[party]
+
+    def publish_deal_escrow(
+        self, chain_id: str, contract: Contract, deal_id: bytes, asset_id: str
+    ) -> None:
+        """Publish a per-deal escrow contract and index it for routing."""
+        self.chains[chain_id].publish(contract)
+        self._escrow_index[contract.name] = (deal_id, asset_id)
+        self.deal_escrows[chain_id].append(contract)
+
+    def ensure_cbc(self) -> CertifiedBlockchain:
+        """Create the market's shared certified blockchain on demand."""
+        if self.cbc is None:
+            validators = ValidatorSet.generate(
+                self.config.cbc_f, seed=f"market-cbc/{self.workload.seed}"
+            )
+            self.cbc = CertifiedBlockchain(
+                self.simulator, validators, self.wallet,
+                block_interval=self.config.block_interval,
+                name="market-cbc",
+            )
+            self.cbc.subscribe(self._on_cbc_block)
+        return self.cbc
+
+    def _on_cbc_block(self, cbc, block) -> None:
+        # Prune settled deals as we go so each CBC block only touches
+        # the in-flight CBC runs, not the whole market history.
+        survivors = []
+        for driver in self._cbc_drivers:
+            if driver.run.terminal:
+                continue
+            driver.on_cbc_block()
+            if not driver.run.terminal:
+                survivors.append(driver)
+        self._cbc_drivers = survivors
 
     # ------------------------------------------------------------------
     # Receipt routing (the phase engine)
@@ -351,6 +520,14 @@ class DealScheduler:
                 )
 
     def _route(self, chain: Chain, receipt: Receipt) -> None:
+        escrow_ref = self._escrow_index.get(receipt.tx.contract)
+        if escrow_ref is not None:
+            deal_id, asset_id = escrow_ref
+            run = self.runs.get(deal_id)
+            if run is None or run.terminal or run.driver is None:
+                return
+            run.driver.on_escrow_receipt(asset_id, receipt)
+            return
         if receipt.tx.contract not in (BOOK_CONTRACT, COMMIT_LOG_CONTRACT):
             return  # token transfers etc. are not deal phase steps
         deal_id = receipt.tx.args.get("deal_id")
@@ -371,26 +548,35 @@ class DealScheduler:
 
     def _on_register(self, run: _DealRun, receipt: Receipt) -> None:
         if not receipt.ok:
-            self._finish(run, DealPhase.REJECTED, "register-reverted",
-                         receipt.executed_at)
+            self.finish(run, DealPhase.REJECTED, "register-reverted",
+                        receipt.executed_at)
+            return
+        if run.driver is not None:
+            # Timelock/CBC deals: the order cleared signature checks at
+            # this block; hand the deal to its protocol driver.
+            run.driver.on_registered(receipt)
             return
         run.phase = DealPhase.ESCROW
         spec = run.order.spec
         for asset in spec.assets:
             if asset.owner in run.order.no_show:
                 continue  # adversarial owner: never escrows
+            args = {
+                "deal_id": spec.deal_id,
+                "asset_id": asset.asset_id,
+                "token": asset.token,
+                "parties": spec.parties,
+            }
+            if asset.fungible:
+                args["amount"] = asset.amount
+            else:
+                args["token_ids"] = asset.token_ids
             self.mempools[asset.chain_id].submit(
                 Transaction(
                     sender=asset.owner,
                     contract=BOOK_CONTRACT,
                     method="open",
-                    args={
-                        "deal_id": spec.deal_id,
-                        "asset_id": asset.asset_id,
-                        "token": asset.token,
-                        "amount": asset.amount,
-                        "parties": spec.parties,
-                    },
+                    args=args,
                     phase="market/escrow",
                 ),
                 spec.deal_id,
@@ -418,17 +604,21 @@ class DealScheduler:
         spec = run.order.spec
         for step in spec.steps:
             asset = spec.asset(step.asset_id)
+            args = {
+                "deal_id": spec.deal_id,
+                "asset_id": step.asset_id,
+                "to": step.receiver,
+            }
+            if asset.fungible:
+                args["amount"] = step.amount
+            else:
+                args["token_ids"] = step.token_ids
             self.mempools[asset.chain_id].submit(
                 Transaction(
                     sender=step.giver,
                     contract=BOOK_CONTRACT,
                     method="transfer",
-                    args={
-                        "deal_id": spec.deal_id,
-                        "asset_id": step.asset_id,
-                        "to": step.receiver,
-                        "amount": step.amount,
-                    },
+                    args=args,
                     phase="market/transfer",
                 ),
                 spec.deal_id,
@@ -527,13 +717,16 @@ class DealScheduler:
             if run.decided == "commit":
                 # A patience/abort request that lost the race with the
                 # deciding vote leaves a stale reason; the deal committed.
-                self._finish(run, DealPhase.COMMITTED, "", receipt.executed_at)
+                self.finish(run, DealPhase.COMMITTED, "", receipt.executed_at)
             else:
-                self._finish(run, DealPhase.ABORTED, run.reason,
-                             receipt.executed_at)
+                self.finish(run, DealPhase.ABORTED, run.reason,
+                            receipt.executed_at)
 
     def _on_patience(self, run: _DealRun) -> None:
         if run.terminal or run.decided is not None:
+            return
+        if run.driver is not None:
+            run.driver.on_patience()
             return
         self._request_abort(run, "timeout")
 
@@ -541,9 +734,9 @@ class DealScheduler:
         run = self.runs.get(deal_id)
         if run is None or run.terminal:
             return
-        self._finish(run, DealPhase.REJECTED, "forged", self.simulator.now)
+        self.finish(run, DealPhase.REJECTED, "forged", self.simulator.now)
 
-    def _finish(self, run: _DealRun, phase: DealPhase, reason: str, at: float) -> None:
+    def finish(self, run: _DealRun, phase: DealPhase, reason: str, at: float) -> None:
         run.phase = phase
         run.reason = reason
         run.finished_at = at
@@ -558,6 +751,7 @@ class DealScheduler:
         committed = aborted = rejected = stuck = conflicts = timeouts = 0
         commit_latencies: list[float] = []
         outcome_log = []
+        per_protocol: dict[str, dict] = {}
         for run in self.runs.values():
             latency = (
                 run.finished_at - run.order.arrival
@@ -565,15 +759,23 @@ class DealScheduler:
                 else -1.0
             )
             outcome_log.append(
-                (run.order.index, run.phase.value, run.reason, latency)
+                (run.order.index, run.protocol, run.phase.value, run.reason, latency)
+            )
+            bucket = per_protocol.setdefault(
+                run.protocol,
+                {"committed": 0, "aborted": 0, "rejected": 0, "latencies": []},
             )
             if run.phase is DealPhase.COMMITTED:
                 committed += 1
                 commit_latencies.append(latency)
+                bucket["committed"] += 1
+                bucket["latencies"].append(latency)
             elif run.phase is DealPhase.ABORTED:
                 aborted += 1
+                bucket["aborted"] += 1
             elif run.phase is DealPhase.REJECTED:
                 rejected += 1
+                bucket["rejected"] += 1
             else:
                 stuck += 1
             if run.conflict:
@@ -582,6 +784,17 @@ class DealScheduler:
                 timeouts += 1
         commit_latencies.sort()
         outcome_log.sort()
+        protocol_rows = []
+        for protocol in sorted(per_protocol):
+            bucket = per_protocol[protocol]
+            latencies = sorted(bucket["latencies"])
+            protocol_rows.append((
+                protocol, bucket["committed"], bucket["aborted"],
+                bucket["rejected"],
+                _percentile(latencies, 0.50),
+                _percentile(latencies, 0.90),
+                _percentile(latencies, 0.99),
+            ))
         end_time = self.simulator.now
         return MarketReport(
             deals=len(self.runs),
@@ -604,6 +817,11 @@ class DealScheduler:
                 pool.stats["max_depth"] for pool in self.mempools.values()
             ),
             events_processed=self.simulator.events_processed,
-            invariant_violations=tuple(check_market_invariants(self)),
+            invariant_violations=tuple(
+                self.protocol_violations + check_market_invariants(self)
+            ),
             outcome_log=tuple(outcome_log),
+            per_protocol=tuple(protocol_rows),
+            stale_proofs_rejected=self.stats["stale_proofs_rejected"],
+            timelock_refund_sweeps=self.stats["timelock_refund_sweeps"],
         )

@@ -8,16 +8,29 @@ is what distinguishes it from :mod:`repro.workloads.generators`: those
 builders mint fresh parties and chains per deal, while market deals
 contend for the same internal balances and the same block space.
 
+Deals nominate a commit protocol per ``protocol_mix``: the simplified
+``unanimity`` flow, the paper's ``timelock`` protocol (§5), or the
+``cbc`` protocol (§6) — all three share the same chains, mempools and
+account pool.  With ``nft_rate`` set, a slice of the unanimity deals
+are NFT ticket sales (seller's unique token against buyer's coins),
+and ``nft_double_sell_rate`` makes sellers re-offer tokens they
+already put in play, forcing token-id conflicts the book must resolve
+first-committed-wins.
+
 Adversaries ride along at configurable rates:
 
 * ``withhold_rate`` — one party of the deal validates but never votes;
   the deal stalls in the voting phase until the scheduler's patience
-  aborts it (everyone is refunded);
+  (unanimity, CBC) or the timelock terminal deadline aborts it
+  (everyone is refunded);
 * ``no_show_rate`` — one owner never escrows its asset; the deal
   stalls in the escrow phase (partial escrows are refunded on abort);
 * ``forge_rate`` — one signature in the order is over the wrong
   message; whole-block verification must reject the order before any
   step reaches a chain;
+* ``stale_proof_rate`` — one party of a CBC deal presents a
+  quorum-signed commit proof bound to a stale start hash; the escrow
+  contract must reject it;
 * contention is implicit: with a small account pool, bounded
   ``initial_balance``, and a high arrival rate, concurrent deals
   overdraw shared internal balances and the losers abort
@@ -33,7 +46,14 @@ import math
 from dataclasses import dataclass
 from functools import cached_property
 
-from repro.core.deal import Asset, DealSpec, TransferStep
+from repro.core.deal import (
+    PROTOCOL_CBC,
+    PROTOCOL_UNANIMITY,
+    PROTOCOLS,
+    Asset,
+    DealSpec,
+    TransferStep,
+)
 from repro.crypto.keys import Address, KeyPair
 from repro.errors import MarketError
 from repro.market.order import SignedDealOrder, sign_order
@@ -57,6 +77,20 @@ class MarketProfile:
     withhold_rate: float = 0.03
     no_show_rate: float = 0.02
     forge_rate: float = 0.01
+    # Which commit protocol each deal nominates, by weight.
+    protocol_mix: tuple = ((PROTOCOL_UNANIMITY, 1.0),)
+    # Fraction of each account's balance deposited into the escrow
+    # book (unanimity collateral); the rest stays in the wallet for
+    # per-deal timelock/CBC escrows.
+    book_fund_fraction: float = 1.0
+    # NFT ticket sales: tokens minted per account per chain, the slice
+    # of unanimity deals that sell a ticket, and how often a seller
+    # re-offers a ticket already in play (token-id contention).
+    nft_per_account: int = 0
+    nft_rate: float = 0.0
+    nft_double_sell_rate: float = 0.0
+    # CBC deals whose adversary presents a stale commit proof.
+    stale_proof_rate: float = 0.0
     seed: int = 0
 
     @staticmethod
@@ -66,6 +100,26 @@ class MarketProfile:
             deals=120, chains=4, accounts=16, arrival_rate=4.0,
             initial_balance=2_000, seed=seed,
         )
+
+    @staticmethod
+    def mixed(seed: int = 0, deals: int = 3_900) -> "MarketProfile":
+        """The protocol-mix acceptance run: all three commit protocols
+        on shared chains, with NFT sales and stale-proof forgers mixed
+        in.  Sized so each protocol commits >= 1,000 deals."""
+        return MarketProfile(
+            deals=deals, chains=4, accounts=48, arrival_rate=6.0,
+            initial_balance=9_000,
+            protocol_mix=(("unanimity", 1.0), ("timelock", 1.0), ("cbc", 1.0)),
+            book_fund_fraction=0.4,
+            nft_per_account=6, nft_rate=0.25, nft_double_sell_rate=0.25,
+            withhold_rate=0.01, no_show_rate=0.01, forge_rate=0.005,
+            stale_proof_rate=0.05, seed=seed,
+        )
+
+    @staticmethod
+    def mixed_smoke(seed: int = 0) -> "MarketProfile":
+        """Small fixed-seed protocol-mix profile (tier-1 smoke)."""
+        return MarketProfile.mixed(seed=seed, deals=180)
 
     @staticmethod
     def headline(seed: int = 0) -> "MarketProfile":
@@ -96,8 +150,18 @@ class MarketWorkload:
     def __init__(self, profile: MarketProfile):
         if profile.chains < 1 or profile.accounts < 3 or profile.deals < 1:
             raise MarketError("profile needs >=1 chain, >=3 accounts, >=1 deal")
+        for protocol, weight in profile.protocol_mix:
+            if protocol not in PROTOCOLS:
+                raise MarketError(f"unknown protocol {protocol!r} in mix")
+            if weight < 0:
+                raise MarketError("protocol weights must be non-negative")
+        if profile.nft_rate > 0 and profile.nft_per_account < 1:
+            raise MarketError("nft_rate needs nft_per_account >= 1")
+        if not 0.0 <= profile.book_fund_fraction <= 1.0:
+            raise MarketError("book_fund_fraction must be in [0, 1]")
         self.profile = profile
         self.seed = profile.seed
+        self.book_fund_fraction = profile.book_fund_fraction
         self.chain_ids = tuple(f"mchain{c}" for c in range(profile.chains))
         self.tokens = {chain_id: f"mcoin{c}" for c, chain_id in enumerate(self.chain_ids)}
         self.initial_balance = profile.initial_balance
@@ -109,6 +173,26 @@ class MarketWorkload:
             self._labels[keypair.address] = f"acct{i}"
         self._addresses = list(self.accounts)
         self._rng = DeterministicRng(f"market/{profile.seed}")
+        # NFT ticket manifest: one NFT contract per chain, a fixed set
+        # of token ids per account, and a per-seller pool the sale
+        # template draws from (re-draws model double-sells).
+        self.nft_tokens: dict[str, str] = {}
+        self.nft_minted: dict[str, tuple] = {}
+        self._nft_pools: dict[tuple[str, Address], list[str]] = {}
+        self._nft_offered: dict[tuple[str, Address], list[str]] = {}
+        if profile.nft_per_account > 0:
+            for c, chain_id in enumerate(self.chain_ids):
+                token = f"mticket{c}"
+                self.nft_tokens[chain_id] = token
+                minted = []
+                for i, address in enumerate(self._addresses):
+                    pool = [
+                        f"tkt{c}-a{i}-{k}" for k in range(profile.nft_per_account)
+                    ]
+                    minted.extend((token_id, address) for token_id in pool)
+                    self._nft_pools[(chain_id, address)] = pool
+                    self._nft_offered[(chain_id, address)] = []
+                self.nft_minted[chain_id] = tuple(minted)
 
     # ------------------------------------------------------------------
     # Order stream
@@ -123,26 +207,43 @@ class MarketWorkload:
             ("auction", profile.auction_weight),
         ]
         total_weight = sum(w for _, w in weights) or 1.0
+        protocol_weights = [(p, w) for p, w in profile.protocol_mix if w > 0]
+        protocol_total = sum(w for _, w in protocol_weights) or 1.0
         orders = []
         clock = 0.0
         for index in range(profile.deals):
             clock += -math.log(1.0 - rng.random("arrivals")) / profile.arrival_rate
-            pick = rng.random("template") * total_weight
-            template = weights[-1][0]
-            for name, weight in weights:
-                if pick < weight:
-                    template = name
+            protocol = protocol_weights[-1][0] if protocol_weights else PROTOCOL_UNANIMITY
+            protocol_pick = rng.random("protocol") * protocol_total
+            for name, weight in protocol_weights:
+                if protocol_pick < weight:
+                    protocol = name
                     break
-                pick -= weight
-            if template == "ring":
-                spec = self._ring_spec(index)
-            elif template == "broker":
-                spec = self._broker_spec(index)
+                protocol_pick -= weight
+            if (
+                protocol == PROTOCOL_UNANIMITY
+                and self.nft_tokens
+                and rng.random("nft") < profile.nft_rate
+            ):
+                spec = self._nft_sale_spec(index)
             else:
-                spec = self._auction_spec(index)
+                pick = rng.random("template") * total_weight
+                template = weights[-1][0]
+                for name, weight in weights:
+                    if pick < weight:
+                        template = name
+                        break
+                    pick -= weight
+                if template == "ring":
+                    spec = self._ring_spec(index, protocol)
+                elif template == "broker":
+                    spec = self._broker_spec(index, protocol)
+                else:
+                    spec = self._auction_spec(index, protocol)
             withhold_votes: frozenset = frozenset()
             no_show: frozenset = frozenset()
             forge: frozenset = frozenset()
+            stale_proof: frozenset = frozenset()
             if rng.random("withhold") < profile.withhold_rate:
                 withhold_votes = frozenset({rng.choice("withhold-pick", list(spec.parties))})
             elif rng.random("no-show") < profile.no_show_rate:
@@ -150,6 +251,13 @@ class MarketWorkload:
                 no_show = frozenset({rng.choice("no-show-pick", owners)})
             elif rng.random("forge") < profile.forge_rate:
                 forge = frozenset({rng.choice("forge-pick", list(spec.parties))})
+            if (
+                spec.protocol == PROTOCOL_CBC
+                and rng.random("stale-proof") < profile.stale_proof_rate
+            ):
+                stale_proof = frozenset(
+                    {rng.choice("stale-proof-pick", list(spec.parties))}
+                )
             orders.append(
                 sign_order(
                     spec,
@@ -159,6 +267,7 @@ class MarketWorkload:
                     withhold_votes=withhold_votes,
                     no_show=no_show,
                     forge=forge,
+                    stale_proof=stale_proof,
                 )
             )
         return tuple(orders)
@@ -180,16 +289,60 @@ class MarketWorkload:
     def _chain_for(self, tag: str) -> str:
         return self._rng.choice(tag, list(self.chain_ids))
 
-    def _spec(self, parties, assets, steps, index: int) -> DealSpec:
+    def _spec(
+        self, parties, assets, steps, index: int,
+        protocol: str = PROTOCOL_UNANIMITY,
+    ) -> DealSpec:
         return DealSpec(
             parties=tuple(parties),
             assets=tuple(assets),
             steps=tuple(steps),
             labels={p: self._labels[p] for p in parties},
             nonce=f"market/{self.profile.seed}/deal{index}".encode("utf-8"),
+            protocol=protocol,
         )
 
-    def _ring_spec(self, index: int) -> DealSpec:
+    def _nft_sale_spec(self, index: int) -> DealSpec:
+        """A ticket sale: seller's unique token against buyer's coins.
+
+        With probability ``nft_double_sell_rate`` the seller re-offers
+        a ticket already put in play by an earlier order — if that
+        earlier deal is still open (or committed the ticket away), the
+        book rejects this deal's lock and it aborts with a conflict.
+        """
+        seller, buyer = self._pick_parties(2, f"nft{index}")
+        ticket_chain = self._chain_for("nft-ticket-chain")
+        coin_chain = self._chain_for("nft-coin-chain")
+        pool = self._nft_pools[(ticket_chain, seller)]
+        offered = self._nft_offered[(ticket_chain, seller)]
+        fresh = [tid for tid in pool if tid not in offered]
+        double_sell = (
+            bool(offered)
+            and self._rng.random("nft-double-sell")
+            < self.profile.nft_double_sell_rate
+        )
+        if double_sell or not fresh:
+            token_id = self._rng.choice("nft-pick-offered", offered)
+        else:
+            token_id = self._rng.choice("nft-pick-fresh", fresh)
+            offered.append(token_id)
+        price = self._amount("nft-price")
+        assets = [
+            Asset(asset_id="ticket", chain_id=ticket_chain,
+                  token=self.nft_tokens[ticket_chain], owner=seller,
+                  token_ids=(token_id,)),
+            Asset(asset_id="payment", chain_id=coin_chain,
+                  token=self.tokens[coin_chain], owner=buyer, amount=price),
+        ]
+        steps = [
+            TransferStep(asset_id="ticket", giver=seller, receiver=buyer,
+                         token_ids=(token_id,)),
+            TransferStep(asset_id="payment", giver=buyer, receiver=seller,
+                         amount=price),
+        ]
+        return self._spec([seller, buyer], assets, steps, index)
+
+    def _ring_spec(self, index: int, protocol: str = PROTOCOL_UNANIMITY) -> DealSpec:
         """Party *i* pays party *i+1* around a cycle of 2-4 accounts."""
         n = min(self._rng.randint("ring-n", 2, 4), len(self._addresses))
         parties = self._pick_parties(n, f"ring{index}")
@@ -206,9 +359,9 @@ class MarketWorkload:
                 asset_id=asset_id, giver=party,
                 receiver=parties[(i + 1) % n], amount=amount,
             ))
-        return self._spec(parties, assets, steps, index)
+        return self._spec(parties, assets, steps, index, protocol)
 
-    def _broker_spec(self, index: int) -> DealSpec:
+    def _broker_spec(self, index: int, protocol: str = PROTOCOL_UNANIMITY) -> DealSpec:
         """Figure 1's shape: seller -> broker -> buyer, margin kept."""
         seller, broker, buyer = self._pick_parties(3, f"broker{index}")
         goods_chain = self._chain_for("broker-goods-chain")
@@ -231,9 +384,9 @@ class MarketWorkload:
             TransferStep(asset_id="payment", giver=broker, receiver=seller,
                          amount=price),
         ]
-        return self._spec([seller, broker, buyer], assets, steps, index)
+        return self._spec([seller, broker, buyer], assets, steps, index, protocol)
 
-    def _auction_spec(self, index: int) -> DealSpec:
+    def _auction_spec(self, index: int, protocol: str = PROTOCOL_UNANIMITY) -> DealSpec:
         """A resolved auction: winner pays, seller delivers, loser refunded.
 
         The losing bidder escrows its bid but no step touches it, so it
@@ -262,4 +415,4 @@ class MarketWorkload:
             TransferStep(asset_id="winning-bid", giver=winner, receiver=seller,
                          amount=winning_bid),
         ]
-        return self._spec([seller, winner, loser], assets, steps, index)
+        return self._spec([seller, winner, loser], assets, steps, index, protocol)

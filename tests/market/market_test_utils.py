@@ -12,17 +12,29 @@ class HandWorkload:
     """A workload with explicit orders over a tiny account pool."""
 
     def __init__(self, orders_builder, accounts: int = 4, chains: int = 2,
-                 balance: int = 1_000, seed: str = "hand"):
+                 balance: int = 1_000, seed: str = "hand",
+                 book_fund_fraction: float = 1.0, nft_per_account: int = 0):
         self.seed = seed
         self.chain_ids = tuple(f"mchain{c}" for c in range(chains))
         self.tokens = {cid: f"mcoin{c}" for c, cid in enumerate(self.chain_ids)}
         self.initial_balance = balance
+        self.book_fund_fraction = book_fund_fraction
         self.accounts = {}
         self.labels = []
         for i in range(accounts):
             keypair = KeyPair.from_label(f"{seed}/acct{i}")
             self.accounts[keypair.address] = keypair
             self.labels.append(keypair.address)
+        self.nft_tokens = {}
+        self.nft_minted = {}
+        if nft_per_account > 0:
+            for c, chain_id in enumerate(self.chain_ids):
+                self.nft_tokens[chain_id] = f"hticket{c}"
+                self.nft_minted[chain_id] = tuple(
+                    (f"tkt{c}-a{i}-{k}", address)
+                    for i, address in enumerate(self.labels)
+                    for k in range(nft_per_account)
+                )
         self._orders_builder = orders_builder
 
     def orders(self):
@@ -30,7 +42,7 @@ class HandWorkload:
 
 
 def two_party_swap(wl: HandWorkload, index=0, arrival=0.5, amount=100,
-                   a=0, b=1, **order_kwargs):
+                   a=0, b=1, protocol="unanimity", **order_kwargs):
     """p_a pays p_b on the first chain, p_b pays p_a on the last."""
     pa, pb = wl.labels[a], wl.labels[b]
     spec = DealSpec(
@@ -46,16 +58,46 @@ def two_party_swap(wl: HandWorkload, index=0, arrival=0.5, amount=100,
             TransferStep(asset_id="right", giver=pb, receiver=pa, amount=amount),
         ),
         nonce=f"hand/{index}".encode(),
+        protocol=protocol,
     )
     return sign_order(spec, wl.accounts, arrival=arrival, index=index,
                       **order_kwargs)
 
 
-def run_hand(orders_builder, **workload_kwargs):
+def nft_sale(wl: HandWorkload, token_id: str, index=0, arrival=0.5,
+             price=100, seller=0, buyer=1, **order_kwargs):
+    """``seller`` sells one ticket on the first chain for ``buyer``'s
+    coins on the last chain (unanimity: NFT escrows live in the book)."""
+    ps, pb = wl.labels[seller], wl.labels[buyer]
+    ticket_chain, coin_chain = wl.chain_ids[0], wl.chain_ids[-1]
+    spec = DealSpec(
+        parties=(ps, pb),
+        assets=(
+            Asset(asset_id="ticket", chain_id=ticket_chain,
+                  token=wl.nft_tokens[ticket_chain], owner=ps,
+                  token_ids=(token_id,)),
+            Asset(asset_id="payment", chain_id=coin_chain,
+                  token=wl.tokens[coin_chain], owner=pb, amount=price),
+        ),
+        steps=(
+            TransferStep(asset_id="ticket", giver=ps, receiver=pb,
+                         token_ids=(token_id,)),
+            TransferStep(asset_id="payment", giver=pb, receiver=ps,
+                         amount=price),
+        ),
+        nonce=f"hand-nft/{index}".encode(),
+    )
+    return sign_order(spec, wl.accounts, arrival=arrival, index=index,
+                      **order_kwargs)
+
+
+def run_hand(orders_builder, config: MarketConfig | None = None,
+             **workload_kwargs):
     """Run hand-built orders with per-block invariant checking on."""
     workload = HandWorkload(orders_builder, **workload_kwargs)
     scheduler = DealScheduler(
-        workload, MarketConfig(patience=30.0, check_invariants_per_block=True)
+        workload,
+        config or MarketConfig(patience=30.0, check_invariants_per_block=True),
     )
     report = scheduler.run()
     return scheduler, report

@@ -9,7 +9,7 @@ twice, and every deal settles uniformly across chains.
 
 from __future__ import annotations
 
-from market_test_utils import HandWorkload, two_party_swap
+from market_test_utils import HandWorkload, nft_sale, run_hand, two_party_swap
 from repro.market.invariants import check_market_invariants
 from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
 from repro.workloads.market import MarketProfile, MarketWorkload
@@ -102,6 +102,85 @@ def test_per_block_invariant_checking_passes_on_adversarial_smoke():
     report = scheduler.run()  # raises MarketError on any violated block
     assert report.deals == 60
     assert report.stuck == 0
+
+
+def test_nft_double_sell_reverts_cleanly_with_ownership_conserved():
+    """Two deals contend for the same token id: exactly one gets it.
+
+    The seller double-sells ticket ``tkt0-a0-0``; the first deal's
+    ``open`` locks the token id, the second deal's lock reverts
+    (first-committed-wins), and ownership stays unique throughout —
+    the loser aborts with its buyer's payment refunded in full.
+    """
+
+    def orders(wl):
+        return [
+            nft_sale(wl, "tkt0-a0-0", index=0, arrival=0.5, price=100,
+                     seller=0, buyer=1),
+            nft_sale(wl, "tkt0-a0-0", index=1, arrival=0.6, price=150,
+                     seller=0, buyer=2),
+        ]
+
+    scheduler, report = run_hand(orders, nft_per_account=2)
+    assert report.committed == 1
+    assert report.aborted == 1
+    assert report.conflicts == 1
+    assert report.invariant_violations == ()
+    runs = sorted(scheduler.runs.values(), key=lambda run: run.order.index)
+    assert runs[0].phase is DealPhase.COMMITTED
+    assert runs[1].phase is DealPhase.ABORTED and runs[1].conflict
+    wl = scheduler.workload
+    ticket_chain, coin_chain = wl.chain_ids[0], wl.chain_ids[-1]
+    book0 = scheduler.books[ticket_chain]
+    ticket_token = wl.nft_tokens[ticket_chain]
+    # The ticket belongs (internally) to the first buyer, unlocked.
+    assert book0.peek_nft_owner(ticket_token, "tkt0-a0-0") == wl.labels[1]
+    assert book0.peek_nft_lock(ticket_token, "tkt0-a0-0") is None
+    # The losing buyer's payment escrow was refunded in full.
+    book1 = scheduler.books[coin_chain]
+    assert book1.peek_account(wl.labels[2], wl.tokens[coin_chain]) == 1000
+    # The winning sale actually settled: seller was paid.
+    assert book1.peek_account(wl.labels[0], wl.tokens[coin_chain]) == 1100
+
+
+def test_nft_sale_abort_returns_ticket_to_seller():
+    """An aborted sale clears the lock and restores internal ownership."""
+
+    def orders(wl):
+        return [
+            nft_sale(wl, "tkt0-a0-0", index=0, arrival=0.5,
+                     withhold_votes=frozenset({wl.labels[1]})),
+        ]
+
+    scheduler, report = run_hand(orders, nft_per_account=1)
+    assert report.aborted == 1 and report.committed == 0
+    assert report.invariant_violations == ()
+    wl = scheduler.workload
+    ticket_chain = wl.chain_ids[0]
+    book0 = scheduler.books[ticket_chain]
+    ticket_token = wl.nft_tokens[ticket_chain]
+    assert book0.peek_nft_owner(ticket_token, "tkt0-a0-0") == wl.labels[0]
+    assert book0.peek_nft_lock(ticket_token, "tkt0-a0-0") is None
+
+
+def test_nft_distinct_tokens_commit_concurrently():
+    """Sales of different token ids by one seller do not conflict."""
+
+    def orders(wl):
+        return [
+            nft_sale(wl, "tkt0-a0-0", index=0, arrival=0.5, buyer=1),
+            nft_sale(wl, "tkt0-a0-1", index=1, arrival=0.5, buyer=2),
+        ]
+
+    scheduler, report = run_hand(orders, nft_per_account=2)
+    assert report.committed == 2
+    assert report.conflicts == 0
+    assert report.invariant_violations == ()
+    wl = scheduler.workload
+    book0 = scheduler.books[wl.chain_ids[0]]
+    ticket_token = wl.nft_tokens[wl.chain_ids[0]]
+    assert book0.peek_nft_owner(ticket_token, "tkt0-a0-0") == wl.labels[1]
+    assert book0.peek_nft_owner(ticket_token, "tkt0-a0-1") == wl.labels[2]
 
 
 def test_uniform_outcomes_across_chains():

@@ -19,6 +19,9 @@ if BENCH_DIR not in sys.path:
 import bench_e16_market  # noqa: E402
 
 EXPECTED_METRICS = {
+    "per_protocol",
+    "stale_proofs_rejected",
+    "timelock_refund_sweeps",
     "deals_spawned",
     "deals_committed",
     "deals_aborted",
@@ -48,7 +51,7 @@ def test_market_quick_smoke(tmp_path):
     output = tmp_path / "BENCH_market.json"
     assert bench_e16_market.main(["--quick", "--output", str(output)]) == 0
     report = json.loads(output.read_text())
-    assert report["schema"] == "BENCH_market/v1"
+    assert report["schema"] == "BENCH_market/v2"
     assert report["quick"] is True
     metrics = report["metrics"]
     assert set(metrics) == EXPECTED_METRICS
@@ -67,6 +70,22 @@ def test_market_quick_smoke(tmp_path):
         + metrics["deals_rejected"]
         == metrics["deals_spawned"]
     )
+
+
+def test_market_protocol_mix_quick_smoke(tmp_path):
+    """The --protocol-mix mode commits via all three protocols."""
+    output = tmp_path / "BENCH_market.json"
+    assert bench_e16_market.main(
+        ["--quick", "--protocol-mix", "--output", str(output)]
+    ) == 0
+    report = json.loads(output.read_text())
+    per_protocol = report["metrics"]["per_protocol"]
+    assert set(per_protocol) == {"unanimity", "timelock", "cbc"}
+    for protocol, bucket in per_protocol.items():
+        assert bucket["committed"] > 0, protocol
+    assert report["metrics"]["invariant_violations"] == 0
+    assert report["metrics"]["deals_stuck"] == 0
+    assert report["metrics"]["stale_proofs_rejected"] > 0
 
 
 def test_market_fixed_seed_run_is_deterministic():
