@@ -170,6 +170,11 @@ def market_metrics(report: MarketReport, wall_s: float) -> dict:
     }
     return {
         "per_protocol": per_protocol,
+        # VerifyAggregator counters (wall-clock diagnostics: how many
+        # block batches merged per flush, how often forgery isolation
+        # fell back) — deliberately absent from the byte-compared
+        # report, present here for the perf trajectory.
+        "verify_aggregation": dict(report.verify_stats),
         "stale_proofs_rejected": report.stale_proofs_rejected,
         "timelock_refund_sweeps": report.timelock_refund_sweeps,
         "deals_spawned": report.deals,

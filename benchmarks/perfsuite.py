@@ -16,10 +16,18 @@ experiment hammers) and writes ``BENCH_crypto.json``:
   stream repeats each signature several times — repeats are cache hits;
 * ``batch_verify_sigs_per_s`` — per-signature rate of batched quorum
   certificates (fresh message each round, so nothing is cached);
+* ``multi_pow_{k}_*`` — pairs/second of the v2 multi-exponentiation
+  engine at batch sizes 4/16/64/256 against an in-process replica of
+  the v1 engine (PR 1's shared-squaring interleaved windowing, no
+  dedup, no shared tables), on pairs shaped like a real batched
+  verification: alternating fresh commitment bases with 64-bit weight
+  exponents and hot public-key bases (drawn from a small recurring
+  pool, as market accounts and validators recur) with ~320-bit
+  challenge·weight exponents;
 * ``e1_wall_s`` — end-to-end wall-clock of the E1 running example;
-* ``seed_*`` — the same operations through a faithful replica of the
-  seed implementation (``builtins.pow``, no caches), measured in the
-  same process, so every run self-documents its speedups.
+* ``seed_*`` / ``v1_*`` — the same operations through faithful
+  replicas of the earlier implementations, measured in the same
+  process, so every run self-documents its speedups.
 """
 
 from __future__ import annotations
@@ -29,10 +37,11 @@ import importlib
 import json
 import os
 import platform
+import random
 import sys
 import time
 
-from repro.crypto.fastexp import G, P, Q
+from repro.crypto.fastexp import G, P, Q, multi_pow, prewarm_base
 from repro.crypto.fastexp import cache_stats as fastexp_stats
 from repro.crypto.hashing import bytes_to_int, int_to_bytes, tagged_hash
 from repro.crypto.schnorr import (
@@ -84,6 +93,43 @@ def seed_verify(public_key, message: bytes, signature: Signature) -> bool:
     return lhs == rhs
 
 
+def v1_multi_pow(pairs, modulus: int = P, window: int = 4) -> int:
+    """The v1 multi-exponentiation, verbatim (PR 1's engine).
+
+    Simultaneous interleaved windowing with one shared squaring chain,
+    a fresh digit table per base per call, no duplicate-base merging
+    and no cached tables — the baseline the v2 engine is measured
+    against.
+    """
+    if not pairs:
+        return 1 % modulus
+    mask = (1 << window) - 1
+    tables = []
+    max_bits = 0
+    for base, exponent in pairs:
+        if exponent < 0:
+            raise ValueError("negative exponent")
+        base %= modulus
+        row = [1] * (mask + 1)
+        row[1] = base
+        for digit in range(2, mask + 1):
+            row[digit] = row[digit - 1] * base % modulus
+        tables.append((exponent, row))
+        if exponent.bit_length() > max_bits:
+            max_bits = exponent.bit_length()
+    acc = 1
+    for index in range((max_bits + window - 1) // window - 1, -1, -1):
+        if acc != 1:
+            for _ in range(window):
+                acc = acc * acc % modulus
+        shift = index * window
+        for exponent, row in tables:
+            digit = (exponent >> shift) & mask
+            if digit:
+                acc = acc * row[digit] % modulus
+    return acc
+
+
 # ----------------------------------------------------------------------
 # Timing helpers
 # ----------------------------------------------------------------------
@@ -114,6 +160,14 @@ def run_suite(quick: bool = False) -> dict:
     hops = 6  # contracts that re-verify it (the deal-workload repeats)
 
     keys = [generate_keypair(f"perfsuite-{i}".encode()) for i in range(8)]
+    # The suite measures steady-state rates (the docstring's contract:
+    # "fixed-base tables warm"), so build the measurement keys' hot
+    # tables up front — otherwise the tiered window upgrades land
+    # inside whichever timed section happens to cross the use
+    # threshold, and the per-section rates jitter run to run.  The
+    # seed_* baselines are unaffected (pure builtins.pow replicas).
+    for _, public in keys:
+        prewarm_base(public.point, hot=True)
 
     # -- sign ----------------------------------------------------------
     def fresh_messages(round_index):
@@ -187,6 +241,46 @@ def run_suite(quick: bool = False) -> dict:
         min_time,
     )
 
+    # -- multi_pow microbench (v2 engine vs the v1 replica) ------------
+    # Pairs mirror one sealed block's merged batch check: alternating
+    # (fresh commitment, 64-bit weight) and (hot public key from a
+    # recurring 8-key pool, ~320-bit challenge·weight) entries.  The
+    # pool bases are prewarmed — in steady state market accounts and
+    # validators always have tables — so the measurement is the
+    # steady-state rate, not the first-block one.
+    rng = random.Random(0xB10C5)
+    hot_pool = [pow(G, rng.getrandbits(256), P) for _ in range(8)]
+    for base in hot_pool:
+        prewarm_base(base, hot=True)
+
+    def multi_pow_batch(count):
+        def make(round_index):
+            pairs = []
+            for i in range(count):
+                if i % 2 == 0:
+                    pairs.append(
+                        (pow(G, rng.getrandbits(256), P), rng.getrandbits(64))
+                    )
+                else:
+                    pairs.append(
+                        (hot_pool[rng.randrange(len(hot_pool))], rng.getrandbits(320))
+                    )
+            return pairs
+
+        return make
+
+    multi_pow_metrics = {}
+    for count in (4, 16, 64, 256):
+        make = multi_pow_batch(count)
+        check = make(0)
+        if multi_pow(check) != v1_multi_pow(check):
+            raise AssertionError("multi_pow engines disagree")
+        v2_rate = measure_rate(make, lambda p: (multi_pow(p), len(p))[1], min_time)
+        v1_rate = measure_rate(make, lambda p: (v1_multi_pow(p), len(p))[1], min_time)
+        multi_pow_metrics[f"multi_pow_{count}_pairs_per_s"] = round(v2_rate, 2)
+        multi_pow_metrics[f"v1_multi_pow_{count}_pairs_per_s"] = round(v1_rate, 2)
+        multi_pow_metrics[f"multi_pow_{count}_speedup"] = round(v2_rate / v1_rate, 2)
+
     # -- E1 end-to-end -------------------------------------------------
     bench_e1_brokered_deal = _import_bench("bench_e1_brokered_deal")
 
@@ -195,6 +289,7 @@ def run_suite(quick: bool = False) -> dict:
     e1_wall_s = time.perf_counter() - started
 
     return {
+        **multi_pow_metrics,
         "sign_per_s": round(sign_per_s, 2),
         "seed_sign_per_s": round(seed_sign_per_s, 2),
         "sign_speedup": round(sign_per_s / seed_sign_per_s, 2),
@@ -229,7 +324,7 @@ def main(argv: list[str]) -> int:
 
     metrics = run_suite(quick=args.quick)
     report = {
-        "schema": "BENCH_crypto/v1",
+        "schema": "BENCH_crypto/v2",
         "python": platform.python_version(),
         "quick": args.quick,
         "metrics": metrics,

@@ -59,6 +59,12 @@ def sweep(values, make_record) -> list[dict]:
     return records
 
 
+def _run_shard(payload) -> list[dict]:
+    """Worker entry point: run one seed-striped shard serially."""
+    make_record, shard_values = payload
+    return [make_record(value) for value in shard_values]
+
+
 def sweep_parallel(values, make_record, jobs: int | None = None) -> list[dict]:
     """Like :func:`sweep`, but fan the points out over worker processes.
 
@@ -68,10 +74,18 @@ def sweep_parallel(values, make_record, jobs: int | None = None) -> list[dict]:
     :class:`repro.sim.rng.DeterministicRng` seeded from the sweep value
     (deterministic per-seed RNG), never from global state.
 
+    Points are *sharded by seed index* across the workers: shard ``i``
+    takes points ``i, i+jobs, i+2·jobs, ...`` and runs them serially
+    inside one task.  Striding (instead of one-point-per-task chunks)
+    load-balances sweeps whose cost grows along the axis — E15/E16
+    style sweeps hand every worker a mix of cheap and expensive points
+    rather than giving the last worker all the heavy ones — and each
+    worker amortizes its warm crypto tables over its whole shard.
+
     ``jobs=None`` (or any non-positive count) uses every CPU;
     ``jobs=1`` (or a single point) falls back to the serial path with
     no worker processes.  ``make_record`` must be picklable (a
-    module-level function).
+    module-level function, or a ``functools.partial`` of one).
     """
     values = list(values)
     if not values:
@@ -84,12 +98,18 @@ def sweep_parallel(values, make_record, jobs: int | None = None) -> list[dict]:
     # produces identical records by construction.
     if jobs == 1 or multiprocessing.current_process().daemon:
         return sweep(values, make_record)
+    shards = [values[start::jobs] for start in range(jobs)]
     # fork (where available) lets workers inherit warm crypto tables
     # and already-imported modules; spawn is the portable fallback.
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     context = multiprocessing.get_context(method)
     with context.Pool(processes=jobs) as pool:
-        records = pool.map(make_record, values)
+        shard_records = pool.map(
+            _run_shard, [(make_record, shard) for shard in shards]
+        )
+    records: list[dict | None] = [None] * len(values)
+    for start, shard in enumerate(shard_records):
+        records[start::jobs] = shard
     for value, record in zip(values, records):
         record.setdefault("x", value)
     return records

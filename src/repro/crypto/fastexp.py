@@ -1,23 +1,35 @@
-"""Fast modular exponentiation for the Schnorr hot path.
+"""Fast modular exponentiation for the Schnorr hot path (engine v2).
 
-Profiling shows ~93% of benchmark wall-clock inside ``builtins.pow``
-doing 2048-bit modular exponentiation for Schnorr sign/verify.  Both
-protocols exponentiate two kinds of bases:
+Profiling shows most benchmark wall-clock inside 2048-bit modular
+exponentiation for Schnorr sign/verify, and — since the market runtime
+batches whole blocks of order signatures into one combined check —
+inside :func:`multi_pow` specifically (~70% of the E16 market run).
+Three kinds of bases recur:
 
 * the **generator** ``g`` — every sign computes ``g^k`` and every
   verify computes ``g^s``; the base never changes, so a fixed-base
   window table turns each exponentiation into ~``bits/w`` modular
   multiplications with **no squarings at all**;
-* a **public key** ``y`` — every verify computes ``y^e``; a deal
-  re-verifies the same handful of keys (parties, validators) hundreds
-  of times, so per-base tables amortize quickly.  Tables are built
-  only once a base has been seen a few times, and live in a bounded
-  LRU so churny one-shot keys neither pay the build nor pin memory.
+* a **public key** ``y`` — every verify computes ``y^e`` and every
+  batched check computes ``y^{e·w}``; validator and market-account
+  keys recur in every block, so per-base tables amortize quickly.
+  Tables are built once a base has been seen a few times and live in a
+  bounded, honestly-LRU cache shared by :func:`base_pow` *and*
+  :func:`multi_pow`, so a hot base never pays table construction
+  twice;
+* **signature commitments** ``R`` — fresh every signature, weighted by
+  short batch exponents; they never amortize, so they go through a
+  cold multi-exponentiation path.
 
-Batch verification additionally needs a product of powers
-``Π b_i^{e_i}``; :func:`multi_pow` computes it with one *shared*
-squaring chain (simultaneous/interleaved windowing), so ``k`` bases
-cost ``bits`` squarings total instead of ``k·bits``.
+:func:`multi_pow` v2 therefore works in three stages: (1) duplicate
+bases are merged by *summing their exponents* (one table walk instead
+of two); (2) bases with a cached window table — the generator included
+— contribute through their table with no squarings; (3) the cold
+remainder is computed with either Straus interleaved windowing (small
+batches: one shared squaring chain, per-base digit tables) or a
+Pippenger bucket pass (large batches: per-window digit buckets, no
+per-base tables at all), chosen by a per-call cost model over the
+batch size and exponent bit-length.
 
 The RFC 3526 group-14 constants live here (single source of truth);
 :mod:`repro.crypto.schnorr` re-exports them, so existing imports keep
@@ -50,33 +62,49 @@ _EXP_BITS = Q.bit_length()
 
 # Honest exponents are far shorter than q: every scalar in the scheme
 # (keys, nonces, challenges) is derived from a 256-bit hash, so g is
-# raised to at most ~513 bits (a response s = k + e·x never wraps mod
-# q) and a public key to at most 256 bits.  Tables are sized for those
-# real exponents — an out-of-range exponent (possible only in forged
-# inputs) transparently falls back to ``builtins.pow``.
+# raised to at most ~650 bits (a response s = k + e·x never wraps mod
+# q, and batch sums Σw·s add a short weight) and a public key to at
+# most ~320 bits (a challenge e times a 64-bit batch weight).  Tables
+# are sized for those real exponents — an out-of-range exponent
+# (possible only in forged inputs) transparently falls back to
+# ``builtins.pow``.
 GENERATOR_TABLE_BITS = 1024  # covers s (~513 bits) and batch Σw·s sums
-BASE_TABLE_BITS = 288  # covers challenges e (256 bits)
+BASE_TABLE_BITS = 384  # covers challenges e (256 bits) times batch weights
 
 # Window sizes trade table-build cost against per-exponentiation cost.
 # The generator table is built once per process, so it affords a wide
-# window; per-public-key tables must amortize within one sweep, so they
-# use a narrower one.
-GENERATOR_WINDOW = 6
+# window; per-public-key tables are tiered by how hot the base proves:
+# the first build uses a narrow window (cheap enough that a handful of
+# exponentiations amortize it), and a base that keeps getting used is
+# upgraded to a wide window whose bigger build cost the remaining
+# traffic easily repays.
+GENERATOR_WINDOW = 7
 BASE_WINDOW = 4
+BASE_WINDOW_HOT = 6
+# Fallback window for multi_pow callers that pin one explicitly; the
+# adaptive path picks its own (see _straus_window / _pippenger_window).
 MULTI_WINDOW = 4
 
 # Per-base tables: build only after a base was exponentiated this many
-# times (one-shot keys stay on builtins.pow), keep at most this many.
+# times (one-shot keys stay on builtins.pow), upgrade the window after
+# this many table uses, keep at most this many tables.
 _BASE_TABLE_THRESHOLD = 4
-_BASE_TABLE_MAXSIZE = 64
+_BASE_TABLE_UPGRADE_USES = 96
+_BASE_TABLE_MAXSIZE = 96
 _BASE_USES_MAXSIZE = 4096
+
+# Below this many cold pairs a Pippenger pass cannot beat Straus (the
+# bucket aggregation floor dominates); skip the cost model entirely.
+_PIPPENGER_MIN_PAIRS = 24
 
 
 class LruDict:
     """A small bounded mapping with least-recently-used eviction.
 
     Plain ``dict`` preserves insertion order, so "touch" is delete +
-    reinsert and the eviction victim is the first key.
+    reinsert and the eviction victim is the first key.  Both
+    :meth:`get` and :meth:`put` touch, so the first key really is the
+    least-recently-*used* one, not merely the oldest-inserted.
     """
 
     __slots__ = ("maxsize", "_data", "hits", "misses")
@@ -99,13 +127,17 @@ class LruDict:
         return None
 
     def put(self, key, value) -> None:
-        """Insert ``key``, evicting the least-recently-used entry."""
+        """Insert ``key`` (touching it), evicting the LRU entry."""
         data = self._data
         if key in data:
             del data[key]
         elif len(data) >= self.maxsize:
             del data[next(iter(data))]
         data[key] = value
+
+    def pop(self, key, default=None):
+        """Remove and return ``key``'s value (``default`` if absent)."""
+        return self._data.pop(key, default)
 
     def clear(self) -> None:
         self._data.clear()
@@ -127,7 +159,7 @@ class FixedBaseTable:
     multiplication per non-zero window digit — no squarings.
     """
 
-    __slots__ = ("base", "modulus", "window", "max_bits", "_rows", "_mask")
+    __slots__ = ("base", "modulus", "window", "max_bits", "uses", "_rows", "_mask")
 
     def __init__(self, base: int, modulus: int, max_bits: int = _EXP_BITS, window: int = BASE_WINDOW):
         if not 1 <= window <= 16:
@@ -136,6 +168,7 @@ class FixedBaseTable:
         self.modulus = modulus
         self.window = window
         self.max_bits = max_bits
+        self.uses = 0
         self._mask = (1 << window) - 1
         radix = 1 << window
         rows = []
@@ -192,9 +225,48 @@ def generator_pow(exponent: int) -> int:
 
 # ----------------------------------------------------------------------
 # Arbitrary bases (public keys): tables built after repeated use.
+#
+# The table cache and the use counter are both honest LRUs, and the
+# cache is shared between base_pow and multi_pow: a validator or
+# market-account key that recurs in every block builds its window
+# table exactly once, no matter which entry point sees it.
 # ----------------------------------------------------------------------
 _base_tables = LruDict(_BASE_TABLE_MAXSIZE)
-_base_uses: dict[int, int] = {}
+_base_uses = LruDict(_BASE_USES_MAXSIZE)
+
+
+def _shared_table(base: int) -> FixedBaseTable | None:
+    """The cached window table for ``base`` (counting uses toward one).
+
+    ``base`` must already be reduced mod p.  Returns the generator's
+    process-wide table when ``base`` is ``g``, a cached per-base table
+    when one exists (touching it in the LRU), and ``None`` otherwise —
+    in which case the use counter advances and a table is built once
+    the base crosses the threshold.
+    """
+    if base == G:
+        return generator_table()
+    table = _base_tables.get(base)
+    if table is not None:
+        table.uses += 1
+        if (
+            table.window < BASE_WINDOW_HOT
+            and table.uses >= _BASE_TABLE_UPGRADE_USES
+        ):
+            # The base proved genuinely hot: pay the wide-window build
+            # once and let the remaining traffic repay it.
+            table = FixedBaseTable(base, P, BASE_TABLE_BITS, BASE_WINDOW_HOT)
+            table.uses = _BASE_TABLE_UPGRADE_USES
+            _base_tables.put(base, table)
+        return table
+    uses = (_base_uses.get(base) or 0) + 1
+    if uses < _BASE_TABLE_THRESHOLD:
+        _base_uses.put(base, uses)
+        return None
+    _base_uses.pop(base)
+    table = FixedBaseTable(base, P, BASE_TABLE_BITS, BASE_WINDOW)
+    _base_tables.put(base, table)
+    return table
 
 
 def base_pow(base: int, exponent: int) -> int:
@@ -204,21 +276,13 @@ def base_pow(base: int, exponent: int) -> int:
     once a base crosses the use threshold it gets a window table, after
     which each exponentiation is ~``bits/w`` multiplications.
     """
-    table = _base_tables.get(base)
+    table = _shared_table(base % P)
     if table is None:
-        uses = _base_uses.get(base, 0) + 1
-        if uses < _BASE_TABLE_THRESHOLD:
-            if base not in _base_uses and len(_base_uses) >= _BASE_USES_MAXSIZE:
-                del _base_uses[next(iter(_base_uses))]
-            _base_uses[base] = uses
-            return pow(base, exponent, P)
-        _base_uses.pop(base, None)
-        table = FixedBaseTable(base, P, BASE_TABLE_BITS, BASE_WINDOW)
-        _base_tables.put(base, table)
+        return pow(base, exponent, P)
     return table.pow(exponent)
 
 
-def prewarm_base(base: int) -> bool:
+def prewarm_base(base: int, hot: bool = False) -> bool:
     """Build ``base``'s window table immediately, skipping the threshold.
 
     For bases that are *known* to be hot before the first
@@ -227,36 +291,81 @@ def prewarm_base(base: int) -> bool:
     ``_BASE_TABLE_THRESHOLD`` uses just moves the table build into the
     measured path.  Called by
     :class:`repro.consensus.validators.ValidatorSet` at generation
-    time.  Returns True when a table was built (False: already warm).
+    time.  ``hot=True`` builds the wide-window tier directly (for
+    bases known to stay hot for a whole long run, skipping the
+    upgrade-at-``_BASE_TABLE_UPGRADE_USES`` step as well).  Returns
+    True when a table was built (False: already warm).
     """
-    if _base_tables.get(base) is not None:
+    base %= P
+    if base == G:
         return False
-    _base_uses.pop(base, None)
-    _base_tables.put(base, FixedBaseTable(base, P, BASE_TABLE_BITS, BASE_WINDOW))
+    window = BASE_WINDOW_HOT if hot else BASE_WINDOW
+    existing = _base_tables.get(base)
+    if existing is not None and existing.window >= window:
+        return False
+    _base_uses.pop(base)
+    table = FixedBaseTable(base, P, BASE_TABLE_BITS, window)
+    if hot:
+        table.uses = _BASE_TABLE_UPGRADE_USES
+    _base_tables.put(base, table)
     return True
 
 
-def multi_pow(pairs: list[tuple[int, int]], modulus: int = P, window: int = MULTI_WINDOW) -> int:
-    """``Π base_i^{exp_i} mod modulus`` with one shared squaring chain.
+# ----------------------------------------------------------------------
+# Multi-exponentiation v2: dedup -> cached tables -> Straus/Pippenger.
+# ----------------------------------------------------------------------
+def _straus_window(max_bits: int) -> int:
+    """Window width minimizing Straus cost for this exponent length.
 
-    Simultaneous (interleaved) windowed exponentiation: the accumulator
-    is squared ``max_bits`` times total — independent of the number of
-    bases — and each base contributes one multiplication per non-zero
-    window digit.  For ``k`` 2048-bit exponents this is roughly
-    ``2048 + k·(2048/w)`` multiplications instead of ``k·3·2048/2``.
+    Per-pair cost ~ table build ``2^w - 2`` plus one multiplication per
+    non-zero digit, ``(max_bits/w)·(1 - 2^-w)``; squarings are shared
+    and independent of ``w``, so the optimum depends only on the
+    exponent bit-length, not on the batch size.
     """
-    if not pairs:
-        return 1 % modulus
+    best_w, best_cost = 1, float("inf")
+    for w in range(1, 9):
+        radix = 1 << w
+        levels = -(-max_bits // w)
+        cost = (radix - 2) + levels * (1.0 - 1.0 / radix)
+        if cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+def _pippenger_cost(pairs: int, max_bits: int, c: int) -> float:
+    """Estimated multiplications for one Pippenger pass at width ``c``.
+
+    Per level: one bucket insertion per pair with a non-zero digit,
+    one ``running`` update per occupied bucket, and one ``total``
+    update per bucket *slot* below the highest occupied one — the
+    suffix-product walk touches every slot, which is what drives the
+    classic ``c ~ log2(pairs)`` optimum.
+    """
+    levels = -(-max_bits // c)
+    radix = 1 << c
+    return levels * (pairs + min(radix - 1, pairs) + radix)
+
+
+def _pippenger_window(pairs: int, max_bits: int) -> int:
+    """Bucket width minimizing Pippenger cost for this batch shape."""
+    best_c, best_cost = 1, float("inf")
+    for c in range(1, 13):
+        cost = _pippenger_cost(pairs, max_bits, c)
+        if cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+def _straus(items: list[tuple[int, int]], modulus: int, window: int) -> int:
+    """Interleaved windowed multi-exp with one shared squaring chain."""
     mask = (1 << window) - 1
+    radix = mask + 1
     tables = []
     max_bits = 0
-    for base, exponent in pairs:
-        if exponent < 0:
-            raise ValueError("negative exponent")
-        base %= modulus
-        row = [1] * (mask + 1)
+    for base, exponent in items:
+        row = [1] * radix
         row[1] = base
-        for digit in range(2, mask + 1):
+        for digit in range(2, radix):
             row[digit] = row[digit - 1] * base % modulus
         tables.append((exponent, row))
         if exponent.bit_length() > max_bits:
@@ -272,6 +381,101 @@ def multi_pow(pairs: list[tuple[int, int]], modulus: int = P, window: int = MULT
             if digit:
                 acc = acc * row[digit] % modulus
     return acc
+
+
+def _pippenger(items: list[tuple[int, int]], modulus: int, window: int) -> int:
+    """Bucket-method multi-exp: no per-base tables, per-window buckets.
+
+    For each window level, every pair lands in the bucket of its digit
+    (one multiplication per pair with a non-zero digit); the buckets
+    are then folded with the running-product trick — the suffix product
+    ``running_d = Π_{j>=d} bucket_j`` accumulated once per occupied
+    bucket gives ``Π_d bucket_d^d`` in ~2 multiplications per bucket.
+    """
+    mask = (1 << window) - 1
+    max_bits = max(exponent.bit_length() for _, exponent in items)
+    acc = 1
+    for index in range((max_bits + window - 1) // window - 1, -1, -1):
+        if acc != 1:
+            for _ in range(window):
+                acc = acc * acc % modulus
+        shift = index * window
+        buckets: list[int | None] = [None] * (mask + 1)
+        for base, exponent in items:
+            digit = (exponent >> shift) & mask
+            if digit:
+                held = buckets[digit]
+                buckets[digit] = base if held is None else held * base % modulus
+        running = total = None
+        for digit in range(mask, 0, -1):
+            held = buckets[digit]
+            if held is not None:
+                running = held if running is None else running * held % modulus
+            if running is not None:
+                total = running if total is None else total * running % modulus
+        if total is not None:
+            acc = acc * total % modulus
+    return acc
+
+
+def _cold_multi(items: list[tuple[int, int]], modulus: int, window: int | None) -> int:
+    """Multi-exp for bases without cached tables: pick Straus/Pippenger."""
+    if window is not None:
+        return _straus(items, modulus, window)
+    max_bits = max(exponent.bit_length() for _, exponent in items)
+    pairs = len(items)
+    w = _straus_window(max_bits)
+    if pairs < _PIPPENGER_MIN_PAIRS:
+        return _straus(items, modulus, w)
+    radix = 1 << w
+    straus_cost = pairs * ((radix - 2) + -(-max_bits // w) * (1.0 - 1.0 / radix))
+    c = _pippenger_window(pairs, max_bits)
+    if _pippenger_cost(pairs, max_bits, c) < straus_cost:
+        return _pippenger(items, modulus, c)
+    return _straus(items, modulus, w)
+
+
+def multi_pow(pairs: list[tuple[int, int]], modulus: int = P, window: int | None = None) -> int:
+    """``Π base_i^{exp_i} mod modulus`` via the v2 multi-exp engine.
+
+    Repeated bases are merged by summing their exponents (two
+    signatures under one public key cost one table walk, not two).
+    When ``modulus`` is the group prime ``p`` and no explicit
+    ``window`` is pinned, bases with a cached fixed-base table — the
+    generator and every hot public key — contribute through their
+    table with no squarings at all, and only the cold remainder pays
+    the shared-chain multi-exponentiation (Straus for small batches,
+    Pippenger buckets for large ones, chosen by a per-call cost
+    model).  Passing ``window`` forces the plain interleaved path with
+    that width (no caches, no cost model) for reproducible unit tests.
+    """
+    if not pairs:
+        return 1 % modulus
+    if modulus == 1:
+        return 0
+    merged: dict[int, int] = {}
+    for base, exponent in pairs:
+        if exponent < 0:
+            raise ValueError("negative exponent")
+        base %= modulus
+        merged[base] = merged.get(base, 0) + exponent
+    hot = 1
+    cold: list[tuple[int, int]] = []
+    use_tables = modulus == P and window is None
+    for base, exponent in merged.items():
+        if exponent == 0 or base == 1:
+            continue
+        if base == 0:
+            return 0
+        if use_tables:
+            table = _shared_table(base)
+            if table is not None and exponent.bit_length() <= table.max_bits:
+                hot = hot * table.pow(exponent) % modulus
+                continue
+        cold.append((base, exponent))
+    if not cold:
+        return hot % modulus
+    return _cold_multi(cold, modulus, window) * hot % modulus
 
 
 def cache_stats() -> dict:

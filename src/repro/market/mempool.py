@@ -13,12 +13,17 @@ Sealing is where order signatures are paid for, at block granularity:
   checked (one signature per party, no duplicate signers, all signers
   in the plist — the same rules
   :func:`repro.consensus.validators.batch_verify_quorum` enforces);
-* a block carrying a single new order verifies it directly with
-  ``batch_verify_quorum`` (``quorum = n``: unanimity);
-* a block carrying several new orders merges all their signatures into
-  **one** batched Schnorr check (one shared squaring chain for the
-  whole block); only if that merged check fails does the mempool fall
-  back to per-order ``batch_verify_quorum`` to isolate the forgeries.
+* a block's new orders merge all their signatures into **one** batched
+  Schnorr check; only if that merged check fails does the mempool fall
+  back to per-order ``batch_verify_quorum`` to isolate the forgeries;
+* when the market wires a shared
+  :class:`~repro.consensus.validators.VerifyAggregator`, the per-seal
+  batch is enqueued there and the verdict arrives in a flush later in
+  the same simulated instant; should several order-carrying mempools
+  seal at one boundary (multi-market/sharded setups — today only the
+  coordinator chain clears orders), their batches fold into a single
+  multi-exponentiation.  Either way every verdict, receipt, and
+  report byte is identical to inline verification.
 
 Steps of a cleared deal flow to the chain; steps of a rejected deal
 are dropped and counted.  The shared :class:`OrderLedger` makes a deal
@@ -71,6 +76,7 @@ class StepMempool:
         ledger: OrderLedger,
         max_txs_per_block: int = 512,
         on_order_rejected: Callable[[bytes], None] | None = None,
+        aggregator=None,
     ):
         if max_txs_per_block <= 0:
             raise MarketError("max_txs_per_block must be positive")
@@ -79,6 +85,11 @@ class StepMempool:
         self.ledger = ledger
         self.max_txs_per_block = max_txs_per_block
         self.on_order_rejected = on_order_rejected
+        # A shared VerifyAggregator merges this mempool's per-seal
+        # signature batch with every other block sealing at the same
+        # boundary (one multi-exp for the whole market instant); with
+        # no aggregator, seals verify synchronously.
+        self.aggregator = aggregator
         self._pending: list[_PendingStep] = []
         self._seal_scheduled = False
         self.stats = {
@@ -135,19 +146,34 @@ class StepMempool:
             if step.order is not None and step.deal_id not in self.ledger.cleared:
                 new_orders.setdefault(step.deal_id, step.order)
         if new_orders:
-            self._clear_orders(list(new_orders.values()))
+            self._clear_orders(list(new_orders.values()), batch)
+        else:
+            self._dispatch(batch)
+        if self._pending:
+            self._ensure_seal_scheduled()
 
+    def _dispatch(self, batch: list[_PendingStep]) -> None:
+        """Flow the sealed steps of cleared deals to the chain."""
         for step in batch:
             if step.deal_id in self.ledger.cleared:
                 self.chain.submit(step.tx)
                 self.stats["sealed"] += 1
             else:
                 self.stats["dropped"] += 1
-        if self._pending:
-            self._ensure_seal_scheduled()
 
-    def _clear_orders(self, orders: list[SignedDealOrder]) -> None:
-        """Verify every order newly referenced in this seal batch."""
+    def _clear_orders(
+        self, orders: list[SignedDealOrder], batch: list[_PendingStep]
+    ) -> None:
+        """Verify every order newly referenced in this seal batch.
+
+        Structural rejections happen immediately; the block's merged
+        Schnorr batch goes through the shared :class:`VerifyAggregator`
+        when one is wired (so every block sealing at this boundary
+        shares a single multi-exponentiation) and synchronously
+        otherwise.  Either way the verdict lands — and the sealed
+        steps flow to the chain — at this same simulated instant,
+        strictly before the next block executes.
+        """
         sound: list[tuple[SignedDealOrder, tuple, bytes]] = []
         for order in orders:
             keys = self._expected_keys(order)
@@ -158,11 +184,7 @@ class StepMempool:
                 continue
             sound.append((order, keys, order_message(order.deal_id)))
         if not sound:
-            return
-        if len(sound) == 1:
-            order, keys, message = sound[0]
-            ok = batch_verify_quorum(keys, len(keys), message, order.signatures)
-            self._record(order, ok)
+            self._dispatch(batch)
             return
         # Whole-block fast path: one merged Schnorr batch for every
         # order sealing in this block.
@@ -170,14 +192,24 @@ class StepMempool:
         for order, _, message in sound:
             for entry in order.signatures:
                 merged.append((entry.public_key, message, entry.signature))
-        if schnorr_batch_verify(merged):
-            for order, _, _ in sound:
-                self._record(order, True)
-            return
-        # Some order in the block is forged: isolate per order.
-        for order, keys, message in sound:
-            ok = batch_verify_quorum(keys, len(keys), message, order.signatures)
-            self._record(order, ok)
+
+        def settle(ok: bool) -> None:
+            if ok:
+                for order, _, _ in sound:
+                    self._record(order, True)
+            else:
+                # Some order in the block is forged: isolate per order.
+                for order, keys, message in sound:
+                    self._record(
+                        order,
+                        batch_verify_quorum(keys, len(keys), message, order.signatures),
+                    )
+            self._dispatch(batch)
+
+        if self.aggregator is None:
+            settle(schnorr_batch_verify(merged))
+        else:
+            self.aggregator.enqueue(merged, settle)
 
     def _expected_keys(self, order: SignedDealOrder):
         try:

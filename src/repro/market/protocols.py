@@ -22,7 +22,10 @@ protocols through the same per-chain
   (one ``startDeal`` entry), one
   :class:`~repro.core.cbc.CbcEscrow` is published per (deal, asset)
   with the definitive start hash and the CBC's initial validator keys,
-  and parties vote commit (or abort) *on the CBC*.  Once the CBC log
+  and parties vote commit (or abort) *on the CBC*, which batch-checks
+  every vote arriving in a block interval with one combined Schnorr
+  verification at block production (see
+  :meth:`repro.consensus.bft.CertifiedBlockchain.submit`).  Once the CBC log
   is decisive, the driver extracts a quorum-signed
   :class:`~repro.core.proofs.StatusProof` and submits one
   proof-carrying commit/abort transaction per escrow; each proof is
@@ -331,6 +334,7 @@ class CbcDealDriver(DealDriver):
         self.start_hash: bytes | None = None
         self.abort_vote_sent = False
         self.abort_when_started = False
+        self._stale_proof: "StatusProof | None" = None
 
     def on_registered(self, receipt: Receipt) -> None:
         from repro.market.scheduler import DealPhase
@@ -420,27 +424,30 @@ class CbcDealDriver(DealDriver):
         The certificate is genuinely quorum-signed — the attack is the
         *binding*: it certifies a superseded ``startDeal``, so the
         escrow's start-hash check must reject it before any signature
-        is even considered.
+        is even considered.  The forged certificate is built once per
+        deal and reused by every forger in the plist (the attack bytes
+        are identical, so re-signing per forger is pure waste).
         """
-        stale_start = hash_concat(b"repro/market/stale-start", self.deal_id)
-        validators = self.scheduler.cbc.validators
-        message = StatusCertificate.message(
-            self.deal_id, stale_start, DealStatus.COMMITTED, validators.epoch
-        )
-        certificate = StatusCertificate(
-            deal_id=self.deal_id,
-            start_hash=stale_start,
-            status=DealStatus.COMMITTED,
-            epoch=validators.epoch,
-            signatures=validators.quorum_sign(message),
-        )
+        if self._stale_proof is None:
+            stale_start = hash_concat(b"repro/market/stale-start", self.deal_id)
+            validators = self.scheduler.cbc.validators
+            message = StatusCertificate.message(
+                self.deal_id, stale_start, DealStatus.COMMITTED, validators.epoch
+            )
+            self._stale_proof = StatusProof(certificate=StatusCertificate(
+                deal_id=self.deal_id,
+                start_hash=stale_start,
+                status=DealStatus.COMMITTED,
+                epoch=validators.epoch,
+                signatures=validators.quorum_sign(message),
+            ))
         target = self.spec.assets[0]
         self.scheduler.mempools[target.chain_id].submit(
             Transaction(
                 sender=forger,
                 contract=self.escrow_names[target.asset_id],
                 method="commit",
-                args={"proof": StatusProof(certificate=certificate)},
+                args={"proof": self._stale_proof},
                 phase="market/stale-proof",
             ),
             self.deal_id,

@@ -61,7 +61,7 @@ from repro.chain.ledger import Chain
 from repro.chain.tokens import FungibleToken, NonFungibleToken
 from repro.chain.tx import Receipt, Transaction
 from repro.consensus.bft import CertifiedBlockchain
-from repro.consensus.validators import ValidatorSet
+from repro.consensus.validators import ValidatorSet, VerifyAggregator
 from repro.core.deal import (
     PROTOCOL_CBC,
     PROTOCOL_TIMELOCK,
@@ -152,6 +152,14 @@ class MarketConfig:
     timelock_delta: float = 8.0
     # Byzantine tolerance of the market's shared CBC (3f+1 validators).
     cbc_f: int = 1
+    # Cross-block verify aggregation: merge the order-signature batches
+    # of every block sealing at one boundary into a single
+    # multi-exponentiation (up to verify_max_blocks block batches per
+    # flush).  Wall-clock only — verdicts land at the same simulated
+    # instant, so decisions and reports are byte identical; the off
+    # switch exists for the equivalence tests that prove exactly that.
+    verify_aggregation: bool = True
+    verify_max_blocks: int = 8
 
 
 @dataclass
@@ -183,6 +191,10 @@ class MarketReport:
     per_protocol: tuple = ()
     stale_proofs_rejected: int = 0
     timelock_refund_sweeps: int = 0
+    # Sorted (name, count) rows from the market's VerifyAggregator —
+    # wall-clock diagnostics only, deliberately outside render() and
+    # fingerprint() so aggregation can never change report bytes.
+    verify_stats: tuple = ()
 
     @property
     def abort_rate(self) -> float:
@@ -296,6 +308,20 @@ class DealScheduler:
             chain_id: [] for chain_id in workload.chain_ids
         }
         self.stats = {"timelock_refund_sweeps": 0, "stale_proofs_rejected": 0}
+        # One verify aggregator for the whole market: every mempool
+        # sealing at a boundary contributes its block's signature batch
+        # and the flush — later in the same simulated instant — pays a
+        # single merged multi-exponentiation for all of them.
+        self.verify_aggregator = (
+            VerifyAggregator(
+                schedule=lambda callback: self.simulator.schedule_at(
+                    self.simulator.now, callback, label="market/verify-flush"
+                ),
+                max_blocks=self.config.verify_max_blocks,
+            )
+            if self.config.verify_aggregation
+            else None
+        )
         # Protocol-safety breaches observed directly by the drivers
         # (e.g. a stale proof accepted) — merged into the report's
         # invariant violations.
@@ -328,6 +354,7 @@ class DealScheduler:
                 self.order_ledger,
                 max_txs_per_block=self.config.max_txs_per_block,
                 on_order_rejected=self._on_order_rejected,
+                aggregator=self.verify_aggregator,
             )
             chain.subscribe(self._on_block)
         self.coordinator_chain_id = workload.chain_ids[0]
@@ -824,4 +851,9 @@ class DealScheduler:
             per_protocol=tuple(protocol_rows),
             stale_proofs_rejected=self.stats["stale_proofs_rejected"],
             timelock_refund_sweeps=self.stats["timelock_refund_sweeps"],
+            verify_stats=tuple(
+                sorted(self.verify_aggregator.stats.items())
+                if self.verify_aggregator is not None
+                else ()
+            ),
         )

@@ -216,3 +216,94 @@ def test_commit_progress_tracking(setup):
     cbc.submit(signed_entry(keys["alice"], "commit", plist, start_hash))
     sim.run()
     assert cbc.commit_progress(DEAL) == {keys["alice"].address}
+
+
+# ----------------------------------------------------------------------
+# Deferred (per-block batched) entry verification — PR 4
+# ----------------------------------------------------------------------
+def test_interval_with_only_bad_entries_produces_no_block(setup):
+    sim, cbc, keys = setup
+    plist = (keys["alice"].address, keys["bob"].address)
+    entry = LogEntry(kind="startDeal", deal_id=DEAL,
+                     party=keys["alice"].address, plist=plist)
+    forged = LogEntry(
+        kind=entry.kind, deal_id=entry.deal_id, party=entry.party,
+        plist=entry.plist, signature=keys["bob"].sign(entry.message()),
+    )
+    before = len(cbc.blocks)
+    cbc.submit(forged)
+    sim.run()
+    # The eager-verifying implementation never scheduled a block for a
+    # bad entry; the deferred one must not mint an empty block either.
+    assert len(cbc.blocks) == before
+    assert cbc.definitive_start_hash(DEAL) is None
+
+
+def test_forged_vote_is_isolated_from_same_interval_valid_votes(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    good = signed_entry(keys["alice"], "commit", plist, start_hash)
+    bad_entry = LogEntry(kind="commit", deal_id=DEAL, party=keys["bob"].address,
+                         plist=(), start_hash=start_hash)
+    forged = LogEntry(
+        kind=bad_entry.kind, deal_id=bad_entry.deal_id, party=bad_entry.party,
+        start_hash=bad_entry.start_hash,
+        signature=keys["alice"].sign(b"not the entry message"),
+    )
+    cbc.submit(good)
+    cbc.submit(forged)
+    sim.run()
+    # The batched check fails, the per-entry fallback keeps alice's
+    # vote and drops bob's forgery: the deal stays one vote short.
+    assert cbc.deal_status(DEAL) is DealStatus.ACTIVE
+    assert cbc.commit_progress(DEAL) == {keys["alice"].address}
+    recorded = [entry for block in cbc.blocks for entry in block.entries
+                if entry.kind == "commit"]
+    assert [entry.party for entry in recorded] == [keys["alice"].address]
+
+
+def test_entries_from_unregistered_parties_dropped_at_production(setup):
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    stranger = KeyPair.from_label("never-registered")
+    entry = LogEntry(kind="abort", deal_id=DEAL, party=stranger.address,
+                     start_hash=start_hash)
+    cbc.submit(LogEntry(
+        kind=entry.kind, deal_id=entry.deal_id, party=entry.party,
+        start_hash=entry.start_hash, signature=stranger.sign(entry.message()),
+    ))
+    sim.run()
+    assert cbc.deal_status(DEAL) is DealStatus.ACTIVE
+
+
+def test_invalid_only_boundary_does_not_capture_boundary_instant_votes(setup):
+    # The eager-checking implementation never scheduled a block for a
+    # forged-only interval, so a valid vote submitted at exactly that
+    # boundary (by an earlier-scheduled event) got its own block one
+    # interval later.  The deferred implementation must reproduce that
+    # schedule, not let the vote ride the phantom boundary early.
+    sim, cbc, keys = setup
+    plist, start_hash = start_deal(sim, cbc, keys)
+    settled_height = cbc.height
+    entry = LogEntry(kind="commit", deal_id=DEAL, party=keys["alice"].address,
+                     start_hash=start_hash)
+    forged = LogEntry(
+        kind=entry.kind, deal_id=entry.deal_id, party=entry.party,
+        start_hash=entry.start_hash,
+        signature=keys["bob"].sign(b"wrong message"),
+    )
+    boundary = float(int(sim.now) + 2)
+    # This event is scheduled before the forged submission's block
+    # event, so at the boundary it fires first and submits in time.
+    sim.schedule_at(boundary, lambda: cbc.submit(
+        signed_entry(keys["alice"], "commit", plist, start_hash)
+    ))
+    sim.schedule_at(boundary - 0.5, lambda: cbc.submit(forged))
+    sim.run()
+    votes = [
+        (block.height, block.timestamp)
+        for block in cbc.blocks
+        for e in block.entries
+        if e.kind == "commit"
+    ]
+    assert votes == [(settled_height + 1, boundary + 1.0)]

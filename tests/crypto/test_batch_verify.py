@@ -63,3 +63,42 @@ def test_batch_agrees_with_individual_verification():
     items = make_items(6)
     individually = all(verify(pk, msg, sig) for pk, msg, sig in items)
     assert batch_verify(items) == individually
+
+
+# ----------------------------------------------------------------------
+# batch_verify_many: the cross-block merge primitive
+# ----------------------------------------------------------------------
+def test_many_all_valid_batches_verify_in_one_merge():
+    from repro.crypto.schnorr import batch_verify_many, cache_stats, clear_verification_caches
+
+    batches = [make_items(3), make_items(4), make_items(2)]
+    clear_verification_caches()
+    assert batch_verify_many(batches) == [True, True, True]
+    # The merged pass seeds each constituent batch's transcript cache.
+    hits = cache_stats()["batch_hits"]
+    assert all(batch_verify(batch) for batch in batches)
+    assert cache_stats()["batch_hits"] == hits + len(batches)
+
+
+def test_many_verdicts_match_per_batch_verification():
+    from repro.crypto.schnorr import batch_verify_many, clear_verification_caches
+
+    good = make_items(3)
+    bad = make_items(3)
+    public, message, signature = bad[1]
+    bad[1] = (public, message + b"!", signature)
+    batches = [good, bad, [], make_items(1)]
+    clear_verification_caches()
+    verdicts = batch_verify_many(batches)
+    clear_verification_caches()
+    assert verdicts == [batch_verify(batch) for batch in batches]
+    assert verdicts == [True, False, True, True]
+
+
+def test_many_out_of_range_batch_fails_without_poisoning_others():
+    from repro.crypto.schnorr import batch_verify_many
+
+    malformed = make_items(2)
+    public, message, signature = malformed[0]
+    malformed[0] = (public, message, Signature(1, signature.response))
+    assert batch_verify_many([make_items(2), malformed]) == [True, False]

@@ -218,3 +218,118 @@ def test_batch_success_seeds_the_per_signature_cache():
     hits = cache_stats()["verify_hits"]
     assert verify(public, message, signature)
     assert cache_stats()["verify_hits"] == hits + 1
+
+
+# ----------------------------------------------------------------------
+# Engine v2: honest LRU bookkeeping, dedup, Pippenger, tiered windows
+# ----------------------------------------------------------------------
+def test_base_uses_bookkeeping_is_honest_lru(monkeypatch):
+    # A hot-but-early base must survive churn: touching its use counter
+    # refreshes it, so the eviction victim is the least-recently-used
+    # counter, not the oldest-inserted one.
+    monkeypatch.setattr(fastexp, "_base_uses", LruDict(2))
+    monkeypatch.setattr(fastexp, "_base_tables", LruDict(4))
+    hot = pow(G, 1001, P)
+    churn_a = pow(G, 1002, P)
+    churn_b = pow(G, 1003, P)
+    base_pow(hot, 5)      # hot: 1 use (oldest inserted)
+    base_pow(churn_a, 5)  # churn_a: 1 use
+    base_pow(hot, 5)      # touch hot -> churn_a is now the LRU victim
+    base_pow(churn_b, 5)  # overflow: churn_a evicted, hot retained
+    assert churn_a not in fastexp._base_uses
+    assert hot in fastexp._base_uses
+    # hot kept its count: two more uses cross the threshold and build
+    # its table, while churn_a restarts from zero.
+    base_pow(hot, 5)
+    base_pow(hot, 5)
+    assert hot in fastexp._base_tables
+    assert churn_a not in fastexp._base_tables
+
+
+def test_multi_pow_dedupes_repeated_bases():
+    rng = random.Random(29)
+    base = pow(G, rng.getrandbits(200), P)
+    other = pow(G, rng.getrandbits(200), P)
+    e1, e2, e3 = (rng.getrandbits(300) for _ in range(3))
+    pairs = [(base, e1), (other, e3), (base, e2)]
+    expected = pow(base, e1 + e2, P) * pow(other, e3, P) % P
+    assert multi_pow(pairs, P) == expected
+
+
+def test_multi_pow_zero_base_and_zero_exponents():
+    assert multi_pow([(0, 5)], P) == 0
+    assert multi_pow([(0, 0)], P) == 1  # 0^0 == 1, matching builtins.pow
+    assert multi_pow([(123, 0), (456, 0)], P) == 1
+
+
+def test_multi_pow_modulus_one_is_zero():
+    assert multi_pow([], 1) == 0
+    assert multi_pow([(3, 5), (7, 11)], 1) == 0
+
+
+def test_multi_pow_large_cold_batch_uses_pippenger_and_agrees():
+    # Enough fresh bases with short exponents that the cost model picks
+    # the bucket method; the result must match the plain product.
+    fastexp.clear_caches()
+    rng = random.Random(31)
+    pairs = [
+        (pow(G, rng.getrandbits(200), P), rng.getrandbits(64))
+        for _ in range(64)
+    ]
+    expected = 1
+    for base, exponent in pairs:
+        expected = expected * pow(base, exponent, P) % P
+    assert multi_pow(pairs, P) == expected
+
+
+def test_pippenger_internal_agrees_with_straus():
+    rng = random.Random(37)
+    items = [
+        (rng.getrandbits(256) % P, rng.getrandbits(bits))
+        for bits in (1, 64, 200, 320, 320, 64, 7, 128)
+    ]
+    items = [(base, exp) for base, exp in items if exp]
+    assert fastexp._pippenger(items, P, 4) == fastexp._straus(items, P, 4)
+
+
+def test_explicit_window_path_matches_pow():
+    rng = random.Random(41)
+    pairs = [
+        (pow(G, rng.getrandbits(128), P), rng.getrandbits(256)) for _ in range(5)
+    ]
+    expected = 1
+    for base, exponent in pairs:
+        expected = expected * pow(base, exponent, P) % P
+    for window in (1, 2, 4, 8):
+        assert multi_pow(pairs, P, window=window) == expected
+
+
+def test_hot_base_upgrades_to_wide_window():
+    fastexp.clear_caches()
+    base = pow(G, 0xFEED, P)
+    fastexp.prewarm_base(base)
+    assert fastexp._base_tables.get(base).window == fastexp.BASE_WINDOW
+    rng = random.Random(43)
+    for _ in range(fastexp._BASE_TABLE_UPGRADE_USES + 1):
+        exponent = rng.getrandbits(256)
+        assert base_pow(base, exponent) == pow(base, exponent, P)
+    table = fastexp._base_tables.get(base)
+    assert table.window == fastexp.BASE_WINDOW_HOT
+    exponent = rng.getrandbits(320)
+    assert base_pow(base, exponent) == pow(base, exponent, P)
+
+
+def test_multi_pow_reuses_cached_tables_without_rebuild():
+    fastexp.clear_caches()
+    rng = random.Random(47)
+    base = pow(G, rng.getrandbits(200), P)
+    fastexp.prewarm_base(base)
+    built = fastexp.cache_stats()["base_tables"]
+    for _ in range(6):
+        pairs = [(base, rng.getrandbits(320)), (pow(G, rng.getrandbits(64), P), rng.getrandbits(64))]
+        expected = 1
+        for b, e in pairs:
+            expected = expected * pow(b, e, P) % P
+        assert multi_pow(pairs, P) == expected
+    assert fastexp.cache_stats()["base_tables"] == built + 0  # no churn of the hot base
+    assert base in fastexp._base_tables

@@ -93,3 +93,94 @@ def test_path_signature_any_forwarding_chain_verifies(deal_id, hops):
     assert path.path_length == 1 + len(hops)
     assert path.verify(wallet, deal_id)
     assert not path.verify(wallet, deal_id + b"x")
+
+
+# ----------------------------------------------------------------------
+# Fast-exponentiation engine vs builtins.pow (PR 4 satellite)
+# ----------------------------------------------------------------------
+from repro.crypto import fastexp  # noqa: E402
+from repro.crypto.fastexp import (  # noqa: E402
+    BASE_TABLE_BITS,
+    G,
+    GENERATOR_TABLE_BITS,
+    P,
+    base_pow,
+    generator_pow,
+    multi_pow,
+)
+
+# Exponents deliberately straddle every regime: zero, tiny, the honest
+# ~256/320/513-bit ranges, and values past both table capacities
+# (which must fall back, not fail).
+exponents = st.one_of(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=2**64),
+    st.integers(min_value=0, max_value=2**320),
+    st.integers(min_value=2**BASE_TABLE_BITS, max_value=2 ** (BASE_TABLE_BITS + 8)),
+    st.integers(
+        min_value=2**GENERATOR_TABLE_BITS, max_value=2 ** (GENERATOR_TABLE_BITS + 8)
+    ),
+)
+
+group_bases = st.integers(min_value=0, max_value=2**256).map(
+    lambda e: pow(G, e, P)
+)
+
+
+@given(pairs=st.lists(st.tuples(group_bases, exponents), min_size=0, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_multi_pow_matches_builtin_product(pairs):
+    expected = 1
+    for base, exponent in pairs:
+        expected = expected * pow(base, exponent, P) % P
+    assert multi_pow(pairs, P) == expected
+
+
+@given(
+    pairs=st.lists(st.tuples(group_bases, exponents), min_size=1, max_size=6),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_multi_pow_duplicate_bases_merge_correctly(pairs, data):
+    # Duplicate every pair a random number of times: exponent-summing
+    # dedup must agree with the plain product.
+    duplicated = []
+    for pair in pairs:
+        duplicated.extend([pair] * data.draw(st.integers(min_value=1, max_value=3)))
+    expected = 1
+    for base, exponent in duplicated:
+        expected = expected * pow(base, exponent, P) % P
+    assert multi_pow(duplicated, P) == expected
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**64), exponents),
+        min_size=0,
+        max_size=8,
+    ),
+    modulus=st.one_of(
+        st.just(1), st.integers(min_value=2, max_value=2**64), st.just(P)
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_multi_pow_arbitrary_moduli(pairs, modulus):
+    expected = 1 % modulus
+    for base, exponent in pairs:
+        expected = expected * pow(base, exponent, modulus) % modulus
+    assert multi_pow(pairs, modulus) == expected
+
+
+@given(base=group_bases, exponent=exponents)
+@settings(max_examples=40, deadline=None)
+def test_base_pow_matches_builtin_through_threshold_and_tables(base, exponent):
+    # Repeat past the table-build threshold so cold, building, and
+    # warm paths all get exercised against builtins.pow.
+    for _ in range(fastexp._BASE_TABLE_THRESHOLD + 1):
+        assert base_pow(base, exponent) == pow(base, exponent, P)
+
+
+@given(exponent=exponents)
+@settings(max_examples=40, deadline=None)
+def test_generator_pow_matches_builtin(exponent):
+    assert generator_pow(exponent) == pow(G, exponent, P)

@@ -20,6 +20,7 @@ import bench_e16_market  # noqa: E402
 
 EXPECTED_METRICS = {
     "per_protocol",
+    "verify_aggregation",
     "stale_proofs_rejected",
     "timelock_refund_sweeps",
     "deals_spawned",

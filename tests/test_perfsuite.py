@@ -29,13 +29,20 @@ EXPECTED_METRICS = {
     "batch_verify_speedup",
     "e1_wall_s",
 }
+MULTI_POW_SIZES = (4, 16, 64, 256)
+for _size in MULTI_POW_SIZES:
+    EXPECTED_METRICS.update({
+        f"multi_pow_{_size}_pairs_per_s",
+        f"v1_multi_pow_{_size}_pairs_per_s",
+        f"multi_pow_{_size}_speedup",
+    })
 
 
 def test_perfsuite_quick_smoke(tmp_path):
     output = tmp_path / "BENCH_crypto.json"
     assert perfsuite.main(["--quick", "--output", str(output)]) == 0
     report = json.loads(output.read_text())
-    assert report["schema"] == "BENCH_crypto/v1"
+    assert report["schema"] == "BENCH_crypto/v2"
     assert report["quick"] is True
     metrics = report["metrics"]
     assert set(metrics) == EXPECTED_METRICS
@@ -45,6 +52,17 @@ def test_perfsuite_quick_smoke(tmp_path):
     # a noisy CI box cannot flake the smoke test.)
     assert metrics["sign_speedup"] > 1.5
     assert metrics["verify_deal_workload_speedup"] > 1.5
+    # The v2 multi-exp must beat the v1 replica on big batches (the
+    # measured margin is ~3x at 64 pairs; 1.2 keeps noisy boxes green).
+    assert metrics["multi_pow_64_speedup"] > 1.2
+    assert metrics["multi_pow_256_speedup"] > 1.2
+
+
+def test_v1_multi_pow_replica_agrees_with_engine():
+    from repro.crypto.fastexp import G, P, multi_pow
+
+    pairs = [(pow(G, 3 * i + 5, P), (1 << (20 * i)) + i) for i in range(6)]
+    assert perfsuite.v1_multi_pow(pairs) == multi_pow(pairs, P)
 
 
 def test_seed_replicas_agree_with_engine():
