@@ -5,9 +5,10 @@ is heavy traffic.  E16 measures the gap-closer: the
 :mod:`repro.market` runtime drives thousands of deals concurrently
 over four shared chains — per-chain mempools, whole-block order
 verification via ``batch_verify_quorum``, one escrow book per chain,
-a single commit log, first-committed-wins conflict resolution.
+one commit log per coordinator shard, first-committed-wins conflict
+resolution (within a book and across books).
 
-Three measurements:
+Four measurements:
 
 * the **headline run** (``MarketProfile.headline``): 5,600 deals with
   adversaries mixed in (vote withholders, escrow no-shows, forged
@@ -20,16 +21,29 @@ Three measurements:
   ticket sales on the same chains, with stale-proof forgers and
   double-sellers mixed in; with ``--protocol-mix`` it must commit
   >= 1,000 deals *per protocol* with zero invariant violations;
+* a **shard sweep** (``MarketProfile.sharded``): the market split
+  across 1, 2, and 4 order-carrying coordinator chains with a
+  guaranteed slice of cross-shard deals; the table reports committed
+  and cross-shard counts next to the shared ``VerifyAggregator``'s
+  merge counters — the deterministic evidence that boundary-sharing
+  blocks from several shards really fold into one ``multi_pow``
+  (pre-PR 5 those counters were dropped by the report path entirely);
 * an **arrival-rate sweep** showing how commit latency and the abort
   rate respond to load on fixed block space.
+
+With ``--shards M`` the headline (or quick) run itself is sharded and
+gated: at M=4 it must commit >= 5,000 deals of which >= 20% are
+cross-shard, with zero conservation violations and an aggregator
+merge rate > 0.  ``--shards 1`` reproduces the unsharded headline
+fingerprint byte-for-byte.
 
 The report contains simulation quantities only (chain ticks, counts,
 fingerprints), so it is byte-identical across hosts, runs, and
 ``--jobs`` settings.  Wall-clock throughput goes to
-``BENCH_market.json`` (schema ``BENCH_market/v2``) via ``main``::
+``BENCH_market.json`` (schema ``BENCH_market/v3``) via ``main``::
 
     python benchmarks/bench_e16_market.py [--quick] [--jobs N]
-                                          [--protocol-mix]
+                                          [--protocol-mix] [--shards M]
                                           [--output BENCH_market.json]
 """
 
@@ -48,6 +62,7 @@ from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
 from repro.workloads.market import MarketProfile, MarketWorkload
 
 RATE_SWEEP = [2.0, 6.0, 12.0]
+SHARD_SWEEP = [1, 2, 4]
 
 _SWEEP_BASE = MarketProfile(
     deals=400, chains=4, accounts=24, initial_balance=1_800, seed=7
@@ -119,13 +134,76 @@ def sweep_table(jobs: int | None = None, quick: bool = False) -> str:
     )
 
 
-def make_report(jobs: int | None = None, quick: bool = False) -> str:
-    profile = MarketProfile.smoke() if quick else MarketProfile.headline()
+def make_report(
+    jobs: int | None = None, quick: bool = False, shards: int = 1
+) -> str:
+    profile = _pick_profile(quick, mixed=False, shards=shards)
     headline, _ = run_market(profile)
     return (
         headline.render()
         + "\n" + protocol_table(quick=quick)
+        + "\n" + shard_table(jobs=jobs, quick=quick)
         + "\n" + sweep_table(jobs=jobs, quick=quick)
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard sweep (cross-market sharding + aggregator merge evidence)
+# ----------------------------------------------------------------------
+def shard_point(shards: int, deals: int = 400, seed: int = 11) -> dict:
+    """One shard-sweep record (simulation quantities only)."""
+    profile = replace(MarketProfile.sharded(seed=seed, shards=shards), deals=deals)
+    report, _ = run_market(profile)
+    stats = dict(report.verify_stats)
+    return {
+        "x": shards,
+        "committed": report.committed,
+        "cross_shard": report.cross_shard_deals,
+        "cross_fraction": report.cross_shard_fraction,
+        "agg_batches": stats.get("batches", 0),
+        "agg_merged": stats.get("merged_batches", 0),
+        "merge_rate": report.aggregator_merge_rate(),
+        "violations": len(report.invariant_violations),
+    }
+
+
+def shard_sweep(jobs: int | None = None, deals: int = 400) -> list[dict]:
+    """Fan the shard-sweep points over the process pool."""
+    from repro.analysis.sweep import sweep_parallel
+
+    return sweep_parallel(SHARD_SWEEP, partial(shard_point, deals=deals), jobs=jobs)
+
+
+def shard_table(jobs: int | None = None, quick: bool = False) -> str:
+    """The cross-market sharding table (surfaces the merge counters).
+
+    This is where the shared ``VerifyAggregator``'s counters — absent
+    from ``MarketReport.render()`` by design, so toggling aggregation
+    can never change report bytes — enter the experiment report that
+    ``run_all.py`` serializes.  All columns are deterministic seeded
+    simulation counts.
+    """
+    deals = 80 if quick else 400
+    records = shard_sweep(jobs=jobs, deals=deals)
+    rows = [
+        [
+            r["x"],
+            r["committed"],
+            r["cross_shard"],
+            f"{r['cross_fraction']:.1%}",
+            r["agg_batches"],
+            r["agg_merged"],
+            f"{r['merge_rate']:.1%}",
+            r["violations"],
+        ]
+        for r in records
+    ]
+    return render_table(
+        ["shards", "committed", "cross-shard", "cross %",
+         "agg batches", "agg merged", "merge rate", "violations"],
+        rows,
+        title=f"E16 — cross-market sharding ({deals} deals, 4 chains, "
+              "shared VerifyAggregator)",
     )
 
 
@@ -168,13 +246,20 @@ def market_metrics(report: MarketReport, wall_s: float) -> dict:
         for protocol, committed, aborted, rejected, p50, _p90, p99
         in report.per_protocol
     }
+    verify_aggregation = dict(report.verify_stats)
+    if verify_aggregation:
+        verify_aggregation["merge_rate"] = round(report.aggregator_merge_rate(), 4)
     return {
         "per_protocol": per_protocol,
-        # VerifyAggregator counters (wall-clock diagnostics: how many
-        # block batches merged per flush, how often forgery isolation
-        # fell back) — deliberately absent from the byte-compared
-        # report, present here for the perf trajectory.
-        "verify_aggregation": dict(report.verify_stats),
+        # VerifyAggregator counters (how many block batches merged per
+        # flush, how often forgery isolation fell back, the merge
+        # rate) — deliberately absent from MarketReport.render(), so
+        # they surface here and in the E16 shard table.
+        "verify_aggregation": verify_aggregation,
+        "shards": report.shards,
+        "cross_shard_deals": report.cross_shard_deals,
+        "cross_shard_committed": report.cross_shard_committed,
+        "cross_shard_fraction": round(report.cross_shard_fraction, 4),
         "stale_proofs_rejected": report.stale_proofs_rejected,
         "timelock_refund_sweeps": report.timelock_refund_sweeps,
         "deals_spawned": report.deals,
@@ -202,9 +287,17 @@ def market_metrics(report: MarketReport, wall_s: float) -> dict:
     }
 
 
-def _pick_profile(quick: bool, mixed: bool) -> MarketProfile:
+def _pick_profile(quick: bool, mixed: bool, shards: int = 1) -> MarketProfile:
     if mixed:
-        return MarketProfile.mixed_smoke() if quick else MarketProfile.mixed()
+        profile = MarketProfile.mixed_smoke() if quick else MarketProfile.mixed()
+        if shards > 1:
+            profile = replace(profile, shards=shards, cross_shard_rate=0.35)
+        return profile
+    if shards > 1:
+        return (
+            MarketProfile.sharded_smoke(shards=shards) if quick
+            else MarketProfile.sharded(shards=shards)
+        )
     return MarketProfile.smoke() if quick else MarketProfile.headline()
 
 
@@ -214,6 +307,7 @@ def write_market_json(
     mixed: bool = False,
     run: tuple[MarketReport, float] | None = None,
     profile: MarketProfile | None = None,
+    shards: int = 1,
 ) -> dict:
     """Write ``BENCH_market.json``; runs the market unless given a run.
 
@@ -224,10 +318,10 @@ def write_market_json(
     if run is not None and profile is None:
         raise ValueError("a precomputed run needs its profile")
     if profile is None:
-        profile = _pick_profile(quick, mixed)
+        profile = _pick_profile(quick, mixed, shards)
     report, wall_s = run if run is not None else run_market(profile)
     payload = {
-        "schema": "BENCH_market/v2",
+        "schema": "BENCH_market/v3",
         "python": platform.python_version(),
         "quick": quick,
         "profile": {
@@ -239,6 +333,8 @@ def write_market_json(
             "protocol_mix": [list(pair) for pair in profile.protocol_mix],
             "nft_rate": profile.nft_rate,
             "stale_proof_rate": profile.stale_proof_rate,
+            "shards": profile.shards,
+            "cross_shard_rate": profile.cross_shard_rate,
             "seed": profile.seed,
         },
         "metrics": market_metrics(report, wall_s),
@@ -256,12 +352,16 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--protocol-mix", action="store_true",
                         help="run the mixed unanimity/timelock/CBC profile "
                              "instead of the unanimity headline")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="coordinator shards for the headline run "
+                             "(>1 shards the market and gates the "
+                             "cross-shard acceptance criteria)")
     parser.add_argument("--output", default="BENCH_market.json",
                         help="where to write the JSON report")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the load sweep")
     args = parser.parse_args(argv)
-    profile = _pick_profile(args.quick, args.protocol_mix)
+    profile = _pick_profile(args.quick, args.protocol_mix, args.shards)
     run = run_market(profile)
     payload = write_market_json(args.output, quick=args.quick,
                                 mixed=args.protocol_mix, run=run,
@@ -293,6 +393,40 @@ def main(argv: list[str]) -> int:
             return 1
         print(f"protocol-mix acceptance: >= {floor} commits per protocol, "
               "0 invariant violations")
+    if args.shards > 1:
+        report = run[0]
+        # The headline sharded gate is >= 5,000 commits; the mixed
+        # profile only spawns 3,900 deals, so its sharded gate scales
+        # to the same ~89% commit bar.
+        if args.quick:
+            floor = 25
+        elif args.protocol_mix:
+            floor = int(profile.deals * 0.85)
+        else:
+            floor = 5_000
+        merge_rate = report.aggregator_merge_rate()
+        failures = []
+        if report.committed < floor:
+            failures.append(f"committed {report.committed} < {floor}")
+        if report.cross_shard_fraction < 0.20:
+            failures.append(
+                f"cross-shard fraction {report.cross_shard_fraction:.1%} < 20%"
+            )
+        if report.invariant_violations:
+            failures.append(
+                f"{len(report.invariant_violations)} invariant violations"
+            )
+        if merge_rate <= 0.0:
+            failures.append("aggregator merge rate is 0")
+        if failures:
+            print(f"FAIL ({args.shards} shards): " + "; ".join(failures))
+            return 1
+        print(f"sharded acceptance ({args.shards} shards): "
+              f"{report.committed} commits (floor {floor}), "
+              f"{report.cross_shard_fraction:.1%} cross-shard, "
+              f"0 invariant violations, "
+              f"aggregator merge rate {merge_rate:.1%}")
+    print(shard_table(jobs=args.jobs, quick=args.quick))
     print(sweep_table(jobs=args.jobs, quick=args.quick))
     return 0
 
@@ -315,6 +449,15 @@ def test_shape_protocol_mix_commits_all_three():
     assert report.stuck == 0
     assert report.invariant_violations == ()
     assert report.stale_proofs_rejected > 0
+
+
+def test_shape_sharded_market_merges_and_conserves():
+    report, _ = run_market(MarketProfile.sharded_smoke())
+    assert report.committed > report.deals * 0.8
+    assert report.cross_shard_fraction >= 0.2
+    assert report.invariant_violations == ()
+    assert report.aggregator_merge_rate() > 0.0
+    assert report.stuck == 0
 
 
 def test_shape_sweep_is_job_count_invariant():

@@ -313,6 +313,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--market-output", default=None,
                         help="also run the E16 market benchmark and write "
                              "BENCH_market.json there (--quick shrinks it)")
+    parser.add_argument("--market-shards", type=int, default=None,
+                        help="coordinator shards for the market run "
+                             "(default: 2 with --quick so the perf "
+                             "baseline covers the sharded path, else 1)")
     args = parser.parse_args(argv)
 
     # Fail on an unwritable destination *before* spending minutes
@@ -341,7 +345,15 @@ def main(argv: list[str]) -> int:
 
     if args.market_output:
         bench_e16_market = _import_bench("bench_e16_market")
-        bench_e16_market.write_market_json(args.market_output, quick=args.quick)
+        market_shards = args.market_shards
+        if market_shards is None:
+            # The quick run feeds CI's committed perf baseline
+            # (BENCH_market_quick.json), which deliberately exercises
+            # the sharded path so regressions there trip the guard.
+            market_shards = 2 if args.quick else 1
+        bench_e16_market.write_market_json(
+            args.market_output, quick=args.quick, shards=market_shards
+        )
         print(f"wrote {args.market_output}")
     return 0
 

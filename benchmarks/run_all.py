@@ -59,16 +59,19 @@ def _ensure_importable() -> None:
 
 
 def run_experiment(
-    item: tuple[str, str], quick: bool = False
+    item: tuple[str, str], quick: bool = False, shards: int = 1
 ) -> tuple[str, str, str, float]:
     """Run one experiment; return (id, module, report, elapsed seconds)."""
     experiment_id, module_name = item
     _ensure_importable()
     started = time.monotonic()
     module = importlib.import_module(module_name)
+    parameters = inspect.signature(module.make_report).parameters
     kwargs = {}
-    if quick and "quick" in inspect.signature(module.make_report).parameters:
+    if quick and "quick" in parameters:
         kwargs["quick"] = True
+    if shards > 1 and "shards" in parameters:
+        kwargs["shards"] = shards
     report = module.make_report(**kwargs)
     return experiment_id, module_name, report, time.monotonic() - started
 
@@ -94,6 +97,9 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="shrink experiments that support a quick mode "
                              "(CI determinism gate)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="coordinator shards for experiments that "
+                             "support sharding (currently E16)")
     args = parser.parse_args(argv[1:])
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
@@ -113,7 +119,7 @@ def main(argv: list[str]) -> int:
 
     from functools import partial
 
-    runner = partial(run_experiment, quick=args.quick)
+    runner = partial(run_experiment, quick=args.quick, shards=args.shards)
     started = time.monotonic()
     if jobs > 1:
         method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None

@@ -178,14 +178,16 @@ class VerifyAggregator:
     deduplicated across blocks — and delivers each block its own
     verdict in enqueue order.
 
-    Honest scope note: in today's market exactly one mempool (the
-    coordinator chain's, where all orders register) carries signature
-    batches, so production flushes hold a single batch and the merge
-    path fires only when several order-carrying mempools share the
-    boundary — the multi-market/sharding seam, exercised by
-    ``tests/market/test_verify_aggregation.py``.  The measured E16 win
-    comes from the v2 ``multi_pow`` engine underneath; this class is
-    the batching seam that routes whole-block checks into it.
+    Scope note: with one coordinator shard exactly one mempool carries
+    signature batches, so production flushes hold a single batch and
+    the merge path stays idle (the E16 unsharded win comes from the v2
+    ``multi_pow`` engine underneath).  The sharded market (PR 5) runs
+    M order-carrying coordinator chains whose mempools all seal on the
+    same half-grid boundary, so production flushes routinely fold M
+    registration batches into one ``multi_pow`` —
+    ``MarketReport.aggregator_merge_rate()`` reports how often, from
+    the ``stats`` counters; ``tests/market/test_cross_shard.py`` and
+    ``tests/market/test_verify_aggregation.py`` pin the behaviour.
 
     Because verdicts are delivered at the same simulated time the
     seals ran, and a failed merge falls back to per-batch (and the

@@ -22,9 +22,11 @@ space.  This package is the runtime for that regime:
   of publishing one contract per (deal, asset), each chain hosts a
   single :class:`~repro.market.book.MarketEscrowBook` holding every
   deal's escrows (parties fund an internal account once, then trade
-  out of it), and a coordinator chain hosts the
+  out of it), and each coordinator **shard** hosts a
   :class:`~repro.market.commitlog.MarketCommitLog` that decides each
-  deal exactly once (first decision wins, commit xor abort).
+  of *its* deals exactly once (first decision wins, commit xor
+  abort); :func:`~repro.market.order.shard_of_deal` names every
+  deal's home shard and the log enforces the routing on-chain.
 * :mod:`repro.market.scheduler` — the
   :class:`~repro.market.scheduler.DealScheduler` drives N interleaved
   deal state machines through escrow → transfer → vote → settle
@@ -45,7 +47,12 @@ from repro.market.book import MarketEscrowBook
 from repro.market.commitlog import MarketCommitLog
 from repro.market.invariants import check_market_invariants
 from repro.market.mempool import StepMempool
-from repro.market.order import SignedDealOrder, order_message, sign_order
+from repro.market.order import (
+    SignedDealOrder,
+    order_message,
+    shard_of_deal,
+    sign_order,
+)
 from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
 
 __all__ = [
@@ -58,5 +65,6 @@ __all__ = [
     "SignedDealOrder",
     "check_market_invariants",
     "order_message",
+    "shard_of_deal",
     "sign_order",
 ]

@@ -335,6 +335,21 @@ class MarketEscrowBook(Contract):
             if account_token == token
         )
 
+    def peek_open_deal_ids(self) -> set[bytes]:
+        """Deal ids that still hold *open* escrows on this book.
+
+        The cross-shard invariant sweep uses this to prove that a deal
+        settled by its home shard's commit log left no value locked on
+        any other shard's book: first-committed-wins resolution must
+        terminate across books, not only on the coordinator chain.
+        """
+        open_ids: set[bytes] = set()
+        for storage in (self.deposits, self.nft_deposits):
+            for (deal_id, _asset_id), _record in storage.items():
+                if self.deal_state.peek(deal_id) == OPEN:
+                    open_ids.add(deal_id)
+        return open_ids
+
     def peek_nft_owner(self, token: str, token_id: str):
         """The internal owner of a free (unlocked) token id (unmetered)."""
         return self.nft_owners.peek((token, token_id))

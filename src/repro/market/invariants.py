@@ -28,6 +28,14 @@ every chain:
    internal owner, or locked by exactly one *open* deal.  A settled
    deal holds no locks; an open escrow's NFT C-map covers exactly its
    deposited token ids.
+6. **Cross-shard exactly-once** — in a sharded market every deal is
+   registered (and therefore decidable) on exactly one commit log,
+   and that log is the deal's home shard per
+   :func:`~repro.market.order.shard_of_deal`.  The contracts enforce
+   this on-chain; the sweep proves no routing bug slipped through.
+7. **No stranded escrows** — a deal that reached a terminal outcome
+   holds no open escrow on *any* shard's book: first-committed-wins
+   resolution terminates across books, not only on the home chain.
 
 :func:`check_market_invariants` returns a list of human-readable
 violations (empty means all invariants hold).  The scheduler runs it
@@ -39,6 +47,7 @@ from __future__ import annotations
 
 from repro.core.escrow import EscrowState
 from repro.market.book import ABORTED, COMMITTED, OPEN
+from repro.market.order import shard_of_deal
 
 
 def check_market_invariants(scheduler) -> list[str]:
@@ -99,6 +108,35 @@ def check_market_invariants(scheduler) -> list[str]:
             violations.extend(
                 _check_nft_uniqueness(scheduler, chain_id, nft_token, book)
             )
+
+    # 6. Cross-shard exactly-once: every deal sits on exactly one
+    # commit log, and that log is its home shard's.
+    seen_on: dict[bytes, int] = {}
+    for shard, log in scheduler.commit_logs.items():
+        for deal_id, status in log.peek_registered().items():
+            home = shard_of_deal(deal_id, scheduler.shards)
+            if home != shard:
+                violations.append(
+                    f"deal {deal_id.hex()[:8]} registered on shard {shard} "
+                    f"({status}) but routes to shard {home}"
+                )
+            if deal_id in seen_on:
+                violations.append(
+                    f"deal {deal_id.hex()[:8]} registered on shards "
+                    f"{seen_on[deal_id]} and {shard}"
+                )
+            seen_on[deal_id] = shard
+
+    # 7. No stranded escrows: a terminal deal holds nothing open on
+    # any shard's book.
+    for chain_id, book in scheduler.books.items():
+        for deal_id in sorted(book.peek_open_deal_ids()):
+            run = scheduler.runs.get(deal_id)
+            if run is not None and run.terminal:
+                violations.append(
+                    f"{chain_id}: {run.phase.value} deal "
+                    f"#{run.order.index} still holds open escrows"
+                )
 
     # 4. Outcome uniformity: every chain agrees on every settled deal.
     for deal_id, run in scheduler.runs.items():

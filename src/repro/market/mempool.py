@@ -19,16 +19,18 @@ Sealing is where order signatures are paid for, at block granularity:
 * when the market wires a shared
   :class:`~repro.consensus.validators.VerifyAggregator`, the per-seal
   batch is enqueued there and the verdict arrives in a flush later in
-  the same simulated instant; should several order-carrying mempools
-  seal at one boundary (multi-market/sharded setups — today only the
-  coordinator chain clears orders), their batches fold into a single
-  multi-exponentiation.  Either way every verdict, receipt, and
-  report byte is identical to inline verification.
+  the same simulated instant; when several order-carrying mempools
+  seal at one boundary — in the sharded market every shard's home
+  chain clears its own order flow, and all mempools seal on the same
+  half-grid — their batches fold into a single multi-exponentiation.
+  Either way every verdict, receipt, and report byte is identical to
+  inline verification.
 
 Steps of a cleared deal flow to the chain; steps of a rejected deal
 are dropped and counted.  The shared :class:`OrderLedger` makes a deal
 cleared market-wide the moment its registration block seals on the
-coordinator chain, so asset chains never re-verify the same order.
+deal's home shard chain, so asset chains (and other shards) never
+re-verify the same order.
 
 A ``max_txs_per_block`` cap models bounded block space: overflow stays
 pending for the next seal (backpressure), and ``max_depth`` records

@@ -38,6 +38,22 @@ def order_message(deal_id: bytes) -> bytes:
     return hash_concat(b"repro/market/order", deal_id)
 
 
+def shard_of_deal(deal_id: bytes, shards: int) -> int:
+    """Deterministic deal → shard routing for the sharded market.
+
+    Every router in the system — workload generators, the scheduler,
+    each shard's :class:`~repro.market.commitlog.MarketCommitLog`
+    (which *enforces* the routing on-chain), tests — derives the home
+    shard from the deal id the same way, so a deal can never be
+    claimed by two coordinators.  With one shard this is the constant
+    0 and the market degenerates to the pre-sharding layout.
+    """
+    if shards <= 1:
+        return 0
+    digest = hash_concat(b"repro/market/shard", deal_id)
+    return int.from_bytes(digest[:8], "big") % shards
+
+
 @dataclass(frozen=True)
 class SignedDealOrder:
     """A deal spec plus the unanimous party signatures over its manifest."""
@@ -68,6 +84,10 @@ class SignedDealOrder:
     def voters(self) -> tuple[Address, ...]:
         """Parties that will actually cast commit votes."""
         return tuple(p for p in self.spec.parties if p not in self.withhold_votes)
+
+    def shard(self, shards: int) -> int:
+        """The order's home shard under an ``shards``-way market."""
+        return shard_of_deal(self.deal_id, shards)
 
 
 def sign_order(

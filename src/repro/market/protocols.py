@@ -18,8 +18,9 @@ protocols through the same per-chain
   terminal deadline ``t0 + N·Δ`` refunds every deposit.
 
 * :class:`CbcDealDriver` — §6's CBC protocol.  The deal is started on
-  the market's shared :class:`~repro.consensus.bft.CertifiedBlockchain`
-  (one ``startDeal`` entry), one
+  its home shard's :class:`~repro.consensus.bft.CertifiedBlockchain`
+  (one ``startDeal`` entry — the unsharded market has exactly one
+  such CBC), one
   :class:`~repro.core.cbc.CbcEscrow` is published per (deal, asset)
   with the definitive start hash and the CBC's initial validator keys,
   and parties vote commit (or abort) *on the CBC*, which batch-checks
@@ -335,12 +336,16 @@ class CbcDealDriver(DealDriver):
         self.abort_vote_sent = False
         self.abort_when_started = False
         self._stale_proof: "StatusProof | None" = None
+        # The deal resolves against its home shard's CBC and nothing
+        # else: its escrows learn that CBC's validator keys, so a
+        # proof replayed from another shard's log cannot verify.
+        self.cbc = None
 
     def on_registered(self, receipt: Receipt) -> None:
         from repro.market.scheduler import DealPhase
 
         self.run.phase = DealPhase.ESCROW
-        cbc = self.scheduler.ensure_cbc()
+        cbc = self.cbc = self.scheduler.ensure_cbc(self.run.home_shard)
         opener = self.spec.parties[0]
         entry = LogEntry(
             kind="startDeal", deal_id=self.deal_id, party=opener,
@@ -353,7 +358,12 @@ class CbcDealDriver(DealDriver):
 
     def on_cbc_block(self) -> None:
         """React to new CBC state: the start landing, then the decision."""
-        cbc = self.scheduler.cbc
+        cbc = self.cbc
+        if cbc is None:
+            # The shard's CBC (created by an earlier deal) is already
+            # producing blocks, but this deal's registration has not
+            # sealed yet — nothing to react to.
+            return
         if self.start_hash is None:
             start_hash = cbc.definitive_start_hash(self.deal_id)
             if start_hash is None:
@@ -385,7 +395,7 @@ class CbcDealDriver(DealDriver):
 
         self.run.decided = outcome
         self.run.phase = DealPhase.SETTLING
-        certificate = self.scheduler.cbc.status_certificate(self.deal_id)
+        certificate = self.cbc.status_certificate(self.deal_id)
         proof = StatusProof(certificate=certificate)
         for asset in self.spec.assets:
             self.scheduler.mempools[asset.chain_id].submit(
@@ -404,7 +414,7 @@ class CbcDealDriver(DealDriver):
             kind=kind, deal_id=self.deal_id, party=party,
             start_hash=self.start_hash or b"",
         )
-        self.scheduler.cbc.submit(replace(
+        self.cbc.submit(replace(
             entry,
             signature=self.scheduler.keypair_for(party).sign(entry.message()),
         ))
@@ -430,7 +440,7 @@ class CbcDealDriver(DealDriver):
         """
         if self._stale_proof is None:
             stale_start = hash_concat(b"repro/market/stale-start", self.deal_id)
-            validators = self.scheduler.cbc.validators
+            validators = self.cbc.validators
             message = StatusCertificate.message(
                 self.deal_id, stale_start, DealStatus.COMMITTED, validators.epoch
             )

@@ -2,14 +2,33 @@
 
 :class:`DealScheduler` assembles one simulated market — shared chains,
 one fungible and (optionally) one non-fungible token plus one
-:class:`~repro.market.book.MarketEscrowBook` per chain, a
-:class:`~repro.market.commitlog.MarketCommitLog` on the coordinator
-chain, a :class:`~repro.market.mempool.StepMempool` in front of every
-block producer — and drives every arriving
+:class:`~repro.market.book.MarketEscrowBook` per chain, one
+:class:`~repro.market.commitlog.MarketCommitLog` per **shard** (each
+on that shard's home chain), a
+:class:`~repro.market.mempool.StepMempool` in front of every block
+producer — and drives every arriving
 :class:`~repro.market.order.SignedDealOrder` through its nominated
-commit protocol concurrently.  Every deal registers on the commit log
-first (that sealing block is where order signatures are verified);
-what happens next depends on ``spec.protocol``:
+commit protocol concurrently.
+
+With ``workload.shards = M > 1`` the market is sharded across M
+order-carrying coordinator chains: chain *i* belongs to shard
+``i % M``, shard *s*'s home chain is ``chain_ids[s]``, and every deal
+is routed to the home shard named by
+:func:`~repro.market.order.shard_of_deal` — registration, votes and
+abort marks all ride that shard's mempool and commit log (which
+*enforces* the routing on-chain).  A deal's escrows still live on its
+assets' chains, so a deal may straddle books owned by several shards
+(a *cross-shard deal*); escrow conflicts resolve first-committed-wins
+by block order on the asset chain, each loser aborting through its
+own home log.  Because every shard's order-carrying mempool seals on
+the same half-grid boundary, their per-seal signature batches meet in
+the shared :class:`~repro.consensus.validators.VerifyAggregator` and
+merge into one multi-exponentiation per boundary — the PR 4 seam,
+now exercised by real traffic.
+
+Every deal registers on its home commit log first (that sealing block
+is where order signatures are verified); what happens next depends on
+``spec.protocol``:
 
 * ``unanimity`` — PR 2's simplified flow: book escrows (fungible
   amounts or NFT token-id locks), tentative transfers, one vote per
@@ -75,7 +94,7 @@ from repro.market.book import MarketEscrowBook
 from repro.market.commitlog import MarketCommitLog
 from repro.market.invariants import check_market_invariants
 from repro.market.mempool import OrderLedger, StepMempool
-from repro.market.order import SignedDealOrder
+from repro.market.order import SignedDealOrder, shard_of_deal
 from repro.market.protocols import CbcDealDriver, DealDriver, TimelockDealDriver
 from repro.sim.simulator import Simulator
 
@@ -120,6 +139,10 @@ class _DealRun:
     settled_chains: set = field(default_factory=set)
     finished_at: float | None = None
     patience_handle: object = None
+    # Sharding: the deal's home shard (where it registers and votes)
+    # and whether its escrows straddle books owned by other shards.
+    home_shard: int = 0
+    cross_shard: bool = False
     # Timelock/CBC runs delegate their phase logic to a protocol driver
     # (repro.market.protocols); unanimity runs keep driver = None.
     driver: DealDriver | None = None
@@ -192,15 +215,40 @@ class MarketReport:
     stale_proofs_rejected: int = 0
     timelock_refund_sweeps: int = 0
     # Sorted (name, count) rows from the market's VerifyAggregator —
-    # wall-clock diagnostics only, deliberately outside render() and
-    # fingerprint() so aggregation can never change report bytes.
+    # deterministic simulation counters, but deliberately outside
+    # render() and fingerprint() so toggling aggregation can never
+    # change report bytes.  The E16 benchmark surfaces them in its own
+    # aggregation table and in BENCH_market.json.
     verify_stats: tuple = ()
+    # Sharding: how many coordinator shards the market ran with, and
+    # how many deals straddled books owned by more than one shard.
+    # Rendered only when shards > 1, so unsharded reports stay
+    # byte-identical to the pre-sharding market.
+    shards: int = 1
+    cross_shard_deals: int = 0
+    cross_shard_committed: int = 0
 
     @property
     def abort_rate(self) -> float:
         """Aborted fraction of all terminally settled deals."""
         settled = self.committed + self.aborted
         return self.aborted / settled if settled else 0.0
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        """Cross-shard slice of all spawned deals."""
+        return self.cross_shard_deals / self.deals if self.deals else 0.0
+
+    def aggregator_merge_rate(self) -> float:
+        """Fraction of enqueued block batches that merged with others.
+
+        The measurable sharding win at the verify layer: with one
+        order-carrying shard this is exactly 0.0; with M shards
+        sealing on the same boundary it approaches (M-1)/M.
+        """
+        stats = dict(self.verify_stats)
+        batches = stats.get("batches", 0)
+        return stats.get("merged_batches", 0) / batches if batches else 0.0
 
     def committed_by_protocol(self) -> dict[str, int]:
         """Committed deal count per protocol (empty rows omitted)."""
@@ -249,6 +297,15 @@ class MarketReport:
             ["horizon (chain ticks)", f"{self.end_time:.1f}"],
             ["throughput (deals / 1000 ticks)", f"{self.deals_per_kilotick:.1f}"],
             ["chains", self.chains],
+        ]
+        if self.shards > 1:
+            rows += [
+                ["coordinator shards", self.shards],
+                ["cross-shard deals", self.cross_shard_deals],
+                ["cross-shard committed", self.cross_shard_committed],
+                ["cross-shard fraction", f"{self.cross_shard_fraction:.1%}"],
+            ]
+        rows += [
             ["blocks produced", self.blocks],
             ["transactions executed", self.txs_executed],
             ["transactions reverted", self.txs_reverted],
@@ -326,11 +383,31 @@ class DealScheduler:
         # (e.g. a stale proof accepted) — merged into the report's
         # invariant violations.
         self.protocol_violations: list[str] = []
-        self.cbc: CertifiedBlockchain | None = None
-        self._cbc_drivers: list[CbcDealDriver] = []
+        # One certified blockchain per shard, created on demand (CBC
+        # deals of shard s resolve against cbcs[s] and nothing else).
+        self.cbcs: dict[int, CertifiedBlockchain] = {}
+        self._cbc_drivers: dict[int, list[CbcDealDriver]] = {}
 
         if len(workload.chain_ids) < 1:
             raise MarketError("a market needs at least one chain")
+        self.shards = int(getattr(workload, "shards", 1) or 1)
+        if self.shards < 1:
+            raise MarketError("a market needs at least one shard")
+        if self.shards > len(workload.chain_ids):
+            raise MarketError(
+                f"{self.shards} shards need at least that many chains "
+                f"(got {len(workload.chain_ids)})"
+            )
+        # Chain i belongs to shard i % M; shard s's home (coordinator)
+        # chain is chain_ids[s], which carries that shard's commit log
+        # and therefore its order flow.
+        self.chain_shard = {
+            chain_id: index % self.shards
+            for index, chain_id in enumerate(workload.chain_ids)
+        }
+        self.shard_home_chain = {
+            shard: workload.chain_ids[shard] for shard in range(self.shards)
+        }
         for chain_id in workload.chain_ids:
             chain = Chain(
                 chain_id, self.simulator, self.wallet,
@@ -358,9 +435,47 @@ class DealScheduler:
             )
             chain.subscribe(self._on_block)
         self.coordinator_chain_id = workload.chain_ids[0]
-        self.commit_log = MarketCommitLog(COMMIT_LOG_CONTRACT, self.coordinator.address)
-        self.chains[self.coordinator_chain_id].publish(self.commit_log)
+        # One commit log per shard, on the shard's home chain.  Shard
+        # 0 keeps the historical contract name so an unsharded market
+        # is byte-identical to the pre-sharding layout.
+        self.commit_logs: dict[int, MarketCommitLog] = {}
+        self._commitlog_shards: dict[str, int] = {}
+        for shard in range(self.shards):
+            name = (
+                COMMIT_LOG_CONTRACT if shard == 0
+                else f"{COMMIT_LOG_CONTRACT}-s{shard}"
+            )
+            log = MarketCommitLog(
+                name, self.coordinator.address, shard=shard, shards=self.shards
+            )
+            self.chains[self.shard_home_chain[shard]].publish(log)
+            self.commit_logs[shard] = log
+            self._commitlog_shards[name] = shard
+        self.commit_log = self.commit_logs[0]
         self._fund_accounts()
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+    def home_shard(self, deal_id: bytes) -> int:
+        """The shard whose coordinator chain owns this deal.
+
+        Hashed once per deal at admission and cached on the run
+        (``run.home_shard``); the submit paths below take the cached
+        value rather than re-deriving it.
+        """
+        return shard_of_deal(deal_id, self.shards)
+
+    def _home_log(self, shard: int) -> MarketCommitLog:
+        return self.commit_logs[shard]
+
+    def _home_mempool(self, shard: int) -> StepMempool:
+        return self.mempools[self.shard_home_chain[shard]]
+
+    @property
+    def cbc(self) -> CertifiedBlockchain | None:
+        """Shard 0's certified blockchain (back-compat accessor)."""
+        return self.cbcs.get(0)
 
     # ------------------------------------------------------------------
     # Setup
@@ -439,6 +554,13 @@ class DealScheduler:
         run.opens_expected = len(spec.assets)
         run.transfers_expected = len(spec.steps)
         run.claim_chains = spec.chains()
+        run.home_shard = self.home_shard(deal_id)
+        touched = {
+            self.chain_shard.get(chain_id, run.home_shard)
+            for chain_id in run.claim_chains
+        }
+        touched.add(run.home_shard)
+        run.cross_shard = len(touched) > 1
         self.runs[deal_id] = run
         if not self._admissible(spec):
             run.phase = DealPhase.REJECTED
@@ -449,11 +571,11 @@ class DealScheduler:
             run.driver = TimelockDealDriver(self, run)
         elif spec.protocol == PROTOCOL_CBC:
             run.driver = CbcDealDriver(self, run)
-            self._cbc_drivers.append(run.driver)
-        self.mempools[self.coordinator_chain_id].submit(
+            self._cbc_drivers.setdefault(run.home_shard, []).append(run.driver)
+        self._home_mempool(run.home_shard).submit(
             Transaction(
                 sender=self.coordinator.address,
-                contract=COMMIT_LOG_CONTRACT,
+                contract=self._home_log(run.home_shard).name,
                 method="register",
                 args={"deal_id": deal_id, "parties": spec.parties},
                 phase="market/register",
@@ -503,31 +625,45 @@ class DealScheduler:
         self._escrow_index[contract.name] = (deal_id, asset_id)
         self.deal_escrows[chain_id].append(contract)
 
-    def ensure_cbc(self) -> CertifiedBlockchain:
-        """Create the market's shared certified blockchain on demand."""
-        if self.cbc is None:
+    def ensure_cbc(self, shard: int = 0) -> CertifiedBlockchain:
+        """Create one shard's certified blockchain on demand.
+
+        Each shard's CBC has its own validator set and log; a proof
+        extracted from one shard's CBC carries that shard's validator
+        signatures and is rejected by every escrow bound to another
+        shard's keys (the wrong-shard replay defence).  Shard 0 keeps
+        the unsharded market's name and validator seed.
+        """
+        cbc = self.cbcs.get(shard)
+        if cbc is None:
+            suffix = "" if shard == 0 else f"-s{shard}"
             validators = ValidatorSet.generate(
-                self.config.cbc_f, seed=f"market-cbc/{self.workload.seed}"
+                self.config.cbc_f,
+                seed=f"market-cbc{suffix}/{self.workload.seed}",
             )
-            self.cbc = CertifiedBlockchain(
+            cbc = CertifiedBlockchain(
                 self.simulator, validators, self.wallet,
                 block_interval=self.config.block_interval,
-                name="market-cbc",
+                name=f"market-cbc{suffix}",
             )
-            self.cbc.subscribe(self._on_cbc_block)
-        return self.cbc
+            cbc.subscribe(
+                lambda _cbc, _block, shard=shard: self._on_cbc_block(shard)
+            )
+            self.cbcs[shard] = cbc
+        return cbc
 
-    def _on_cbc_block(self, cbc, block) -> None:
+    def _on_cbc_block(self, shard: int) -> None:
         # Prune settled deals as we go so each CBC block only touches
-        # the in-flight CBC runs, not the whole market history.
+        # the in-flight CBC runs of its own shard, not the whole
+        # market history.
         survivors = []
-        for driver in self._cbc_drivers:
+        for driver in self._cbc_drivers.get(shard, ()):
             if driver.run.terminal:
                 continue
             driver.on_cbc_block()
             if not driver.run.terminal:
                 survivors.append(driver)
-        self._cbc_drivers = survivors
+        self._cbc_drivers[shard] = survivors
 
     # ------------------------------------------------------------------
     # Receipt routing (the phase engine)
@@ -555,7 +691,10 @@ class DealScheduler:
                 return
             run.driver.on_escrow_receipt(asset_id, receipt)
             return
-        if receipt.tx.contract not in (BOOK_CONTRACT, COMMIT_LOG_CONTRACT):
+        if (
+            receipt.tx.contract != BOOK_CONTRACT
+            and receipt.tx.contract not in self._commitlog_shards
+        ):
             return  # token transfers etc. are not deal phase steps
         deal_id = receipt.tx.args.get("deal_id")
         run = self.runs.get(deal_id)
@@ -666,10 +805,10 @@ class DealScheduler:
         run.phase = DealPhase.VOTING
         deal_id = run.order.deal_id
         for party in run.order.voters():
-            self.mempools[self.coordinator_chain_id].submit(
+            self._home_mempool(run.home_shard).submit(
                 Transaction(
                     sender=party,
-                    contract=COMMIT_LOG_CONTRACT,
+                    contract=self._home_log(run.home_shard).name,
                     method="vote",
                     args={"deal_id": deal_id},
                     phase="market/commit",
@@ -707,10 +846,10 @@ class DealScheduler:
         run.abort_requested = True
         if not run.reason:
             run.reason = reason
-        self.mempools[self.coordinator_chain_id].submit(
+        self._home_mempool(run.home_shard).submit(
             Transaction(
                 sender=self.coordinator.address,
-                contract=COMMIT_LOG_CONTRACT,
+                contract=self._home_log(run.home_shard).name,
                 method="mark_abort",
                 args={"deal_id": run.order.deal_id},
                 phase="market/abort",
@@ -776,10 +915,15 @@ class DealScheduler:
     # ------------------------------------------------------------------
     def _report(self) -> MarketReport:
         committed = aborted = rejected = stuck = conflicts = timeouts = 0
+        cross_shard_deals = cross_shard_committed = 0
         commit_latencies: list[float] = []
         outcome_log = []
         per_protocol: dict[str, dict] = {}
         for run in self.runs.values():
+            if run.cross_shard:
+                cross_shard_deals += 1
+                if run.phase is DealPhase.COMMITTED:
+                    cross_shard_committed += 1
             latency = (
                 run.finished_at - run.order.arrival
                 if run.finished_at is not None
@@ -856,4 +1000,7 @@ class DealScheduler:
                 if self.verify_aggregator is not None
                 else ()
             ),
+            shards=self.shards,
+            cross_shard_deals=cross_shard_deals,
+            cross_shard_committed=cross_shard_committed,
         )

@@ -36,6 +36,14 @@ Adversaries ride along at configurable rates:
   overdraw shared internal balances and the losers abort
   (first-committed-wins).
 
+With ``shards = M > 1`` the market clears orders on M coordinator
+chains, and ``cross_shard_rate`` forces a slice of the ring/brokered
+deals to escrow on chains owned by at least two different shards —
+the cross-shard traffic PR 5's acceptance gate measures.  A deal's
+*home* shard is still a function of its content hash
+(:func:`repro.market.order.shard_of_deal`), so the workload shapes
+where escrows live while routing stays the scheduler's affair.
+
 All randomness flows through :class:`repro.sim.rng.DeterministicRng`,
 so a profile + seed fully determines the order stream.
 """
@@ -91,6 +99,14 @@ class MarketProfile:
     nft_double_sell_rate: float = 0.0
     # CBC deals whose adversary presents a stale commit proof.
     stale_proof_rate: float = 0.0
+    # Cross-market sharding: how many coordinator shards clear orders
+    # (chain i belongs to shard i % shards; needs shards <= chains),
+    # and the slice of ring/brokered deals whose assets are forced to
+    # straddle at least two shards' escrow books.  The defaults are
+    # the unsharded market, byte-identical to the pre-sharding order
+    # stream.
+    shards: int = 1
+    cross_shard_rate: float = 0.0
     seed: int = 0
 
     @staticmethod
@@ -135,6 +151,29 @@ class MarketProfile:
         )
 
     @staticmethod
+    def sharded(seed: int = 0, shards: int = 4, deals: int = 5_600) -> "MarketProfile":
+        """The PR 5 acceptance run: the headline market split across
+        ``shards`` coordinator chains, with a guaranteed slice of
+        deals whose escrows straddle shards.  Must commit >= 5,000
+        deals at ``shards=4`` with >= 20% cross-shard deals and zero
+        conservation violations."""
+        return MarketProfile(
+            deals=deals, chains=4, accounts=48, arrival_rate=6.0,
+            initial_balance=4_500, shards=shards, cross_shard_rate=0.35,
+            seed=seed,
+        )
+
+    @staticmethod
+    def sharded_smoke(seed: int = 0, shards: int = 2) -> "MarketProfile":
+        """Small fixed-seed sharded profile (CI determinism leg and
+        the quick perf baseline)."""
+        return MarketProfile(
+            deals=120, chains=4, accounts=16, arrival_rate=4.0,
+            initial_balance=2_000, shards=shards, cross_shard_rate=0.35,
+            seed=seed,
+        )
+
+    @staticmethod
     def contended(seed: int = 0) -> "MarketProfile":
         """Deliberately starved balances: frequent escrow conflicts."""
         return MarketProfile(
@@ -159,10 +198,25 @@ class MarketWorkload:
             raise MarketError("nft_rate needs nft_per_account >= 1")
         if not 0.0 <= profile.book_fund_fraction <= 1.0:
             raise MarketError("book_fund_fraction must be in [0, 1]")
+        if profile.shards < 1 or profile.shards > profile.chains:
+            raise MarketError("shards must be in [1, chains]")
+        if not 0.0 <= profile.cross_shard_rate <= 1.0:
+            raise MarketError("cross_shard_rate must be in [0, 1]")
         self.profile = profile
         self.seed = profile.seed
         self.book_fund_fraction = profile.book_fund_fraction
+        self.shards = profile.shards
         self.chain_ids = tuple(f"mchain{c}" for c in range(profile.chains))
+        # Chain i belongs to shard i % shards (the scheduler derives
+        # the same map); the cross-shard templates draw from it.
+        self._shard_chains: dict[int, list[str]] = {
+            shard: [
+                chain_id
+                for index, chain_id in enumerate(self.chain_ids)
+                if index % profile.shards == shard
+            ]
+            for shard in range(profile.shards)
+        }
         self.tokens = {chain_id: f"mcoin{c}" for c, chain_id in enumerate(self.chain_ids)}
         self.initial_balance = profile.initial_balance
         self.accounts: dict[Address, KeyPair] = {}
@@ -234,10 +288,20 @@ class MarketWorkload:
                         template = name
                         break
                     pick -= weight
+                # A sharded market guarantees a slice of deals whose
+                # escrows straddle >= 2 shards' books (ring/brokered
+                # templates only; the unsharded market never draws
+                # from the cross-shard streams, keeping its order
+                # stream byte-identical).
+                cross = (
+                    self.shards > 1
+                    and template in ("ring", "broker")
+                    and rng.random("cross-shard") < profile.cross_shard_rate
+                )
                 if template == "ring":
-                    spec = self._ring_spec(index, protocol)
+                    spec = self._ring_spec(index, protocol, cross=cross)
                 elif template == "broker":
-                    spec = self._broker_spec(index, protocol)
+                    spec = self._broker_spec(index, protocol, cross=cross)
                 else:
                     spec = self._auction_spec(index, protocol)
             withhold_votes: frozenset = frozenset()
@@ -288,6 +352,14 @@ class MarketWorkload:
 
     def _chain_for(self, tag: str) -> str:
         return self._rng.choice(tag, list(self.chain_ids))
+
+    def _chain_in_shard(self, tag: str, shard: int) -> str:
+        return self._rng.choice(tag, self._shard_chains[shard])
+
+    def _shard_spread(self, tag: str, count: int) -> list[int]:
+        """``count`` shard picks guaranteed to cover >= 2 shards."""
+        spread = self._rng.shuffle(tag, list(range(self.shards)))
+        return [spread[i % len(spread)] for i in range(count)]
 
     def _spec(
         self, parties, assets, steps, index: int,
@@ -342,13 +414,24 @@ class MarketWorkload:
         ]
         return self._spec([seller, buyer], assets, steps, index)
 
-    def _ring_spec(self, index: int, protocol: str = PROTOCOL_UNANIMITY) -> DealSpec:
-        """Party *i* pays party *i+1* around a cycle of 2-4 accounts."""
+    def _ring_spec(
+        self, index: int, protocol: str = PROTOCOL_UNANIMITY,
+        cross: bool = False,
+    ) -> DealSpec:
+        """Party *i* pays party *i+1* around a cycle of 2-4 accounts.
+
+        With ``cross`` the ring's assets are spread over >= 2 shards'
+        chains, making the deal cross-shard by construction.
+        """
         n = min(self._rng.randint("ring-n", 2, 4), len(self._addresses))
         parties = self._pick_parties(n, f"ring{index}")
+        ring_shards = self._shard_spread("ring-shards", n) if cross else None
         assets, steps = [], []
         for i, party in enumerate(parties):
-            chain_id = self._chain_for("ring-chain")
+            if ring_shards is not None:
+                chain_id = self._chain_in_shard("ring-chain-x", ring_shards[i])
+            else:
+                chain_id = self._chain_for("ring-chain")
             amount = self._amount("ring-amount")
             asset_id = f"ring{i}"
             assets.append(Asset(
@@ -361,11 +444,23 @@ class MarketWorkload:
             ))
         return self._spec(parties, assets, steps, index, protocol)
 
-    def _broker_spec(self, index: int, protocol: str = PROTOCOL_UNANIMITY) -> DealSpec:
-        """Figure 1's shape: seller -> broker -> buyer, margin kept."""
+    def _broker_spec(
+        self, index: int, protocol: str = PROTOCOL_UNANIMITY,
+        cross: bool = False,
+    ) -> DealSpec:
+        """Figure 1's shape: seller -> broker -> buyer, margin kept.
+
+        With ``cross`` the goods and the payment are escrowed on
+        chains owned by two different shards.
+        """
         seller, broker, buyer = self._pick_parties(3, f"broker{index}")
-        goods_chain = self._chain_for("broker-goods-chain")
-        coin_chain = self._chain_for("broker-coin-chain")
+        if cross:
+            goods_shard, coin_shard = self._shard_spread("broker-shards", 2)
+            goods_chain = self._chain_in_shard("broker-goods-chain-x", goods_shard)
+            coin_chain = self._chain_in_shard("broker-coin-chain-x", coin_shard)
+        else:
+            goods_chain = self._chain_for("broker-goods-chain")
+            coin_chain = self._chain_for("broker-coin-chain")
         price = self._amount("broker-price")
         margin = max(1, price // 10)
         goods = self._amount("broker-goods")

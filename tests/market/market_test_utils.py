@@ -13,8 +13,10 @@ class HandWorkload:
 
     def __init__(self, orders_builder, accounts: int = 4, chains: int = 2,
                  balance: int = 1_000, seed: str = "hand",
-                 book_fund_fraction: float = 1.0, nft_per_account: int = 0):
+                 book_fund_fraction: float = 1.0, nft_per_account: int = 0,
+                 shards: int = 1):
         self.seed = seed
+        self.shards = shards
         self.chain_ids = tuple(f"mchain{c}" for c in range(chains))
         self.tokens = {cid: f"mcoin{c}" for c, cid in enumerate(self.chain_ids)}
         self.initial_balance = balance
@@ -42,8 +44,13 @@ class HandWorkload:
 
 
 def two_party_swap(wl: HandWorkload, index=0, arrival=0.5, amount=100,
-                   a=0, b=1, protocol="unanimity", **order_kwargs):
-    """p_a pays p_b on the first chain, p_b pays p_a on the last."""
+                   a=0, b=1, protocol="unanimity", salt="",
+                   **order_kwargs):
+    """p_a pays p_b on the first chain, p_b pays p_a on the last.
+
+    ``salt`` perturbs the deal nonce (and therefore the deal id) —
+    the shard-targeting helper below mines it.
+    """
     pa, pb = wl.labels[a], wl.labels[b]
     spec = DealSpec(
         parties=(pa, pb),
@@ -57,15 +64,34 @@ def two_party_swap(wl: HandWorkload, index=0, arrival=0.5, amount=100,
             TransferStep(asset_id="left", giver=pa, receiver=pb, amount=amount),
             TransferStep(asset_id="right", giver=pb, receiver=pa, amount=amount),
         ),
-        nonce=f"hand/{index}".encode(),
+        nonce=f"hand/{index}{salt}".encode(),
         protocol=protocol,
     )
     return sign_order(spec, wl.accounts, arrival=arrival, index=index,
                       **order_kwargs)
 
 
+def on_shard(builder, target_shard: int, shards: int, attempts: int = 512):
+    """Mine an order whose deal id routes to ``target_shard``.
+
+    ``builder(salt)`` must return a :class:`SignedDealOrder` whose
+    deal id varies with the salt (all the helpers here thread ``salt``
+    into the spec nonce).  Deal→shard routing is a content hash, so a
+    few dozen salts always suffice.
+    """
+    from repro.market.order import shard_of_deal
+
+    for attempt in range(attempts):
+        order = builder(f"/salt{attempt}")
+        if shard_of_deal(order.deal_id, shards) == target_shard:
+            return order
+    raise AssertionError(
+        f"no salt in {attempts} attempts routed to shard {target_shard}"
+    )
+
+
 def nft_sale(wl: HandWorkload, token_id: str, index=0, arrival=0.5,
-             price=100, seller=0, buyer=1, **order_kwargs):
+             price=100, seller=0, buyer=1, salt="", **order_kwargs):
     """``seller`` sells one ticket on the first chain for ``buyer``'s
     coins on the last chain (unanimity: NFT escrows live in the book)."""
     ps, pb = wl.labels[seller], wl.labels[buyer]
@@ -85,7 +111,7 @@ def nft_sale(wl: HandWorkload, token_id: str, index=0, arrival=0.5,
             TransferStep(asset_id="payment", giver=pb, receiver=ps,
                          amount=price),
         ),
-        nonce=f"hand-nft/{index}".encode(),
+        nonce=f"hand-nft/{index}{salt}".encode(),
     )
     return sign_order(spec, wl.accounts, arrival=arrival, index=index,
                       **order_kwargs)

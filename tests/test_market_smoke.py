@@ -21,6 +21,10 @@ import bench_e16_market  # noqa: E402
 EXPECTED_METRICS = {
     "per_protocol",
     "verify_aggregation",
+    "shards",
+    "cross_shard_deals",
+    "cross_shard_committed",
+    "cross_shard_fraction",
     "stale_proofs_rejected",
     "timelock_refund_sweeps",
     "deals_spawned",
@@ -52,7 +56,7 @@ def test_market_quick_smoke(tmp_path):
     output = tmp_path / "BENCH_market.json"
     assert bench_e16_market.main(["--quick", "--output", str(output)]) == 0
     report = json.loads(output.read_text())
-    assert report["schema"] == "BENCH_market/v2"
+    assert report["schema"] == "BENCH_market/v3"
     assert report["quick"] is True
     metrics = report["metrics"]
     assert set(metrics) == EXPECTED_METRICS
@@ -87,6 +91,24 @@ def test_market_protocol_mix_quick_smoke(tmp_path):
     assert report["metrics"]["invariant_violations"] == 0
     assert report["metrics"]["deals_stuck"] == 0
     assert report["metrics"]["stale_proofs_rejected"] > 0
+
+
+def test_market_sharded_quick_smoke(tmp_path):
+    """--shards 2 gates the quick sharded acceptance criteria."""
+    output = tmp_path / "BENCH_market.json"
+    assert bench_e16_market.main(
+        ["--quick", "--shards", "2", "--output", str(output)]
+    ) == 0
+    report = json.loads(output.read_text())
+    metrics = report["metrics"]
+    assert report["profile"]["shards"] == 2
+    assert metrics["shards"] == 2
+    assert metrics["cross_shard_deals"] > 0
+    assert metrics["cross_shard_fraction"] >= 0.2
+    assert metrics["verify_aggregation"]["merged_batches"] > 0
+    assert metrics["verify_aggregation"]["merge_rate"] > 0
+    assert metrics["invariant_violations"] == 0
+    assert metrics["deals_stuck"] == 0
 
 
 def test_market_fixed_seed_run_is_deterministic():
