@@ -37,13 +37,22 @@ cross-shard, with zero conservation violations and an aggregator
 merge rate > 0.  ``--shards 1`` reproduces the unsharded headline
 fingerprint byte-for-byte.
 
+With ``--replication R`` the headline run replicates every shard into
+an ``R``-member replica group (:mod:`repro.market.replication`);
+``--replication 1`` is the unreplicated layout and reproduces the
+headline fingerprint byte-for-byte — the crash/recovery axis itself
+is E17's (``bench_e17_faults.py``).
+
 The report contains simulation quantities only (chain ticks, counts,
 fingerprints), so it is byte-identical across hosts, runs, and
 ``--jobs`` settings.  Wall-clock throughput goes to
-``BENCH_market.json`` (schema ``BENCH_market/v3``) via ``main``::
+``BENCH_market.json`` (schema ``BENCH_market/v4``: adds
+``replication_factor``, ``faults_injected``, ``recoveries``,
+``failovers``, ``availability``) via ``main``::
 
     python benchmarks/bench_e16_market.py [--quick] [--jobs N]
                                           [--protocol-mix] [--shards M]
+                                          [--replication R]
                                           [--output BENCH_market.json]
 """
 
@@ -281,6 +290,16 @@ def market_metrics(report: MarketReport, wall_s: float) -> dict:
         "txs_reverted": report.txs_reverted,
         "max_mempool_depth": report.max_mempool_depth,
         "invariant_violations": len(report.invariant_violations),
+        # Replication/fault axis (schema v4).  All zeros / 1.0 on an
+        # unreplicated fault-free run; the counters come from the
+        # replication layer and are deterministic seeded quantities.
+        "replication_factor": report.replication_factor,
+        "faults_injected": report.faults_injected,
+        "recoveries": report.recoveries,
+        "failovers": report.failovers,
+        "availability": round(report.availability, 6),
+        "sore_losers": report.sore_losers,
+        "replication": dict(report.replication_stats),
         "fingerprint": report.fingerprint(),
         "wall_s": round(wall_s, 3),
         "deals_per_wall_s": round(report.committed / wall_s, 2) if wall_s else 0.0,
@@ -308,20 +327,27 @@ def write_market_json(
     run: tuple[MarketReport, float] | None = None,
     profile: MarketProfile | None = None,
     shards: int = 1,
+    replication: int = 1,
 ) -> dict:
     """Write ``BENCH_market.json``; runs the market unless given a run.
 
     A caller supplying a precomputed ``run`` must supply the profile
     that produced it, so the JSON's profile block always describes the
-    metrics next to it.
+    metrics next to it.  ``replication > 1`` runs the market with each
+    shard replicated that many ways (fault-free — so the fingerprint
+    stays the unreplicated one, which is the point: the perf baseline
+    covers the replicated path without changing behaviour).
     """
     if run is not None and profile is None:
         raise ValueError("a precomputed run needs its profile")
     if profile is None:
         profile = _pick_profile(quick, mixed, shards)
-    report, wall_s = run if run is not None else run_market(profile)
+    config = (
+        MarketConfig(replication_factor=replication) if replication > 1 else None
+    )
+    report, wall_s = run if run is not None else run_market(profile, config)
     payload = {
-        "schema": "BENCH_market/v3",
+        "schema": "BENCH_market/v4",
         "python": platform.python_version(),
         "quick": quick,
         "profile": {
@@ -356,16 +382,26 @@ def main(argv: list[str]) -> int:
                         help="coordinator shards for the headline run "
                              "(>1 shards the market and gates the "
                              "cross-shard acceptance criteria)")
+    parser.add_argument("--replication", type=int, default=1,
+                        help="replica group size per shard (1 = "
+                             "unreplicated; fault-free either way, so "
+                             "the fingerprint must not change)")
     parser.add_argument("--output", default="BENCH_market.json",
                         help="where to write the JSON report")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the load sweep")
     args = parser.parse_args(argv)
     profile = _pick_profile(args.quick, args.protocol_mix, args.shards)
-    run = run_market(profile)
+    config = (
+        MarketConfig(replication_factor=args.replication)
+        if args.replication > 1
+        else None
+    )
+    run = run_market(profile, config)
     payload = write_market_json(args.output, quick=args.quick,
                                 mixed=args.protocol_mix, run=run,
-                                profile=profile)
+                                profile=profile,
+                                replication=args.replication)
     metrics = payload["metrics"]
     width = max(len(name) for name in metrics)
     for name, value in metrics.items():
@@ -458,6 +494,17 @@ def test_shape_sharded_market_merges_and_conserves():
     assert report.invariant_violations == ()
     assert report.aggregator_merge_rate() > 0.0
     assert report.stuck == 0
+
+
+def test_shape_replication_keeps_fingerprint():
+    base, _ = run_market(MarketProfile.sharded_smoke())
+    replicated, _ = run_market(
+        MarketProfile.sharded_smoke(), MarketConfig(replication_factor=3)
+    )
+    assert replicated.fingerprint() == base.fingerprint()
+    assert replicated.replication_factor == 3
+    assert dict(replicated.replication_stats)["deltas_shipped"] > 0
+    assert replicated.invariant_violations == ()
 
 
 def test_shape_sweep_is_job_count_invariant():

@@ -1,0 +1,307 @@
+"""E17 — fault sweep: availability and latency under replica crashes.
+
+PR 6 gives every market shard a replica group
+(:mod:`repro.market.replication`): sealed blocks replicate to
+followers, a crashed leader fails over after a detection timeout, and
+a recovered replica restores its crash-time snapshot, replays the
+group's block log, and must digest byte-identical to its shard.  E17
+measures the fault envelope that buys:
+
+* a **fault sweep** over replication factor × crash rate: for each
+  point a seeded crash/recover schedule (leader kills included —
+  replica ``r0`` of every shard leads at start) runs against the
+  sharded market, and the table reports committed deals, the abort
+  rate, the §5 **sore-loser** count (timelock deals whose votes made
+  one chain's deadline but missed a crash-gated chain's, settling
+  mixed), commit latency, availability (fraction of shard-time with a
+  live leader sealing blocks), failovers, recoveries, and invariant
+  violations;
+* a **recovery conformance gate**: at replication factor 3 with a
+  nonzero crash/recover schedule — a leader killed mid-deal among
+  them — the market must still commit at least 1,000 deals with zero
+  exactly-once / conservation / stranded-escrow violations, and every
+  recovered replica's post-replay state hash must match its group
+  (``hash_mismatches == 0`` with ``hash_checks > 0``).
+
+Every column is a deterministic seeded simulation quantity: the crash
+schedule derives from the seed, the replication network has its own
+latency stream, and fault injection never breaks run-to-run
+byte-identity (CI compares serial vs ``--jobs 2`` reports with
+``cmp``).
+
+Usage::
+
+    python benchmarks/bench_e17_faults.py [--quick] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from functools import partial
+
+from repro.analysis.tables import render_table
+from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
+from repro.sim.faults import FaultPlan, ReplicaCrash
+from repro.sim.rng import DeterministicRng
+from repro.workloads.market import MarketProfile, MarketWorkload
+
+# Sweep axes: replica-group size × crashes per shard over the run.
+FACTOR_SWEEP = [1, 2, 3]
+CRASH_SWEEP = [0, 1, 3]
+
+# The first leader kill lands here — early enough that deals admitted
+# in the opening ticks are mid-flight (escrows opening, votes fanning
+# in) when their shard loses its leader.
+_FIRST_KILL_AT = 9.0
+
+
+def crash_schedule(
+    shards: int,
+    factor: int,
+    crashes_per_shard: int,
+    span: float,
+    seed,
+) -> FaultPlan:
+    """A seeded, deterministic crash/recover schedule.
+
+    Every shard gets ``crashes_per_shard`` transient
+    :class:`ReplicaCrash` faults with crash times spread over the
+    order-arrival span and dead windows of 6–20 ticks.  The first
+    fault of every shard always targets replica ``r0`` — the initial
+    leader — mid-deal, so failover (and, at factor 1, a full outage
+    bridged only by recovery) is exercised at every nonzero rate.
+    """
+    plan = FaultPlan()
+    if crashes_per_shard <= 0:
+        return plan
+    rng = DeterministicRng(f"e17/schedule/{seed}/{factor}")
+    for shard in range(shards):
+        for event in range(crashes_per_shard):
+            label = f"s{shard}/e{event}"
+            if event == 0:
+                target, at = 0, _FIRST_KILL_AT
+            else:
+                target = rng.randint(f"{label}/replica", 0, factor - 1)
+                at = rng.uniform(f"{label}/at", 0.15 * span, 0.75 * span)
+            down = rng.uniform(f"{label}/down", 6.0, 20.0)
+            plan.add(
+                ReplicaCrash(
+                    replica=f"s{shard}/r{target}",
+                    at_time=at,
+                    recover_at=at + down,
+                )
+            )
+    return plan
+
+
+# The sweep runs the full protocol mix so crash-gated sealing can hit
+# timelock deals mid-vote — that is where §5's sore losers come from;
+# per-deal escrows need wallet funds, hence the book fraction.
+_PROTOCOL_MIX = (("unanimity", 1.0), ("timelock", 1.0), ("cbc", 1.0))
+
+
+def _with_mix(profile: MarketProfile) -> MarketProfile:
+    return replace(
+        profile, protocol_mix=_PROTOCOL_MIX, book_fund_fraction=0.4
+    )
+
+
+def _sweep_profile(quick: bool) -> MarketProfile:
+    if quick:
+        return _with_mix(MarketProfile.sharded_smoke(seed=23, shards=2))
+    return _with_mix(
+        replace(MarketProfile.sharded(seed=23, shards=4), deals=400)
+    )
+
+
+def fault_point(
+    point: tuple[int, int], profile: MarketProfile
+) -> dict:
+    """One sweep record (simulation quantities only)."""
+    factor, crashes = point
+    span = profile.deals / profile.arrival_rate
+    plan = crash_schedule(profile.shards, factor, crashes, span, profile.seed)
+    config = MarketConfig(replication_factor=factor, fault_plan=plan)
+    report = DealScheduler(MarketWorkload(profile), config).run()
+    stats = dict(report.replication_stats)
+    return {
+        "factor": factor,
+        "crashes": report.faults_injected,
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "abort_rate": report.abort_rate,
+        "sore_losers": report.sore_losers,
+        "p50": report.latency_p50,
+        "p99": report.latency_p99,
+        "availability": report.availability,
+        "failovers": report.failovers,
+        "recoveries": report.recoveries,
+        "replayed": stats.get("deltas_replayed", 0),
+        "hash_checks": stats.get("hash_checks", 0),
+        "hash_mismatches": stats.get("hash_mismatches", 0),
+        "violations": len(report.invariant_violations),
+    }
+
+
+def fault_sweep(jobs: int | None = None, quick: bool = False) -> list[dict]:
+    """Fan the (factor, crash-rate) grid over the process pool."""
+    from repro.analysis.sweep import sweep_parallel
+
+    profile = _sweep_profile(quick)
+    factors = [1, 3] if quick else FACTOR_SWEEP
+    rates = [0, 1] if quick else CRASH_SWEEP
+    points = [(factor, rate) for factor in factors for rate in rates]
+    return sweep_parallel(points, partial(fault_point, profile=profile), jobs=jobs)
+
+
+def fault_table(jobs: int | None = None, quick: bool = False) -> str:
+    profile = _sweep_profile(quick)
+    records = fault_sweep(jobs=jobs, quick=quick)
+    rows = [
+        [
+            r["factor"],
+            r["crashes"],
+            r["committed"],
+            f"{r['abort_rate']:.1%}",
+            r["sore_losers"],
+            f"{r['p50']:.2f}",
+            f"{r['p99']:.2f}",
+            f"{r['availability']:.3%}",
+            r["failovers"],
+            r["recoveries"],
+            r["replayed"],
+            r["violations"] + r["hash_mismatches"],
+        ]
+        for r in records
+    ]
+    return render_table(
+        ["r", "crashes", "committed", "abort rate", "sore losers", "p50",
+         "p99", "availability", "failovers", "recoveries", "replayed",
+         "violations"],
+        rows,
+        title=f"E17 — fault sweep ({profile.deals} deals, "
+              f"{profile.shards} shards, replication factor × crash rate)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Recovery conformance gate
+# ----------------------------------------------------------------------
+def gate_run(quick: bool = False) -> MarketReport:
+    """The acceptance run: factor 3, leader kills mid-deal included."""
+    if quick:
+        profile = _with_mix(MarketProfile.sharded_smoke(seed=29, shards=2))
+    else:
+        profile = _with_mix(
+            replace(MarketProfile.sharded(seed=29, shards=4), deals=1_400)
+        )
+    span = profile.deals / profile.arrival_rate
+    plan = crash_schedule(profile.shards, 3, 2, span, profile.seed)
+    config = MarketConfig(replication_factor=3, fault_plan=plan)
+    return DealScheduler(MarketWorkload(profile), config).run()
+
+
+def check_gate(report: MarketReport, quick: bool = False) -> list[str]:
+    """The E17 acceptance criteria; returns failures (empty = pass)."""
+    floor = 80 if quick else 1_000
+    stats = dict(report.replication_stats)
+    failures = []
+    if report.faults_injected == 0:
+        failures.append("no crash faults fired (schedule is empty)")
+    if report.committed < floor:
+        failures.append(f"committed {report.committed} < {floor}")
+    if report.invariant_violations:
+        failures.append(
+            f"{len(report.invariant_violations)} invariant violations "
+            f"(first: {report.invariant_violations[0]})"
+        )
+    if report.recoveries == 0:
+        failures.append("no replica recovered")
+    if stats.get("hash_checks", 0) == 0:
+        failures.append("no post-replay hash checks ran")
+    if stats.get("hash_mismatches", 0):
+        failures.append(
+            f"{stats['hash_mismatches']} recovered replicas diverged"
+        )
+    return failures
+
+
+def gate_table(quick: bool = False, report: MarketReport | None = None) -> str:
+    if report is None:
+        report = gate_run(quick=quick)
+    failures = check_gate(report, quick=quick)
+    stats = dict(report.replication_stats)
+    rows = [
+        ["deals committed", report.committed],
+        ["replica crashes injected", report.faults_injected],
+        ["failovers", report.failovers],
+        ["recoveries", report.recoveries],
+        ["deltas replayed (catch-up)", stats.get("deltas_replayed", 0)],
+        ["post-replay hash checks", stats.get("hash_checks", 0)],
+        ["hash mismatches", stats.get("hash_mismatches", 0)],
+        ["availability", f"{report.availability:.3%}"],
+        ["sore losers (mixed timelock)", report.sore_losers],
+        ["invariant violations", len(report.invariant_violations)],
+        ["fingerprint", report.fingerprint()],
+        ["gate", "PASS" if not failures else "FAIL: " + "; ".join(failures)],
+    ]
+    return render_table(
+        ["measure", "value"], rows,
+        title="E17 — recovery conformance gate (replication factor 3, "
+              "leader kills mid-deal)",
+    )
+
+
+def make_report(jobs: int | None = None, quick: bool = False) -> str:
+    return (
+        gate_table(quick=quick)
+        + "\n"
+        + fault_table(jobs=jobs, quick=quick)
+    )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small fixed-seed sweep (smoke test)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the sweep")
+    args = parser.parse_args(argv)
+    report = gate_run(quick=args.quick)
+    print(gate_table(quick=args.quick, report=report))
+    print(fault_table(jobs=args.jobs, quick=args.quick))
+    failures = check_gate(report, quick=args.quick)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("E17 acceptance: "
+          f"{report.committed} commits under {report.faults_injected} "
+          f"replica crashes, {report.recoveries} recoveries all "
+          "hash-verified, 0 invariant violations")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Shape checks (run with the benchmark suite, not tier-1)
+# ----------------------------------------------------------------------
+def test_shape_gate_passes_quick():
+    report = gate_run(quick=True)
+    assert check_gate(report, quick=True) == []
+    assert report.failovers > 0
+
+
+def test_shape_fault_free_point_has_full_availability():
+    records = fault_sweep(jobs=1, quick=True)
+    clean = [r for r in records if r["crashes"] == 0]
+    assert clean and all(r["availability"] == 1.0 for r in clean)
+    assert all(r["violations"] == 0 for r in records)
+
+
+def test_shape_sweep_is_job_count_invariant():
+    assert fault_sweep(jobs=1, quick=True) == fault_sweep(jobs=2, quick=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -317,6 +317,10 @@ def main(argv: list[str]) -> int:
                         help="coordinator shards for the market run "
                              "(default: 2 with --quick so the perf "
                              "baseline covers the sharded path, else 1)")
+    parser.add_argument("--market-replication", type=int, default=None,
+                        help="replication factor for the market run "
+                             "(default: 2 with --quick so the perf "
+                             "baseline covers the replicated path, else 1)")
     args = parser.parse_args(argv)
 
     # Fail on an unwritable destination *before* spending minutes
@@ -351,8 +355,15 @@ def main(argv: list[str]) -> int:
             # (BENCH_market_quick.json), which deliberately exercises
             # the sharded path so regressions there trip the guard.
             market_shards = 2 if args.quick else 1
+        market_replication = args.market_replication
+        if market_replication is None:
+            # Same guard for the replicated path: replication is free
+            # on the fingerprint but not on wall clock, so the quick
+            # baseline keeps it honest.
+            market_replication = 2 if args.quick else 1
         bench_e16_market.write_market_json(
-            args.market_output, quick=args.quick, shards=market_shards
+            args.market_output, quick=args.quick, shards=market_shards,
+            replication=market_replication,
         )
         print(f"wrote {args.market_output}")
     return 0

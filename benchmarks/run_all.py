@@ -4,7 +4,7 @@ Usage::
 
     python benchmarks/run_all.py [output-file] [--jobs N] [--quick]
 
-Writes the concatenated paper-style tables for E1..E16 (the full
+Writes the concatenated paper-style tables for E1..E17 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
 
 ``--jobs N`` fans the experiments out over ``N`` worker processes
@@ -15,9 +15,9 @@ A per-experiment timing summary is printed at the end either way
 (it feeds the perf trajectory in BENCHMARKS.md).
 
 ``--quick`` shrinks experiments that support a quick mode (currently
-E16) so CI's determinism gate — serial vs ``--jobs 2`` reports must
-be byte-identical — stays cheap.  Quick reports are only comparable
-to other quick reports.
+E16 and E17) so CI's determinism gate — serial vs ``--jobs 2``
+reports must be byte-identical — stays cheap.  Quick reports are only
+comparable to other quick reports.
 """
 
 from __future__ import annotations
@@ -47,6 +47,7 @@ EXPERIMENTS = [
     ("E14", "bench_e14_batch_verification"),
     ("E15", "bench_e15_asynchrony"),
     ("E16", "bench_e16_market"),
+    ("E17", "bench_e17_faults"),
 ]
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))

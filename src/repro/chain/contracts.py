@@ -237,6 +237,28 @@ class Contract:
         """Called by the chain when the contract is published."""
         self.chain = chain
 
+    def snapshot_state(self) -> dict[str, dict]:
+        """Copy every storage map: ``{storage_name: {key: value}}``.
+
+        Storage values are immutable (primitives, enums, frozen
+        dataclasses), so a per-map shallow copy is a faithful
+        snapshot.  Used by the replication layer
+        (:mod:`repro.market.replication`) and crash-recovery tests.
+        """
+        return {
+            name: dict(storage._data)
+            for name, storage in sorted(self._storages.items())
+        }
+
+    def restore_state(self, state: dict[str, dict]) -> None:
+        """Overwrite every storage map from a :meth:`snapshot_state`.
+
+        Unjournaled and unmetered — this is operator-level recovery,
+        not a transaction.
+        """
+        for name, storage in self._storages.items():
+            storage._data = dict(state.get(name, {}))
+
     def invoke(self, ctx: CallContext, method: str, args: dict):
         """Dispatch ``method`` with ``args`` under ``ctx``."""
         if method not in self.EXPORTS:

@@ -22,14 +22,44 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.chain.block import Block
-from repro.chain.contracts import CallContext, Contract, _TxJournal
+from repro.chain.contracts import CallContext, Contract, _MISSING, _TxJournal
 from repro.chain.gas import GasMeter, GasSchedule
 from repro.chain.tx import Receipt, Transaction, TxStatus
+from repro.crypto.hashing import tagged_hash
 from repro.crypto.keys import Wallet
 from repro.errors import ChainError, ContractError, UnknownContractError
 from repro.sim.simulator import Simulator
 
 BlockObserver = Callable[["Chain", Block], None]
+
+# A state delta shipped to Chain.delta_observer: a dict with "kind"
+# ("init" | "block" | "exec"), the chain id, and either a full contract
+# state ("init") or sorted write/delete lists keyed by
+# (contract, storage, key).
+StateDelta = dict
+
+DeltaObserver = Callable[["Chain", StateDelta], None]
+
+
+def digest_state(state: dict[str, dict[str, dict]]) -> bytes:
+    """Canonical digest of ``{contract: {storage: {key: value}}}``.
+
+    Keys and values are frozen dataclasses, enums, and primitives with
+    deterministic ``repr``s, so a repr-based encoding is canonical:
+    two states digest equal iff they hold the same entries.  Shared
+    between :meth:`Chain.state_hash` and the replication layer's
+    replica images so "byte-identical to its group" is one comparison.
+    """
+    lines = []
+    for contract_name in sorted(state):
+        storages = state[contract_name]
+        for storage_name in sorted(storages):
+            data = storages[storage_name]
+            for key in sorted(data, key=repr):
+                lines.append(
+                    f"{contract_name}/{storage_name}/{key!r}={data[key]!r}"
+                )
+    return tagged_hash("repro/state", "\n".join(lines).encode("utf-8"))
 
 
 class Chain:
@@ -59,6 +89,10 @@ class Chain:
         self._block_scheduled = False
         self.active_journal: _TxJournal | None = None
         self._receipts_by_tx: dict[int, Receipt] = {}
+        # Replication hook: when set, publications and committed writes
+        # are emitted as state deltas (see module docstring for shape).
+        self.delta_observer: DeltaObserver | None = None
+        self._pending_writes: dict[tuple, bool] = {}
         genesis = Block.build(chain_id, 0, b"\x00" * 32, [], simulator.now)
         self._blocks.append(genesis)
 
@@ -71,6 +105,19 @@ class Chain:
             raise ChainError(f"contract {contract.name!r} already published")
         contract.attach(self)
         self._contracts[contract.name] = contract
+        if self.delta_observer is not None:
+            # Publications write initial state outside any journal
+            # (e.g. an escrow manager's ACTIVE flag), so followers get
+            # the full contract image as an init delta.
+            self.delta_observer(
+                self,
+                {
+                    "kind": "init",
+                    "chain": self.chain_id,
+                    "contract": contract.name,
+                    "state": contract.snapshot_state(),
+                },
+            )
         return contract
 
     def contract(self, name: str) -> Contract:
@@ -150,6 +197,10 @@ class Chain:
         self._blocks.append(block)
         for receipt in receipts:
             self._receipts_by_tx[receipt.tx.tx_id] = receipt
+        # Ship the block's write-set before observers run: observers
+        # may publish contracts or submit follow-up work, and replicas
+        # must see this block's state first.
+        self._flush_delta("block")
         for observer in list(self._observers):
             observer(self, block)
         if self._mempool:
@@ -176,6 +227,11 @@ class Chain:
             )
         finally:
             self.active_journal = None
+        if self.delta_observer is not None:
+            # Reverted txs roll back, so only committed writes reach
+            # the replication write-set.
+            for storage, key, _old in journal._undo:
+                self._pending_writes[(storage, key)] = True
         return Receipt(
             tx=tx,
             status=TxStatus.SUCCESS,
@@ -185,6 +241,65 @@ class Chain:
             return_value=value,
             events=tuple(journal.events),
         )
+
+    def _flush_delta(self, kind: str) -> None:
+        """Emit the accumulated write-set as one delta, then clear it."""
+        observer = self.delta_observer
+        if observer is None or not self._pending_writes:
+            self._pending_writes = {}
+            return
+        writes: list[tuple] = []
+        deletes: list[tuple] = []
+        ordered = sorted(
+            self._pending_writes,
+            key=lambda item: (
+                item[0]._contract.name,
+                item[0]._name,
+                repr(item[1]),
+            ),
+        )
+        for storage, key in ordered:
+            value = storage._data.get(key, _MISSING)
+            entry = (storage._contract.name, storage._name, key)
+            if value is _MISSING:
+                deletes.append(entry)
+            else:
+                writes.append(entry + (value,))
+        self._pending_writes = {}
+        observer(
+            self,
+            {
+                "kind": kind,
+                "chain": self.chain_id,
+                "height": self.height,
+                "writes": writes,
+                "deletes": deletes,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash recovery)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, dict]]:
+        """Copy the full contract state: ``{contract: {storage: data}}``."""
+        return {
+            name: contract.snapshot_state()
+            for name, contract in sorted(self._contracts.items())
+        }
+
+    def restore(self, state: dict[str, dict[str, dict]]) -> None:
+        """Reset every published contract's storage to ``state``.
+
+        Contracts published after the snapshot was taken are wiped to
+        empty (they did not exist at snapshot time), so the restored
+        chain digests equal to the snapshot.
+        """
+        for name, contract in self._contracts.items():
+            contract.restore_state(state.get(name, {}))
+
+    def state_hash(self) -> bytes:
+        """Canonical digest of the chain's contract state."""
+        return digest_state(self.snapshot())
 
     # ------------------------------------------------------------------
     # Observation
@@ -211,4 +326,5 @@ class Chain:
         """
         receipt = self._execute(tx, self.height + 1)
         self._receipts_by_tx[receipt.tx.tx_id] = receipt
+        self._flush_delta("exec")
         return receipt

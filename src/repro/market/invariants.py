@@ -21,7 +21,11 @@ every chain:
 4. **Uniform outcomes** — a settled deal is committed everywhere or
    aborted everywhere.  Unanimity deals must agree with the commit
    log on every book; timelock/CBC deals must have *all* their escrow
-   contracts released (commit) or none of them (abort).
+   contracts released (commit) or none of them (abort).  One carve-out
+   with crash faults active: a timelock deal whose votes made one
+   chain's deadline but missed another's (because the crashed shard's
+   sealing was gated) settles mixed — §5's *sore loser*, measured by
+   the report, never produced by honest infrastructure.
 5. **NFT ownership uniqueness** — every minted token id has exactly
    one owner: the chain-level owner is an account or the book, and a
    book-held token has exactly one internal record — free under one
@@ -36,6 +40,11 @@ every chain:
 7. **No stranded escrows** — a deal that reached a terminal outcome
    holds no open escrow on *any* shard's book: first-committed-wins
    resolution terminates across books, not only on the home chain.
+8. **Replica convergence** — when the market runs replicated
+   (:mod:`repro.market.replication`), every live, caught-up replica's
+   state image digests byte-identical to its shard's authoritative
+   chains, and every recovery-time hash check passed.  Crash/recover
+   interleavings may cost liveness, never divergence.
 
 :func:`check_market_invariants` returns a list of human-readable
 violations (empty means all invariants hold).  The scheduler runs it
@@ -139,9 +148,17 @@ def check_market_invariants(scheduler) -> list[str]:
                 )
 
     # 4. Outcome uniformity: every chain agrees on every settled deal.
+    # With crash faults active, a timelock deal may legitimately settle
+    # mixed (the §5 sore loser); anywhere else that pattern is a bug.
+    replication = getattr(scheduler, "replication", None)
+    crash_faults_active = (
+        replication is not None and replication.counters["crashes"] > 0
+    )
     for deal_id, run in scheduler.runs.items():
         if run.driver is not None:
-            violations.extend(_check_escrow_uniformity(run))
+            violations.extend(
+                _check_escrow_uniformity(run, crash_faults_active)
+            )
             continue
         states = {
             chain_id: scheduler.books[chain_id].peek_deal_state(deal_id)
@@ -159,13 +176,24 @@ def check_market_invariants(scheduler) -> list[str]:
                 violations.append(
                     f"deal #{run.order.index} aborted but chains disagree: {wrong}"
                 )
+
+    # 8. Replica convergence across every crash/recover interleaving.
+    if replication is not None:
+        violations.extend(replication.check_invariants())
     return violations
 
 
-def _check_escrow_uniformity(run) -> list[str]:
+def _check_escrow_uniformity(run, crash_faults_active: bool = False) -> list[str]:
     """A terminal timelock/CBC deal released everywhere or nowhere."""
     if not run.terminal or run.phase.value == "rejected":
         return []
+    if run.sore_loser:
+        if crash_faults_active and run.protocol == "timelock":
+            return []  # §5 sore loser under crash-gated sealing
+        return [
+            f"{run.protocol} deal #{run.order.index} settled mixed "
+            "(sore loser) without any crash fault to blame"
+        ]
     states = run.driver.escrow_states()
     if run.decided == "commit":
         wrong = {

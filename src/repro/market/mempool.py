@@ -92,6 +92,12 @@ class StepMempool:
         # boundary (one multi-exp for the whole market instant); with
         # no aggregator, seals verify synchronously.
         self.aggregator = aggregator
+        # Replication hook: when set and returning False, sealing is
+        # deferred (the shard has no live leader).  The replication
+        # layer calls :meth:`kick` when leadership resumes — the
+        # mempool never polls a closed gate, so a dead shard costs no
+        # simulator events.
+        self.seal_gate: Callable[[], bool] | None = None
         self._pending: list[_PendingStep] = []
         self._seal_scheduled = False
         self.stats = {
@@ -139,6 +145,10 @@ class StepMempool:
     # ------------------------------------------------------------------
     def _seal(self) -> None:
         self._seal_scheduled = False
+        if self.seal_gate is not None and not self.seal_gate():
+            # Leaderless: hold every pending step until kick().
+            self.stats["seals_deferred"] = self.stats.get("seals_deferred", 0) + 1
+            return
         batch = self._pending[: self.max_txs_per_block]
         self._pending = self._pending[self.max_txs_per_block:]
         self.stats["seals"] += 1
@@ -231,6 +241,11 @@ class StepMempool:
         self.stats["orders_rejected"] += 1
         if self.on_order_rejected is not None:
             self.on_order_rejected(order.deal_id)
+
+    def kick(self) -> None:
+        """Resume sealing after the seal gate reopens (failover done)."""
+        if self._pending:
+            self._ensure_seal_scheduled()
 
     @property
     def depth(self) -> int:

@@ -180,6 +180,15 @@ class DealDriver:
         # Timelock has no prior decision point, so the settled pattern
         # *is* the decision; a CBC deal keeps what its claim decided
         # (so a non-uniform settlement still reports against it).
+        # A *mixed* timelock settlement — some escrows released, the
+        # rest refunded at deadline — is §5's sore-loser outcome: the
+        # votes made one chain in time and missed another.  Honest
+        # infrastructure never produces it; the invariant sweep only
+        # tolerates it when crash faults gated sealing mid-deal.
+        if self.run.protocol == "timelock" and 0 < len(self.released) < len(
+            self.spec.assets
+        ):
+            self.run.sore_loser = True
         if len(self.released) == len(self.spec.assets):
             if self.run.decided is None:
                 self.run.decided = "commit"

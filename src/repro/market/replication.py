@@ -1,0 +1,472 @@
+"""Per-shard replication and crash recovery for the sharded market.
+
+Every shard of the :class:`~repro.market.scheduler.DealScheduler`
+becomes a small **replica group** (configurable factor ``r``): ``r``
+processes that each hold a full image of *that shard's chains only* —
+the home chain with its :class:`~repro.market.commitlog.MarketCommitLog`
+plus the shard's asset chains with their
+:class:`~repro.market.book.MarketEscrowBook`s.  This is partial
+replication in the sense of Sutra & Shapiro: no replica holds the
+whole market, and a cross-shard deal touches exactly the replica
+groups its assets name.
+
+**Replication unit.**  The sealed block is the unit of replication.
+When a chain flushes a block's committed write-set (a *delta*, see
+:data:`repro.chain.ledger.StateDelta`), the delta is appended to the
+group's durable log, applied synchronously by the shard **leader**
+(co-located with the authoritative chain), and shipped to the
+followers over a dedicated
+:class:`~repro.sim.network.SynchronousNetwork`.  Followers apply
+deltas in sequence order and acknowledge back to the leader on
+simulated time, so the whole exchange is deterministic and visible in
+``Network.stats()``.  A follower that observes a sequence gap (a
+dropped or reordered shipment) heals itself by replaying the missing
+range from the group log — anti-entropy, not an error.
+
+**Crash and recovery.**  :class:`~repro.sim.faults.ReplicaCrash` kills
+a replica: its in-memory image is discarded, a crash-time durable
+snapshot (what it had applied — sealed blocks are persisted before
+they are acknowledged) is retained, and its endpoint goes silent.  If
+the crashed replica led the shard, sealing on every one of the shard's
+mempools is **gated closed**: orders queue but no block seals, which
+is a liveness loss, never a safety loss, because the authoritative
+chain and the group log retain every committed block.  After a
+detection timeout the group **fails over** to the lowest-indexed live
+replica, which catches up from the group log and reopens the gates
+(the mempools are kicked, never polled).  Recovery restores the
+crash-time snapshot, replays the group log across the dead window,
+and then proves itself: the recovered image's canonical digest
+(:func:`repro.chain.ledger.digest_state`) must equal the authoritative
+chain's — a mismatch is reported as an invariant violation.
+
+**Determinism.**  The replication network draws latencies from its own
+seeded stream, so enabling replication (or changing ``r``) perturbs no
+market randomness; with no crash faults the seal gates never close,
+and the market's outcome log — hence its fingerprint — is
+byte-identical to an unreplicated run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.ledger import Chain, StateDelta, digest_state
+from repro.sim.network import SynchronousNetwork
+from repro.sim.rng import DeterministicRng
+
+# Replica endpoint names are "s<shard>/r<index>" on the replication
+# network; fault schedules target them by this name.
+def replica_name(shard: int, index: int) -> str:
+    """The canonical endpoint name of one replica."""
+    return f"s{shard}/r{index}"
+
+
+@dataclass
+class Replica:
+    """One process of a shard's replica group.
+
+    ``state`` maps each of the shard's chain ids to a contract-state
+    image (``{contract: {storage: {key: value}}}``); ``applied`` is
+    the per-chain sequence number of the last delta applied.  ``disk``
+    holds the crash-time durable snapshot a recovery restores from.
+    """
+
+    name: str
+    shard: int
+    index: int
+    alive: bool = True
+    state: dict = field(default_factory=dict)
+    applied: dict = field(default_factory=dict)
+    disk: tuple | None = None  # (state_copy, applied_copy) at crash
+
+    def image_of(self, chain_id: str) -> dict:
+        """The replica's contract-state image of one chain."""
+        return self.state.setdefault(chain_id, {})
+
+    def copy_state(self) -> dict:
+        """Deep-enough copy of the whole image (values are immutable)."""
+        return {
+            chain_id: {
+                contract: {name: dict(data) for name, data in storages.items()}
+                for contract, storages in chains.items()
+            }
+            for chain_id, chains in self.state.items()
+        }
+
+
+@dataclass
+class ShardReplicaGroup:
+    """One shard's replicas, durable delta log, and leadership state."""
+
+    shard: int
+    chain_ids: tuple[str, ...]
+    replicas: list[Replica] = field(default_factory=list)
+    # Durable per-chain delta log (the chain is the log; this is its
+    # replication-facing index).  logs[chain_id][seq - 1] is delta seq.
+    logs: dict[str, list[StateDelta]] = field(default_factory=dict)
+    leader: str | None = None
+    election_pending: bool = False
+    down_since: float | None = None
+    downtime: float = 0.0
+    # follower name -> {chain_id: highest acked seq} (leader's view).
+    acked: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def alive_replicas(self) -> list[Replica]:
+        return [replica for replica in self.replicas if replica.alive]
+
+    def leader_replica(self) -> Replica | None:
+        if self.leader is None:
+            return None
+        for replica in self.replicas:
+            if replica.name == self.leader:
+                return replica
+        return None
+
+    @property
+    def sealing_open(self) -> bool:
+        """Whether this shard currently has a live leader sealing blocks."""
+        replica = self.leader_replica()
+        return replica is not None and replica.alive
+
+
+class ReplicationLayer:
+    """Replica groups, delta shipping, failover, and recovery."""
+
+    def __init__(
+        self,
+        scheduler,
+        factor: int,
+        delta: float = 0.4,
+        failover_timeout: float = 2.0,
+    ):
+        if factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.scheduler = scheduler
+        self.simulator = scheduler.simulator
+        self.factor = factor
+        self.failover_timeout = failover_timeout
+        # A dedicated network with its own seeded stream: replication
+        # traffic must not perturb the market's latency draws.
+        self.network = SynchronousNetwork(
+            self.simulator,
+            delta,
+            rng=DeterministicRng(f"market-replication/{scheduler.workload.seed}"),
+        )
+        self.groups: dict[int, ShardReplicaGroup] = {}
+        self.replicas: dict[str, Replica] = {}
+        self.violations: list[str] = []
+        self.counters = {
+            "deltas_logged": 0,
+            "deltas_shipped": 0,
+            "deltas_applied": 0,
+            "deltas_replayed": 0,
+            "acks_received": 0,
+            "crashes": 0,
+            "recoveries": 0,
+            "failovers": 0,
+            "snapshots_taken": 0,
+            "snapshots_restored": 0,
+            "hash_checks": 0,
+            "hash_mismatches": 0,
+            "dropped_while_dead": 0,
+        }
+
+        shard_chains: dict[int, list[str]] = {}
+        for chain_id, shard in scheduler.chain_shard.items():
+            shard_chains.setdefault(shard, []).append(chain_id)
+        for shard in range(scheduler.shards):
+            chain_ids = tuple(shard_chains.get(shard, ()))
+            group = ShardReplicaGroup(
+                shard=shard,
+                chain_ids=chain_ids,
+                logs={chain_id: [] for chain_id in chain_ids},
+            )
+            for index in range(factor):
+                replica = Replica(
+                    name=replica_name(shard, index), shard=shard, index=index
+                )
+                # Bootstrap from the post-funding chain snapshot, so
+                # every replica starts byte-identical to its group.
+                for chain_id in chain_ids:
+                    replica.state[chain_id] = scheduler.chains[chain_id].snapshot()
+                    replica.applied[chain_id] = 0
+                group.replicas.append(replica)
+                self.replicas[replica.name] = replica
+                self.network.register(
+                    replica.name,
+                    lambda message, replica=replica: self._on_message(
+                        replica, message
+                    ),
+                )
+            group.leader = group.replicas[0].name
+            self.groups[shard] = group
+        # Hook the authoritative chains and gate the mempools.
+        for chain_id, chain in scheduler.chains.items():
+            chain.delta_observer = self._on_chain_delta
+            shard = scheduler.chain_shard[chain_id]
+            scheduler.mempools[chain_id].seal_gate = (
+                lambda shard=shard: self.groups[shard].sealing_open
+            )
+
+    # ------------------------------------------------------------------
+    # Delta intake and shipping
+    # ------------------------------------------------------------------
+    def _on_chain_delta(self, chain: Chain, delta: StateDelta) -> None:
+        shard = self.scheduler.chain_shard[chain.chain_id]
+        group = self.groups[shard]
+        log = group.logs[chain.chain_id]
+        log.append(delta)
+        seq = len(log)
+        self.counters["deltas_logged"] += 1
+        leader = group.leader_replica()
+        if leader is not None and leader.alive:
+            # The leader is co-located with the authoritative chain:
+            # it applies the sealed block synchronously.
+            self._apply_to(leader, chain.chain_id, seq, delta)
+            for replica in group.replicas:
+                if replica is leader or not replica.alive:
+                    continue
+                self.network.send(
+                    leader.name,
+                    replica.name,
+                    ("delta", chain.chain_id, seq, delta),
+                )
+                self.counters["deltas_shipped"] += 1
+        # With no live leader nothing ships: followers heal from the
+        # group log at failover/recovery time (anti-entropy).
+
+    def _apply_to(
+        self, replica: Replica, chain_id: str, seq: int, delta: StateDelta
+    ) -> None:
+        """Apply one delta to a replica image (``seq`` must be next)."""
+        image = replica.image_of(chain_id)
+        if delta["kind"] == "init":
+            image[delta["contract"]] = {
+                name: dict(data) for name, data in delta["state"].items()
+            }
+        else:
+            for contract, storage, key, value in delta["writes"]:
+                image.setdefault(contract, {}).setdefault(storage, {})[key] = value
+            for contract, storage, key in delta["deletes"]:
+                image.get(contract, {}).get(storage, {}).pop(key, None)
+        replica.applied[chain_id] = seq
+        self.counters["deltas_applied"] += 1
+
+    def _catch_up(self, replica: Replica) -> int:
+        """Replay every group-log delta the replica is missing."""
+        group = self.groups[replica.shard]
+        replayed = 0
+        for chain_id in group.chain_ids:
+            log = group.logs[chain_id]
+            applied = replica.applied.get(chain_id, 0)
+            while applied < len(log):
+                self._apply_to(replica, chain_id, applied + 1, log[applied])
+                applied += 1
+                replayed += 1
+        self.counters["deltas_replayed"] += replayed
+        return replayed
+
+    def _on_message(self, replica: Replica, message) -> None:
+        kind = message.payload[0]
+        if kind == "ack":
+            _, follower, chain_id, seq = message.payload
+            group = self.groups[replica.shard]
+            high = group.acked.setdefault(follower, {})
+            high[chain_id] = max(high.get(chain_id, 0), seq)
+            self.counters["acks_received"] += 1
+            return
+        _, chain_id, seq, delta = message.payload
+        if not replica.alive:
+            # A shipment racing a crash: the dead process sees nothing.
+            self.counters["dropped_while_dead"] += 1
+            return
+        applied = replica.applied.get(chain_id, 0)
+        if seq <= applied:
+            pass  # duplicate of an already-replayed delta
+        elif seq == applied + 1:
+            self._apply_to(replica, chain_id, seq, delta)
+        else:
+            # Gap (an earlier shipment was dropped): heal from the log.
+            group = self.groups[replica.shard]
+            log = group.logs[chain_id]
+            replayed = 0
+            while replica.applied.get(chain_id, 0) < min(seq, len(log)):
+                next_seq = replica.applied.get(chain_id, 0) + 1
+                self._apply_to(replica, chain_id, next_seq, log[next_seq - 1])
+                replayed += 1
+            self.counters["deltas_replayed"] += replayed
+        # Acknowledge on simulated time so the leader's view of
+        # replication lag is an observable quantity.
+        target = self.groups[replica.shard].leader
+        if target is not None and target != replica.name:
+            self.network.send(
+                replica.name,
+                target,
+                ("ack", replica.name, chain_id, replica.applied.get(chain_id, 0)),
+            )
+
+    # ------------------------------------------------------------------
+    # Process faults (FaultPlan.install_processes host API)
+    # ------------------------------------------------------------------
+    def crash_replica(self, name: str) -> None:
+        """Kill a replica: persist its crash-time image, lose memory."""
+        replica = self.replicas.get(name)
+        if replica is None or not replica.alive:
+            return
+        replica.alive = False
+        self.counters["crashes"] += 1
+        # Sealed blocks are persisted before acknowledgement, so the
+        # durable snapshot is exactly what the replica had applied.
+        replica.disk = (replica.copy_state(), dict(replica.applied))
+        self.counters["snapshots_taken"] += 1
+        replica.state = {}
+        replica.applied = {}
+        group = self.groups[replica.shard]
+        if group.leader == name:
+            self._on_leader_lost(group)
+
+    def recover_replica(self, name: str) -> None:
+        """Revive a replica: restore snapshot, replay, prove the hash."""
+        replica = self.replicas.get(name)
+        if replica is None or replica.alive:
+            return
+        self.counters["recoveries"] += 1
+        if replica.disk is not None:
+            state, applied = replica.disk
+            replica.state = {
+                chain_id: {
+                    contract: {n: dict(d) for n, d in storages.items()}
+                    for contract, storages in chains.items()
+                }
+                for chain_id, chains in state.items()
+            }
+            replica.applied = dict(applied)
+            self.counters["snapshots_restored"] += 1
+        replica.alive = True
+        self._catch_up(replica)
+        self._verify_replica(replica, context="post-recovery")
+        group = self.groups[replica.shard]
+        if not group.sealing_open and not group.election_pending:
+            # The shard was fully down: the recovered replica takes
+            # over immediately (no detection delay — the revival *is*
+            # the detection).
+            self._elect(group)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def _on_leader_lost(self, group: ShardReplicaGroup) -> None:
+        group.leader = None
+        if group.down_since is None:
+            group.down_since = self.simulator.now
+        if not group.election_pending:
+            group.election_pending = True
+            self.simulator.schedule(
+                self.failover_timeout,
+                lambda: self._run_election(group),
+                label=f"replication/failover-s{group.shard}",
+            )
+
+    def _run_election(self, group: ShardReplicaGroup) -> None:
+        group.election_pending = False
+        self._elect(group)
+
+    def _elect(self, group: ShardReplicaGroup) -> None:
+        """Promote the lowest-indexed live replica and resume sealing."""
+        candidate = None
+        for replica in group.replicas:
+            if replica.alive:
+                candidate = replica
+                break
+        if candidate is None:
+            return  # fully down; the next recovery re-elects
+        group.leader = candidate.name
+        self.counters["failovers"] += 1
+        # The new leader must own every sealed block before it seals
+        # new ones on top.
+        self._catch_up(candidate)
+        if group.down_since is not None:
+            group.downtime += self.simulator.now - group.down_since
+            group.down_since = None
+        for chain_id in group.chain_ids:
+            self.scheduler.mempools[chain_id].kick()
+
+    # ------------------------------------------------------------------
+    # Verification and reporting
+    # ------------------------------------------------------------------
+    def _verify_replica(self, replica: Replica, context: str) -> bool:
+        """Digest-compare a replica against its authoritative chains."""
+        ok = True
+        for chain_id in self.groups[replica.shard].chain_ids:
+            self.counters["hash_checks"] += 1
+            expected = self.scheduler.chains[chain_id].state_hash()
+            actual = digest_state(replica.image_of(chain_id))
+            if actual != expected:
+                ok = False
+                self.counters["hash_mismatches"] += 1
+                self.violations.append(
+                    f"replication: {replica.name} diverges from {chain_id} "
+                    f"({context}): {actual.hex()[:16]} != {expected.hex()[:16]}"
+                )
+        return ok
+
+    def check_invariants(self, strict: bool = False) -> list[str]:
+        """Replication invariant sweep.
+
+        Accumulated recovery-time mismatches plus a live sweep: every
+        *caught-up* live replica must digest-match its chains.  With
+        ``strict`` (after :meth:`finish`), every live replica must be
+        caught up and match — lag is only legitimate mid-run, while
+        shipments are in flight.
+        """
+        found = list(self.violations)
+        for group in self.groups.values():
+            for replica in group.alive_replicas():
+                caught_up = all(
+                    replica.applied.get(chain_id, 0) == len(group.logs[chain_id])
+                    for chain_id in group.chain_ids
+                )
+                if not caught_up:
+                    if strict:
+                        found.append(
+                            f"replication: {replica.name} lagging after "
+                            "quiescence"
+                        )
+                    continue
+                for chain_id in group.chain_ids:
+                    expected = self.scheduler.chains[chain_id].state_hash()
+                    actual = digest_state(replica.image_of(chain_id))
+                    if actual != expected:
+                        found.append(
+                            f"replication: {replica.name} diverges from "
+                            f"{chain_id}: {actual.hex()[:16]} != "
+                            f"{expected.hex()[:16]}"
+                        )
+        return found
+
+    def finish(self, end_time: float) -> None:
+        """Close downtime windows and run final anti-entropy.
+
+        Every live replica replays whatever log suffix it is still
+        missing (shipments dropped by message faults included), so the
+        post-run invariant sweep can demand byte-identity.
+        """
+        for group in self.groups.values():
+            if group.down_since is not None:
+                group.downtime += max(0.0, end_time - group.down_since)
+                group.down_since = None
+            for replica in group.alive_replicas():
+                self._catch_up(replica)
+
+    def availability(self, end_time: float) -> float:
+        """Fraction of shard-time with a live leader sealing blocks."""
+        if end_time <= 0 or not self.groups:
+            return 1.0
+        total_down = sum(group.downtime for group in self.groups.values())
+        return max(0.0, 1.0 - total_down / (end_time * len(self.groups)))
+
+    def stats(self) -> dict[str, float]:
+        """The layer's counters (deterministic simulation quantities)."""
+        stats = dict(self.counters)
+        stats["replication_factor"] = self.factor
+        return stats

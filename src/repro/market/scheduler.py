@@ -96,6 +96,7 @@ from repro.market.invariants import check_market_invariants
 from repro.market.mempool import OrderLedger, StepMempool
 from repro.market.order import SignedDealOrder, shard_of_deal
 from repro.market.protocols import CbcDealDriver, DealDriver, TimelockDealDriver
+from repro.market.replication import ReplicationLayer
 from repro.sim.simulator import Simulator
 
 BOOK_CONTRACT = "market-book"
@@ -138,6 +139,11 @@ class _DealRun:
     claim_chains: tuple[str, ...] = ()
     settled_chains: set = field(default_factory=set)
     finished_at: float | None = None
+    # §5 sore loser: a timelock deal whose escrows settled non-uniformly
+    # (released on one chain, refunded at deadline on another).  Only
+    # crash-gated sealing can produce it; fault-free runs treat it as
+    # an invariant violation.
+    sore_loser: bool = False
     patience_handle: object = None
     # Sharding: the deal's home shard (where it registers and votes)
     # and whether its escrows straddle books owned by other shards.
@@ -183,6 +189,19 @@ class MarketConfig:
     # switch exists for the equivalence tests that prove exactly that.
     verify_aggregation: bool = True
     verify_max_blocks: int = 8
+    # Replication (repro.market.replication): each shard becomes a
+    # replica group of this size.  The layer is only constructed when
+    # factor > 1 or a fault plan is supplied, so the default market
+    # runs byte-identical to the unreplicated layout.
+    replication_factor: int = 1
+    # A repro.sim.faults.FaultPlan: message faults install on the
+    # replication network, ReplicaCrash/ReplicaRecover process faults
+    # install on the replication layer.
+    fault_plan: object | None = None
+    # Δ of the dedicated replication network (delta shipping + acks).
+    replication_delta: float = 0.4
+    # Detection delay before a crashed leader's shard fails over.
+    failover_timeout: float = 2.0
 
 
 @dataclass
@@ -227,6 +246,21 @@ class MarketReport:
     shards: int = 1
     cross_shard_deals: int = 0
     cross_shard_committed: int = 0
+    # Replication/fault axis (PR 6): rendered only when the layer ran
+    # and did something, so fault-free unreplicated reports keep their
+    # exact bytes.  replication_stats mirrors verify_stats: sorted
+    # counter rows, deliberately outside render() and fingerprint().
+    replication_factor: int = 1
+    faults_injected: int = 0
+    recoveries: int = 0
+    failovers: int = 0
+    availability: float = 1.0
+    replication_stats: tuple = ()
+    # §5 sore losers: timelock deals whose escrows settled mixed
+    # (released here, deadline-refunded there) because crash faults
+    # gated sealing mid-deal.  Always 0 in fault-free runs, where a
+    # mixed settlement is an invariant violation instead.
+    sore_losers: int = 0
 
     @property
     def abort_rate(self) -> float:
@@ -238,6 +272,12 @@ class MarketReport:
     def cross_shard_fraction(self) -> float:
         """Cross-shard slice of all spawned deals."""
         return self.cross_shard_deals / self.deals if self.deals else 0.0
+
+    @property
+    def sore_loser_rate(self) -> float:
+        """Sore-loser slice of all terminally settled deals."""
+        settled = self.committed + self.aborted
+        return self.sore_losers / settled if settled else 0.0
 
     def aggregator_merge_rate(self) -> float:
         """Fraction of enqueued block batches that merged with others.
@@ -304,6 +344,20 @@ class MarketReport:
                 ["cross-shard deals", self.cross_shard_deals],
                 ["cross-shard committed", self.cross_shard_committed],
                 ["cross-shard fraction", f"{self.cross_shard_fraction:.1%}"],
+            ]
+        if (
+            self.replication_factor > 1
+            or self.faults_injected
+            or self.failovers
+            or self.recoveries
+        ):
+            rows += [
+                ["replication factor", self.replication_factor],
+                ["replica crashes injected", self.faults_injected],
+                ["failovers", self.failovers],
+                ["recoveries", self.recoveries],
+                ["availability", f"{self.availability:.3%}"],
+                ["sore losers (mixed timelock)", self.sore_losers],
             ]
         rows += [
             ["blocks produced", self.blocks],
@@ -453,6 +507,25 @@ class DealScheduler:
             self._commitlog_shards[name] = shard
         self.commit_log = self.commit_logs[0]
         self._fund_accounts()
+        # Replication is strictly additive: the layer only exists when
+        # asked for, and with no crash faults it adds no market-visible
+        # behaviour (separate network, separate rng stream, gates that
+        # never close) — the E16 fingerprint equivalence test holds the
+        # scheduler to that.
+        self.replication: ReplicationLayer | None = None
+        plan = self.config.fault_plan
+        if self.config.replication_factor > 1 or (
+            plan is not None and getattr(plan, "faults", ())
+        ):
+            self.replication = ReplicationLayer(
+                self,
+                factor=self.config.replication_factor,
+                delta=self.config.replication_delta,
+                failover_timeout=self.config.failover_timeout,
+            )
+            if plan is not None:
+                plan.install(self.replication.network)
+                plan.install_processes(self.replication)
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -543,6 +616,8 @@ class DealScheduler:
         self.simulator.run(
             until=self.config.horizon, max_events=self.config.max_events
         )
+        if self.replication is not None:
+            self.replication.finish(self.simulator.now)
         return self._report()
 
     def _admit(self, order: SignedDealOrder) -> None:
@@ -1003,4 +1078,33 @@ class DealScheduler:
             shards=self.shards,
             cross_shard_deals=cross_shard_deals,
             cross_shard_committed=cross_shard_committed,
+            replication_factor=(
+                self.replication.factor if self.replication is not None else 1
+            ),
+            faults_injected=(
+                self.replication.counters["crashes"]
+                if self.replication is not None
+                else 0
+            ),
+            recoveries=(
+                self.replication.counters["recoveries"]
+                if self.replication is not None
+                else 0
+            ),
+            failovers=(
+                self.replication.counters["failovers"]
+                if self.replication is not None
+                else 0
+            ),
+            availability=(
+                self.replication.availability(end_time)
+                if self.replication is not None
+                else 1.0
+            ),
+            replication_stats=tuple(
+                sorted(self.replication.stats().items())
+                if self.replication is not None
+                else ()
+            ),
+            sore_losers=sum(1 for run in self.runs.values() if run.sore_loser),
         )

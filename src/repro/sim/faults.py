@@ -6,6 +6,20 @@ network.  These injectors install delivery filters on a
 :class:`~repro.sim.network.Network`; they affect only message
 *delivery* — a party's local computation is suppressed by the party
 strategies in :mod:`repro.adversary`.
+
+Two faults go further than message filters.  :class:`ReplicaCrash`
+and :class:`ReplicaRecover` are **process-level** faults: in addition
+to silencing the endpoint's traffic, they kill and revive a replica
+of the market's replication layer (:mod:`repro.market.replication`)
+— a crashed replica stops applying state, a crashed *leader* forces a
+failover, and a recovering replica catches up from its latest
+snapshot plus block replay.  Process faults are delivered through
+:meth:`FaultPlan.install_processes`, which hands them a *host*
+exposing ``simulator``, ``crash_replica`` and ``recover_replica``.
+
+Every fault keeps per-fault drop/delay counters, surfaced through
+:meth:`FaultPlan.stats`, so composed schedules are observable in
+reports instead of silently eating messages.
 """
 
 from __future__ import annotations
@@ -17,20 +31,29 @@ from repro.sim.network import DropMessage, Message, Network
 
 @dataclass
 class CrashFault:
-    """Permanently silence an endpoint from ``at_time`` onwards.
+    """Silence an endpoint from ``at_time`` onwards.
 
-    Messages to or from the crashed endpoint are dropped.
+    Messages to or from the crashed endpoint are dropped.  With
+    ``recover_at`` set the crash is transient: delivery resumes once
+    the clock reaches it, so crash/recover schedules compose
+    declaratively instead of through hand-rolled filters.
     """
 
     endpoint: str
     at_time: float
+    recover_at: float | None = None
     dropped: int = 0
+
+    def _dead(self, now: float) -> bool:
+        if now < self.at_time:
+            return False
+        return self.recover_at is None or now < self.recover_at
 
     def install(self, network: Network) -> None:
         """Attach this fault's delivery filter to ``network``."""
         def fn(message: Message) -> float | None:
             now = network.simulator.now
-            if now >= self.at_time and self.endpoint in (
+            if self._dead(now) and self.endpoint in (
                 message.sender,
                 message.recipient,
             ):
@@ -39,6 +62,10 @@ class CrashFault:
             return None
 
         network.add_filter(fn)
+
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {"dropped": self.dropped}
 
 
 @dataclass
@@ -76,6 +103,10 @@ class OfflineWindow:
         """Whether ``time`` falls inside the offline window."""
         return self.start <= time < self.end
 
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {"dropped": self.dropped, "delayed": self.delayed}
+
 
 @dataclass
 class Partition:
@@ -111,6 +142,10 @@ class Partition:
 
         network.add_filter(fn)
 
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {"dropped": self.dropped}
+
 
 @dataclass
 class TargetedDelay:
@@ -139,6 +174,103 @@ class TargetedDelay:
 
         network.add_filter(fn)
 
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {"delayed": self.affected}
+
+
+@dataclass
+class ReplicaCrash:
+    """Kill a replication-layer replica at ``at_time``; optionally revive it.
+
+    Process level: the host's ``crash_replica`` is invoked (state
+    application stops; if the replica led its shard, the group fails
+    over) and, with ``recover_at`` set, ``recover_replica`` brings it
+    back through snapshot + block-replay catch-up.  Message level: the
+    replica's endpoint is silenced for the dead window, so in-flight
+    replication traffic is lost exactly as a real crash would lose it.
+    """
+
+    replica: str
+    at_time: float
+    recover_at: float | None = None
+    dropped: int = 0
+    crashes_fired: int = 0
+    recoveries_fired: int = 0
+
+    def _dead(self, now: float) -> bool:
+        if now < self.at_time:
+            return False
+        return self.recover_at is None or now < self.recover_at
+
+    def install(self, network: Network) -> None:
+        """Silence the replica's endpoint while it is down."""
+        def fn(message: Message) -> float | None:
+            now = network.simulator.now
+            if self._dead(now) and self.replica in (
+                message.sender,
+                message.recipient,
+            ):
+                self.dropped += 1
+                raise DropMessage
+            return None
+
+        network.add_filter(fn)
+
+    def install_process(self, host) -> None:
+        """Schedule the kill (and revival) on the host's simulator."""
+        def crash() -> None:
+            self.crashes_fired += 1
+            host.crash_replica(self.replica)
+
+        host.simulator.schedule_at(
+            self.at_time, crash, label="fault/replica-crash"
+        )
+        if self.recover_at is not None:
+            def recover() -> None:
+                self.recoveries_fired += 1
+                host.recover_replica(self.replica)
+
+            host.simulator.schedule_at(
+                self.recover_at, recover, label="fault/replica-recover"
+            )
+
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {
+            "dropped": self.dropped,
+            "crashes": self.crashes_fired,
+            "recoveries": self.recoveries_fired,
+        }
+
+
+@dataclass
+class ReplicaRecover:
+    """Revive a previously crashed replica at ``at_time``.
+
+    Standalone revival for schedules whose crash and recovery are
+    authored separately (recover-then-recrash compositions); a
+    :class:`ReplicaCrash` with ``recover_at`` covers the common case.
+    """
+
+    replica: str
+    at_time: float
+    recoveries_fired: int = 0
+
+    def install_process(self, host) -> None:
+        """Schedule the revival on the host's simulator."""
+        def recover() -> None:
+            self.recoveries_fired += 1
+            host.recover_replica(self.replica)
+
+        host.simulator.schedule_at(
+            self.at_time, recover, label="fault/replica-recover"
+        )
+
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {"recoveries": self.recoveries_fired}
+
 
 @dataclass
 class FaultPlan:
@@ -152,6 +284,44 @@ class FaultPlan:
         return self
 
     def install(self, network: Network) -> None:
-        """Install every fault in the plan on ``network``."""
+        """Install every message-level fault in the plan on ``network``."""
         for fault in self.faults:
-            fault.install(network)
+            if hasattr(fault, "install"):
+                fault.install(network)
+
+    def install_processes(self, host) -> None:
+        """Install every process-level fault on ``host``.
+
+        The host must expose ``simulator``, ``crash_replica`` and
+        ``recover_replica`` (the market's
+        :class:`~repro.market.replication.ReplicationLayer` does).
+        Message-only faults are skipped.
+        """
+        for fault in self.faults:
+            if hasattr(fault, "install_process"):
+                fault.install_process(host)
+
+    def stats(self) -> list[dict]:
+        """Per-fault effect counters, in plan order.
+
+        Each row names the fault kind and target plus whatever the
+        fault counted (drops, delays, crash/recovery firings), so a
+        composed schedule's effects are observable in reports.
+        """
+        rows = []
+        for fault in self.faults:
+            row: dict = {"kind": type(fault).__name__}
+            target = getattr(fault, "endpoint", None)
+            if target is None:
+                target = getattr(fault, "replica", None)
+            if target is None:
+                groups = getattr(fault, "groups", None)
+                if groups is not None:
+                    target = "|".join(
+                        ",".join(sorted(group)) for group in groups
+                    )
+            row["target"] = target or ""
+            if hasattr(fault, "counters"):
+                row.update(fault.counters())
+            rows.append(row)
+        return rows

@@ -53,6 +53,8 @@ class Network:
         self._filters: list[Callable[[Message], float | None]] = []
         self._delivered = 0
         self._dropped = 0
+        self._filter_dropped = 0
+        self._filter_delayed = 0
         self._last_delivery: dict[tuple[str, str], float] = {}
 
     def register(self, name: str, handler: Handler) -> None:
@@ -80,8 +82,18 @@ class Network:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Delivery counters (for tests and diagnostics)."""
-        return {"delivered": self._delivered, "dropped": self._dropped}
+        """Delivery counters, including fault-injector effects.
+
+        ``filter_dropped``/``filter_delayed`` count what the installed
+        delivery filters did (``dropped`` also includes filter drops),
+        so injected faults are observable rather than silent.
+        """
+        return {
+            "delivered": self._delivered,
+            "dropped": self._dropped,
+            "filter_dropped": self._filter_dropped,
+            "filter_delayed": self._filter_delayed,
+        }
 
     def send(self, sender: str, recipient: str, payload: object) -> None:
         """Send ``payload``; delivery is scheduled per the timing model."""
@@ -92,8 +104,11 @@ class Network:
                 extra = fn(message)
                 if extra is not None:
                     delay += extra
+                    if extra > 0:
+                        self._filter_delayed += 1
         except DropMessage:
             self._dropped += 1
+            self._filter_dropped += 1
             return
         # FIFO per ordered pair (a TCP-like channel): a later send is
         # never delivered before an earlier one.  The clamp can only
@@ -200,8 +215,23 @@ class RecordingNetwork:
     inner: Network
     log: list[Message] = field(default_factory=list)
 
+    @property
+    def simulator(self) -> Simulator:
+        return self.inner.simulator
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """The wrapped network's counters (filter effects included)."""
+        return self.inner.stats
+
     def register(self, name: str, handler: Handler) -> None:
         self.inner.register(name, handler)
+
+    def deregister(self, name: str) -> None:
+        self.inner.deregister(name)
+
+    def add_filter(self, fn: Callable[[Message], float | None]) -> None:
+        self.inner.add_filter(fn)
 
     def send(self, sender: str, recipient: str, payload: object) -> None:
         self.log.append(

@@ -5,6 +5,8 @@ from repro.sim.faults import (
     FaultPlan,
     OfflineWindow,
     Partition,
+    ReplicaCrash,
+    ReplicaRecover,
     TargetedDelay,
 )
 from repro.sim.network import SynchronousNetwork
@@ -113,3 +115,99 @@ def test_fault_plan_installs_all():
     net.send("a", "v2", "x")
     sim.run()
     assert received == []
+
+
+def test_crash_fault_recover_at_restores_delivery():
+    sim, net = make_net()
+    received = []
+    net.register("victim", lambda message: received.append(sim.now))
+    fault = CrashFault(endpoint="victim", at_time=5.0, recover_at=10.0)
+    fault.install(net)
+    net.send("a", "victim", "before")          # t=0: delivered
+    sim.schedule(6.0, lambda: net.send("a", "victim", "while-dead"))
+    sim.schedule(11.0, lambda: net.send("a", "victim", "after"))
+    sim.run()
+    assert len(received) == 2
+    assert received[-1] >= 11.0
+    assert fault.dropped == 1
+    assert fault.counters() == {"dropped": 1}
+
+
+class _FakeHost:
+    """Minimal install_processes host: records crash/recover calls."""
+
+    def __init__(self, simulator):
+        self.simulator = simulator
+        self.calls = []
+
+    def crash_replica(self, name):
+        self.calls.append(("crash", name, self.simulator.now))
+
+    def recover_replica(self, name):
+        self.calls.append(("recover", name, self.simulator.now))
+
+
+def test_replica_crash_fires_process_hooks_and_silences_endpoint():
+    sim, net = make_net()
+    received = []
+    net.register("s0/r1", lambda message: received.append(sim.now))
+    host = _FakeHost(sim)
+    fault = ReplicaCrash(replica="s0/r1", at_time=5.0, recover_at=9.0)
+    plan = FaultPlan().add(fault)
+    plan.install(net)
+    plan.install_processes(host)
+    net.send("peer", "s0/r1", "before")
+    sim.schedule(6.0, lambda: net.send("peer", "s0/r1", "while-dead"))
+    sim.schedule(10.0, lambda: net.send("peer", "s0/r1", "after"))
+    sim.run()
+    assert host.calls == [
+        ("crash", "s0/r1", 5.0),
+        ("recover", "s0/r1", 9.0),
+    ]
+    assert len(received) == 2  # dead-window shipment lost
+    assert fault.crashes_fired == 1 and fault.recoveries_fired == 1
+    assert fault.dropped == 1
+
+
+def test_replica_recover_is_process_only():
+    sim, net = make_net()
+    host = _FakeHost(sim)
+    fault = ReplicaRecover(replica="s1/r0", at_time=4.0)
+    plan = FaultPlan().add(fault)
+    # install() must skip it: there is no message-level behaviour.
+    plan.install(net)
+    assert net._filters == []
+    plan.install_processes(host)
+    sim.run()
+    assert host.calls == [("recover", "s1/r0", 4.0)]
+    assert fault.counters() == {"recoveries": 1}
+
+
+def test_fault_plan_stats_rows_cover_every_kind():
+    sim, net = make_net()
+    net.register("victim", lambda message: None)
+    host = _FakeHost(sim)
+    crash = CrashFault(endpoint="victim", at_time=0.0)
+    window = OfflineWindow(endpoint="victim", start=0.0, end=50.0)
+    split = Partition(groups=[{"a"}, {"victim"}], start=0.0, end=50.0)
+    slow = TargetedDelay(endpoint="victim", extra_delay=3.0)
+    process = ReplicaCrash(replica="s0/r0", at_time=2.0, recover_at=4.0)
+    plan = FaultPlan()
+    for fault in (crash, window, split, slow, process):
+        plan.add(fault)
+    plan.install(net)
+    plan.install_processes(host)
+    net.send("a", "victim", "x")  # eaten by the CrashFault filter
+    sim.run()
+    rows = plan.stats()
+    assert [row["kind"] for row in rows] == [
+        "CrashFault", "OfflineWindow", "Partition", "TargetedDelay",
+        "ReplicaCrash",
+    ]
+    assert rows[0] == {"kind": "CrashFault", "target": "victim", "dropped": 1}
+    assert rows[1]["target"] == "victim" and "delayed" in rows[1]
+    assert rows[2]["target"] == "a|victim"
+    assert rows[3] == {"kind": "TargetedDelay", "target": "victim",
+                       "delayed": 0}
+    assert rows[4]["target"] == "s0/r0"
+    assert rows[4]["crashes"] == 1 and rows[4]["recoveries"] == 1

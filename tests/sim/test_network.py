@@ -4,7 +4,9 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.sim.network import (
+    DropMessage,
     EventuallySynchronousNetwork,
+    RecordingNetwork,
     SynchronousNetwork,
 )
 from repro.sim.rng import DeterministicRng
@@ -131,3 +133,70 @@ def test_eventually_synchronous_bounded_pre_gst_delay():
     net.send("a", "b", "early")
     sim.run()
     assert arrivals and arrivals[0] <= 5.0 + 1e-6
+
+
+def test_stats_count_filter_drops_and_delays():
+    sim, net = make_sync(delta=1.0)
+    arrivals = []
+    net.register("b", lambda message: arrivals.append(sim.now))
+
+    def fn(message):
+        if message.payload == "drop":
+            raise DropMessage
+        if message.payload == "slow":
+            return 10.0
+        return None
+
+    net.add_filter(fn)
+    net.send("a", "b", "clean")
+    net.send("a", "b", "drop")
+    net.send("a", "b", "slow")
+    sim.run()
+    assert len(arrivals) == 2
+    assert max(arrivals) >= 10.0  # the slowed message arrived late
+    stats = net.stats
+    assert stats["delivered"] == 2
+    assert stats["filter_dropped"] == 1
+    assert stats["filter_delayed"] == 1
+    # dropped includes filter drops (plus any unknown recipients).
+    assert stats["dropped"] == 1
+
+
+def test_filter_zero_extra_delay_is_not_counted_as_delayed():
+    sim, net = make_sync(delta=1.0)
+    net.register("b", lambda message: None)
+    net.add_filter(lambda message: 0.0)
+    net.send("a", "b", "x")
+    sim.run()
+    assert net.stats["filter_delayed"] == 0
+    assert net.stats["delivered"] == 1
+
+
+def test_recording_network_delegates_stats_and_filters():
+    sim = Simulator()
+    inner = SynchronousNetwork(sim, delta=1.0, rng=DeterministicRng(0))
+    net = RecordingNetwork(inner)
+    assert net.simulator is sim
+    received = []
+    net.register("b", lambda message: received.append(message.payload))
+
+    def fn(message):
+        if message.payload == "drop":
+            raise DropMessage
+        return None
+
+    net.add_filter(fn)
+    net.send("a", "b", "keep")
+    net.send("a", "b", "drop")
+    sim.run()
+    # The recorder logs every send — including ones filters later eat —
+    # while the stats view matches the wrapped network's exactly.
+    assert [message.payload for message in net.log] == ["keep", "drop"]
+    assert received == ["keep"]
+    assert net.stats == inner.stats
+    assert net.stats["filter_dropped"] == 1
+    net.deregister("b")
+    net.send("a", "b", "late")
+    sim.run()
+    assert received == ["keep"]
+    assert net.stats["dropped"] == 2

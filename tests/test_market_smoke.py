@@ -49,6 +49,13 @@ EXPECTED_METRICS = {
     "fingerprint",
     "wall_s",
     "deals_per_wall_s",
+    "replication_factor",
+    "faults_injected",
+    "recoveries",
+    "failovers",
+    "availability",
+    "sore_losers",
+    "replication",
 }
 
 
@@ -56,7 +63,7 @@ def test_market_quick_smoke(tmp_path):
     output = tmp_path / "BENCH_market.json"
     assert bench_e16_market.main(["--quick", "--output", str(output)]) == 0
     report = json.loads(output.read_text())
-    assert report["schema"] == "BENCH_market/v3"
+    assert report["schema"] == "BENCH_market/v4"
     assert report["quick"] is True
     metrics = report["metrics"]
     assert set(metrics) == EXPECTED_METRICS
