@@ -144,10 +144,26 @@ def sweep_table(jobs: int | None = None, quick: bool = False) -> str:
 
 
 def make_report(
-    jobs: int | None = None, quick: bool = False, shards: int = 1
+    jobs: int | None = None,
+    quick: bool = False,
+    shards: int = 1,
+    trace: str | None = None,
 ) -> str:
     profile = _pick_profile(quick, mixed=False, shards=shards)
-    headline, _ = run_market(profile)
+    config = None
+    telemetry = None
+    if trace is not None:
+        # Telemetry is byte-neutral by contract: the rendered report
+        # must be identical with and without it, so the trace file is
+        # written silently (CI cmp's the report bytes to prove it).
+        from repro.telemetry import Telemetry
+        from repro.telemetry.export import write_trace_jsonl
+
+        telemetry = Telemetry()
+        config = MarketConfig(telemetry=telemetry)
+    headline, _ = run_market(profile, config)
+    if telemetry is not None:
+        write_trace_jsonl(telemetry, trace)
     return (
         headline.render()
         + "\n" + protocol_table(quick=quick)
@@ -386,15 +402,24 @@ def main(argv: list[str]) -> int:
                         help="replica group size per shard (1 = "
                              "unreplicated; fault-free either way, so "
                              "the fingerprint must not change)")
+    parser.add_argument("--trace", metavar="OUT", default=None,
+                        help="write a deal-lifecycle trace (JSONL) of the "
+                             "headline run; byte-neutral — report bytes "
+                             "and fingerprint are unchanged")
     parser.add_argument("--output", default="BENCH_market.json",
                         help="where to write the JSON report")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the load sweep")
     args = parser.parse_args(argv)
     profile = _pick_profile(args.quick, args.protocol_mix, args.shards)
+    telemetry = None
+    if args.trace is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     config = (
-        MarketConfig(replication_factor=args.replication)
-        if args.replication > 1
+        MarketConfig(replication_factor=args.replication, telemetry=telemetry)
+        if args.replication > 1 or telemetry is not None
         else None
     )
     run = run_market(profile, config)
@@ -409,6 +434,18 @@ def main(argv: list[str]) -> int:
     print(f"wrote {args.output}")
     print()
     print(run[0].render())
+    if telemetry is not None:
+        from repro.telemetry.export import write_trace_jsonl
+
+        records = write_trace_jsonl(telemetry, args.trace)
+        committed, full = telemetry.deal_coverage()
+        coverage = full / committed if committed else 1.0
+        print(f"trace: {records} records -> {args.trace}; "
+              f"{full}/{committed} committed deals carry full "
+              f"register->commit span chains ({coverage:.1%})")
+        if coverage < 0.95:
+            print(f"FAIL: trace coverage {coverage:.1%} < 95%")
+            return 1
     if args.protocol_mix:
         report = run[0]
         # The quick profile runs ~60 deals per protocol; a floor of 25

@@ -128,6 +128,11 @@ def fault_point(
     stats = dict(report.replication_stats)
     return {
         "factor": factor,
+        # "planned" is the schedule size; "crashes" is how many
+        # actually fired.  They differ when a crash lands on an
+        # already-dead replica (the fault drops) — the sweep table
+        # labels both so a silently inert schedule is visible.
+        "planned": len(plan.faults),
         "crashes": report.faults_injected,
         "committed": report.committed,
         "aborted": report.aborted,
@@ -162,6 +167,7 @@ def fault_table(jobs: int | None = None, quick: bool = False) -> str:
     rows = [
         [
             r["factor"],
+            r["planned"],
             r["crashes"],
             r["committed"],
             f"{r['abort_rate']:.1%}",
@@ -177,8 +183,8 @@ def fault_table(jobs: int | None = None, quick: bool = False) -> str:
         for r in records
     ]
     return render_table(
-        ["r", "crashes", "committed", "abort rate", "sore losers", "p50",
-         "p99", "availability", "failovers", "recoveries", "replayed",
+        ["r", "planned", "fired", "committed", "abort rate", "sore losers",
+         "p50", "p99", "availability", "failovers", "recoveries", "replayed",
          "violations"],
         rows,
         title=f"E17 — fault sweep ({profile.deals} deals, "
@@ -189,7 +195,7 @@ def fault_table(jobs: int | None = None, quick: bool = False) -> str:
 # ----------------------------------------------------------------------
 # Recovery conformance gate
 # ----------------------------------------------------------------------
-def gate_run(quick: bool = False) -> MarketReport:
+def gate_run(quick: bool = False, telemetry=None) -> MarketReport:
     """The acceptance run: factor 3, leader kills mid-deal included."""
     if quick:
         profile = _with_mix(MarketProfile.sharded_smoke(seed=29, shards=2))
@@ -199,7 +205,9 @@ def gate_run(quick: bool = False) -> MarketReport:
         )
     span = profile.deals / profile.arrival_rate
     plan = crash_schedule(profile.shards, 3, 2, span, profile.seed)
-    config = MarketConfig(replication_factor=3, fault_plan=plan)
+    config = MarketConfig(
+        replication_factor=3, fault_plan=plan, telemetry=telemetry
+    )
     return DealScheduler(MarketWorkload(profile), config).run()
 
 
@@ -233,14 +241,19 @@ def gate_table(quick: bool = False, report: MarketReport | None = None) -> str:
         report = gate_run(quick=quick)
     failures = check_gate(report, quick=quick)
     stats = dict(report.replication_stats)
+    net = dict(report.network_stats)
     rows = [
         ["deals committed", report.committed],
+        ["replica crashes planned", len(report.fault_stats)],
         ["replica crashes injected", report.faults_injected],
         ["failovers", report.failovers],
         ["recoveries", report.recoveries],
         ["deltas replayed (catch-up)", stats.get("deltas_replayed", 0)],
         ["post-replay hash checks", stats.get("hash_checks", 0)],
         ["hash mismatches", stats.get("hash_mismatches", 0)],
+        ["replication msgs delivered", net.get("delivered", 0)],
+        ["replication msgs dropped (crash windows)",
+         net.get("dropped", 0) + net.get("filter_dropped", 0)],
         ["availability", f"{report.availability:.3%}"],
         ["sore losers (mixed timelock)", report.sore_losers],
         ["invariant violations", len(report.invariant_violations)],
@@ -254,9 +267,23 @@ def gate_table(quick: bool = False, report: MarketReport | None = None) -> str:
     )
 
 
-def make_report(jobs: int | None = None, quick: bool = False) -> str:
+def make_report(
+    jobs: int | None = None, quick: bool = False, trace: str | None = None
+) -> str:
+    telemetry = None
+    if trace is not None:
+        # Byte-neutral by contract: the gate run is traced, the report
+        # string stays identical, and the trace lands silently.
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    report = gate_run(quick=quick, telemetry=telemetry)
+    if telemetry is not None:
+        from repro.telemetry.export import write_trace_jsonl
+
+        write_trace_jsonl(telemetry, trace)
     return (
-        gate_table(quick=quick)
+        gate_table(quick=quick, report=report)
         + "\n"
         + fault_table(jobs=jobs, quick=quick)
     )
@@ -268,8 +295,22 @@ def main(argv: list[str]) -> int:
                         help="small fixed-seed sweep (smoke test)")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the sweep")
+    parser.add_argument("--trace", metavar="OUT", default=None,
+                        help="write a deal-lifecycle trace (JSONL) of the "
+                             "gate run; byte-neutral — report bytes and "
+                             "fingerprint are unchanged")
     args = parser.parse_args(argv)
-    report = gate_run(quick=args.quick)
+    telemetry = None
+    if args.trace is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    report = gate_run(quick=args.quick, telemetry=telemetry)
+    if telemetry is not None:
+        from repro.telemetry.export import write_trace_jsonl
+
+        records = write_trace_jsonl(telemetry, args.trace)
+        print(f"trace: {records} records -> {args.trace}")
     print(gate_table(quick=args.quick, report=report))
     print(fault_table(jobs=args.jobs, quick=args.quick))
     failures = check_gate(report, quick=args.quick)

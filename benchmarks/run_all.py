@@ -3,6 +3,7 @@
 Usage::
 
     python benchmarks/run_all.py [output-file] [--jobs N] [--quick]
+                                 [--shards M] [--trace PREFIX]
 
 Writes the concatenated paper-style tables for E1..E17 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
@@ -60,7 +61,10 @@ def _ensure_importable() -> None:
 
 
 def run_experiment(
-    item: tuple[str, str], quick: bool = False, shards: int = 1
+    item: tuple[str, str],
+    quick: bool = False,
+    shards: int = 1,
+    trace: str | None = None,
 ) -> tuple[str, str, str, float]:
     """Run one experiment; return (id, module, report, elapsed seconds)."""
     experiment_id, module_name = item
@@ -73,6 +77,8 @@ def run_experiment(
         kwargs["quick"] = True
     if shards > 1 and "shards" in parameters:
         kwargs["shards"] = shards
+    if trace is not None and "trace" in parameters:
+        kwargs["trace"] = f"{trace}.{experiment_id.lower()}.jsonl"
     report = module.make_report(**kwargs)
     return experiment_id, module_name, report, time.monotonic() - started
 
@@ -101,6 +107,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="coordinator shards for experiments that "
                              "support sharding (currently E16)")
+    parser.add_argument("--trace", metavar="PREFIX", default=None,
+                        help="write deal-lifecycle traces for experiments "
+                             "that support tracing (currently E16, E17) to "
+                             "PREFIX.<id>.jsonl; report bytes are unchanged")
     args = parser.parse_args(argv[1:])
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
@@ -120,7 +130,8 @@ def main(argv: list[str]) -> int:
 
     from functools import partial
 
-    runner = partial(run_experiment, quick=args.quick, shards=args.shards)
+    runner = partial(run_experiment, quick=args.quick, shards=args.shards,
+                     trace=args.trace)
     started = time.monotonic()
     if jobs > 1:
         method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None

@@ -30,15 +30,24 @@ class Event:
         """Return True if the event has ``name`` and the given fields.
 
         A condition on a field the event lacks never matches, even if
-        the expected value is ``None``.
+        the expected value is ``None``.  A callable condition acts as a
+        predicate: it is applied to the field value and must return
+        truthy (so ``matches("Vote", count=lambda n: n >= 2)`` filters
+        by threshold instead of equality).
         """
         if self.name != name:
             return False
         missing = object()
-        return all(
-            self.fields.get(key, missing) == value
-            for key, value in conditions.items()
-        )
+        for key, expected in conditions.items():
+            value = self.fields.get(key, missing)
+            if value is missing:
+                return False
+            if callable(expected):
+                if not expected(value):
+                    return False
+            elif value != expected:
+                return False
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging sugar
         inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())

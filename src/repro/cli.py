@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run --workload ring --n 6 --protocol cbc --f 2
     python -m repro gauntlet --deals 2
     python -m repro attack --alpha 0.3 --depths 0 1 2 4
+    python -m repro trace-summary trace.jsonl --top 5 --chrome out.json
 
 Exit status is 0 iff every property the run was supposed to satisfy
 held, so the CLI can gate CI jobs.
@@ -150,6 +151,21 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_trace_summary(args) -> int:
+    """Summarize a deal-lifecycle trace written by ``--trace``."""
+    from repro.telemetry.export import load_trace, summarize, write_chrome_trace
+
+    records = load_trace(args.file)
+    if not records:
+        print(f"no trace records in {args.file}")
+        return 1
+    print(summarize(records, top=args.top))
+    if args.chrome:
+        events = write_chrome_trace(records, args.chrome)
+        print(f"wrote {events} Chrome trace events to {args.chrome}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -183,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--depths", type=int, nargs="+", default=[0, 1, 2, 4])
     attack.add_argument("--trials", type=int, default=100)
     attack.set_defaults(func=cmd_attack)
+
+    trace = sub.add_parser(
+        "trace-summary",
+        help="summarize a deal-lifecycle trace (JSONL from --trace)",
+    )
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument("--top", type=int, default=5,
+                       help="slowest committed deals to detail")
+    trace.add_argument("--chrome", metavar="OUT", default=None,
+                       help="also convert to Chrome trace_event JSON "
+                            "(load in chrome://tracing or Perfetto)")
+    trace.set_defaults(func=cmd_trace_summary)
     return parser
 
 

@@ -207,6 +207,10 @@ class VerifyAggregator:
         self.max_blocks = max_blocks
         self._queue: list[tuple[list, object]] = []
         self._flush_scheduled = False
+        # Telemetry hook (repro.telemetry.Telemetry or None): flushes
+        # report their merge width and pair counts; strictly
+        # observational, one attribute check when off.
+        self.telemetry = None
         self.stats = {
             "flushes": 0,
             "batches": 0,
@@ -234,6 +238,10 @@ class VerifyAggregator:
         for start in range(0, len(queue), self.max_blocks):
             chunk = queue[start : start + self.max_blocks]
             batches = [items for items, _ in chunk]
+            if self.telemetry is not None:
+                self.telemetry.verify_flush(
+                    len(chunk), sum(len(items) for items in batches)
+                )
             if len(chunk) > 1:
                 self.stats["merged_flushes"] += 1
                 self.stats["merged_batches"] += len(chunk)

@@ -79,6 +79,7 @@ class StepMempool:
         max_txs_per_block: int = 512,
         on_order_rejected: Callable[[bytes], None] | None = None,
         aggregator=None,
+        telemetry=None,
     ):
         if max_txs_per_block <= 0:
             raise MarketError("max_txs_per_block must be positive")
@@ -92,6 +93,10 @@ class StepMempool:
         # boundary (one multi-exp for the whole market instant); with
         # no aggregator, seals verify synchronously.
         self.aggregator = aggregator
+        # Telemetry hook (repro.telemetry.Telemetry or None): seals
+        # report their occupancy and leftover depth; strictly
+        # observational, one attribute check when off.
+        self.telemetry = telemetry
         # Replication hook: when set and returning False, sealing is
         # deferred (the shard has no live leader).  The replication
         # layer calls :meth:`kick` when leadership resumes — the
@@ -145,13 +150,26 @@ class StepMempool:
     # ------------------------------------------------------------------
     def _seal(self) -> None:
         self._seal_scheduled = False
+        telemetry = self.telemetry
         if self.seal_gate is not None and not self.seal_gate():
             # Leaderless: hold every pending step until kick().
             self.stats["seals_deferred"] = self.stats.get("seals_deferred", 0) + 1
+            if telemetry is not None:
+                telemetry.mempool_gated(self.chain.chain_id)
             return
         batch = self._pending[: self.max_txs_per_block]
         self._pending = self._pending[self.max_txs_per_block:]
         self.stats["seals"] += 1
+        if telemetry is not None:
+            telemetry.mempool_seal(
+                self.chain.chain_id, len(batch), len(self._pending)
+            )
+            for step in batch:
+                if step.order is not None:
+                    telemetry.deal_event(
+                        step.deal_id, "seal-register",
+                        chain=self.chain.chain_id,
+                    )
 
         new_orders: dict[bytes, SignedDealOrder] = {}
         for step in batch:

@@ -122,10 +122,16 @@ class DealDriver:
                 self.deal_id,
             )
 
+    def _phase_change(self, phase: str, at: float) -> None:
+        telemetry = self.scheduler.telemetry
+        if telemetry is not None:
+            telemetry.deal_phase(self.run, phase, at)
+
     def _submit_transfers(self) -> None:
         from repro.market.scheduler import DealPhase
 
         self.run.phase = DealPhase.TRANSFER
+        self._phase_change("transfer", self.scheduler.simulator.now)
         if not self.spec.steps:
             self._start_voting()
             return
@@ -248,6 +254,7 @@ class TimelockDealDriver(DealDriver):
         from repro.market.scheduler import DealPhase
 
         self.run.phase = DealPhase.ESCROW
+        self._phase_change("escrow", receipt.executed_at)
         self.t0 = receipt.executed_at
         self._publish_escrows(
             lambda asset, name: TimelockEscrow(
@@ -272,6 +279,7 @@ class TimelockDealDriver(DealDriver):
         from repro.market.scheduler import DealPhase
 
         self.run.phase = DealPhase.VOTING
+        self._phase_change("voting", self.scheduler.simulator.now)
         scheduler = self.scheduler
         for party in self.run.order.voters():
             # A direct vote: path length 1, deadline t0 + Δ.  The
@@ -322,6 +330,11 @@ class TimelockDealDriver(DealDriver):
             self.run.reason = "deadline"
         scheduler = self.scheduler
         scheduler.stats["timelock_refund_sweeps"] += 1
+        telemetry = scheduler.telemetry
+        if telemetry is not None:
+            telemetry.deal_event(
+                self.deal_id, "refund-sweep", deadline=self.terminal_deadline
+            )
         for asset in self.spec.assets:
             name = self.escrow_names[asset.asset_id]
             contract = scheduler.chains[asset.chain_id].contract(name)
@@ -354,6 +367,7 @@ class CbcDealDriver(DealDriver):
         from repro.market.scheduler import DealPhase
 
         self.run.phase = DealPhase.ESCROW
+        self._phase_change("escrow", receipt.executed_at)
         cbc = self.cbc = self.scheduler.ensure_cbc(self.run.home_shard)
         opener = self.spec.parties[0]
         entry = LogEntry(
@@ -404,6 +418,7 @@ class CbcDealDriver(DealDriver):
 
         self.run.decided = outcome
         self.run.phase = DealPhase.SETTLING
+        self._phase_change("settling", self.scheduler.simulator.now)
         certificate = self.cbc.status_certificate(self.deal_id)
         proof = StatusProof(certificate=certificate)
         for asset in self.spec.assets:
@@ -432,6 +447,7 @@ class CbcDealDriver(DealDriver):
         from repro.market.scheduler import DealPhase
 
         self.run.phase = DealPhase.VOTING
+        self._phase_change("voting", self.scheduler.simulator.now)
         for party in self.run.order.voters():
             self._vote(party, "commit")
         for forger in self.run.order.stale_proof:

@@ -145,6 +145,9 @@ class ReplicationLayer:
         self.simulator = scheduler.simulator
         self.factor = factor
         self.failover_timeout = failover_timeout
+        # Telemetry hook: crash/recover/failover spans and delta-ship
+        # events ride the run's tracer.  Observational only.
+        self.telemetry = getattr(scheduler, "telemetry", None)
         # A dedicated network with its own seeded stream: replication
         # traffic must not perturb the market's latency draws.
         self.network = SynchronousNetwork(
@@ -232,6 +235,8 @@ class ReplicationLayer:
                     ("delta", chain.chain_id, seq, delta),
                 )
                 self.counters["deltas_shipped"] += 1
+                if self.telemetry is not None:
+                    self.telemetry.delta_shipped(shard, chain.chain_id, seq)
         # With no live leader nothing ships: followers heal from the
         # group log at failover/recovery time (anti-entropy).
 
@@ -315,6 +320,8 @@ class ReplicationLayer:
             return
         replica.alive = False
         self.counters["crashes"] += 1
+        if self.telemetry is not None:
+            self.telemetry.replica_crashed(name, replica.shard)
         # Sealed blocks are persisted before acknowledgement, so the
         # durable snapshot is exactly what the replica had applied.
         replica.disk = (replica.copy_state(), dict(replica.applied))
@@ -343,7 +350,9 @@ class ReplicationLayer:
             replica.applied = dict(applied)
             self.counters["snapshots_restored"] += 1
         replica.alive = True
-        self._catch_up(replica)
+        replayed = self._catch_up(replica)
+        if self.telemetry is not None:
+            self.telemetry.replica_recovered(name, replica.shard, replayed)
         self._verify_replica(replica, context="post-recovery")
         group = self.groups[replica.shard]
         if not group.sealing_open and not group.election_pending:
@@ -359,6 +368,8 @@ class ReplicationLayer:
         group.leader = None
         if group.down_since is None:
             group.down_since = self.simulator.now
+            if self.telemetry is not None:
+                self.telemetry.leader_lost(group.shard)
         if not group.election_pending:
             group.election_pending = True
             self.simulator.schedule(
@@ -382,6 +393,8 @@ class ReplicationLayer:
             return  # fully down; the next recovery re-elects
         group.leader = candidate.name
         self.counters["failovers"] += 1
+        if self.telemetry is not None:
+            self.telemetry.leader_elected(group.shard, candidate.name)
         # The new leader must own every sealed block before it seals
         # new ones on top.
         self._catch_up(candidate)

@@ -202,6 +202,13 @@ class MarketConfig:
     replication_delta: float = 0.4
     # Detection delay before a crashed leader's shard fails over.
     failover_timeout: float = 2.0
+    # A repro.telemetry.Telemetry instance (one per run), or None.
+    # Telemetry is strictly observational — it draws no randomness,
+    # schedules no events, and mutates no market state — so report
+    # bytes are identical either way; every instrumentation site in
+    # the runtime guards on ``telemetry is not None`` (one attribute
+    # check on the off path).
+    telemetry: object | None = None
 
 
 @dataclass
@@ -256,6 +263,13 @@ class MarketReport:
     failovers: int = 0
     availability: float = 1.0
     replication_stats: tuple = ()
+    # Fault/network observability (rendered inside the same gated
+    # block): per-fault rows from FaultPlan.stats() — each a tuple of
+    # sorted (name, value) items — and the replication network's
+    # delivery counters.  Empty on fault-free unreplicated runs, so
+    # those reports keep their exact bytes.
+    fault_stats: tuple = ()
+    network_stats: tuple = ()
     # §5 sore losers: timelock deals whose escrows settled mixed
     # (released here, deadline-refunded there) because crash faults
     # gated sealing mid-deal.  Always 0 in fault-free runs, where a
@@ -359,6 +373,32 @@ class MarketReport:
                 ["availability", f"{self.availability:.3%}"],
                 ["sore losers (mixed timelock)", self.sore_losers],
             ]
+            if self.network_stats:
+                net = dict(self.network_stats)
+                rows += [
+                    ["replication msgs delivered", net.get("delivered", 0)],
+                    ["replication msgs dropped", net.get("dropped", 0)],
+                    ["replication msgs delayed (faults)",
+                     net.get("filter_delayed", 0)],
+                ]
+            if self.fault_stats:
+                fired = dropped = 0
+                kinds: dict[str, int] = {}
+                for row in self.fault_stats:
+                    record = dict(row)
+                    kind = record.get("kind", "?")
+                    kinds[kind] = kinds.get(kind, 0) + 1
+                    fired += record.get("crashes_fired", 0)
+                    fired += record.get("recoveries_fired", 0)
+                    dropped += record.get("dropped", 0)
+                plan = ", ".join(
+                    f"{kind} x{count}" for kind, count in sorted(kinds.items())
+                )
+                rows += [
+                    ["fault plan", plan],
+                    ["fault firings (crash+recover)", fired],
+                    ["fault msg drops", dropped],
+                ]
         rows += [
             ["blocks produced", self.blocks],
             ["transactions executed", self.txs_executed],
@@ -392,6 +432,7 @@ class DealScheduler:
     def __init__(self, workload, config: MarketConfig | None = None):
         self.workload = workload
         self.config = config or MarketConfig()
+        self.telemetry = self.config.telemetry
         self.simulator = Simulator()
         self.wallet = Wallet()
         self.coordinator = KeyPair.from_label(f"market-coordinator/{workload.seed}")
@@ -433,6 +474,8 @@ class DealScheduler:
             if self.config.verify_aggregation
             else None
         )
+        if self.verify_aggregator is not None:
+            self.verify_aggregator.telemetry = self.telemetry
         # Protocol-safety breaches observed directly by the drivers
         # (e.g. a stale proof accepted) — merged into the report's
         # invariant violations.
@@ -486,6 +529,7 @@ class DealScheduler:
                 max_txs_per_block=self.config.max_txs_per_block,
                 on_order_rejected=self._on_order_rejected,
                 aggregator=self.verify_aggregator,
+                telemetry=self.telemetry,
             )
             chain.subscribe(self._on_block)
         self.coordinator_chain_id = workload.chain_ids[0]
@@ -526,6 +570,11 @@ class DealScheduler:
             if plan is not None:
                 plan.install(self.replication.network)
                 plan.install_processes(self.replication)
+        # Telemetry attaches last so the BlockTap's chain subscriptions
+        # run after the scheduler's own (observer order is registration
+        # order — the tap reads what the phase engine already routed).
+        if self.telemetry is not None:
+            self.telemetry.attach(self)
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -618,6 +667,8 @@ class DealScheduler:
         )
         if self.replication is not None:
             self.replication.finish(self.simulator.now)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self)
         return self._report()
 
     def _admit(self, order: SignedDealOrder) -> None:
@@ -637,10 +688,15 @@ class DealScheduler:
         touched.add(run.home_shard)
         run.cross_shard = len(touched) > 1
         self.runs[deal_id] = run
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.deal_admitted(run, self.simulator.now)
         if not self._admissible(spec):
             run.phase = DealPhase.REJECTED
             run.reason = "malformed"
             run.finished_at = self.simulator.now
+            if telemetry is not None:
+                telemetry.deal_finished(run, run.finished_at)
             return
         if spec.protocol == PROTOCOL_TIMELOCK:
             run.driver = TimelockDealDriver(self, run)
@@ -798,6 +854,8 @@ class DealScheduler:
             run.driver.on_registered(receipt)
             return
         run.phase = DealPhase.ESCROW
+        if self.telemetry is not None:
+            self.telemetry.deal_phase(run, "escrow", receipt.executed_at)
         spec = run.order.spec
         for asset in spec.assets:
             if asset.owner in run.order.no_show:
@@ -836,6 +894,8 @@ class DealScheduler:
         run.opens_done += 1
         if run.phase is DealPhase.ESCROW and run.opens_done == run.opens_expected:
             run.phase = DealPhase.TRANSFER
+            if self.telemetry is not None:
+                self.telemetry.deal_phase(run, "transfer", receipt.executed_at)
             if run.transfers_expected == 0:
                 self._start_voting(run)
             else:
@@ -878,6 +938,8 @@ class DealScheduler:
 
     def _start_voting(self, run: _DealRun) -> None:
         run.phase = DealPhase.VOTING
+        if self.telemetry is not None:
+            self.telemetry.deal_phase(run, "voting", self.simulator.now)
         deal_id = run.order.deal_id
         for party in run.order.voters():
             self._home_mempool(run.home_shard).submit(
@@ -937,6 +999,8 @@ class DealScheduler:
             return
         run.decided = outcome
         run.phase = DealPhase.SETTLING
+        if self.telemetry is not None:
+            self.telemetry.deal_phase(run, "settling", at)
         method = "commit" if outcome == "commit" else "abort"
         for chain_id in run.claim_chains:
             self.mempools[chain_id].submit(
@@ -984,6 +1048,8 @@ class DealScheduler:
         if run.patience_handle is not None:
             run.patience_handle.cancel()
             run.patience_handle = None
+        if self.telemetry is not None:
+            self.telemetry.deal_finished(run, at)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -1103,6 +1169,20 @@ class DealScheduler:
             ),
             replication_stats=tuple(
                 sorted(self.replication.stats().items())
+                if self.replication is not None
+                else ()
+            ),
+            fault_stats=tuple(
+                tuple(sorted(row.items()))
+                for row in (
+                    self.config.fault_plan.stats()
+                    if self.config.fault_plan is not None
+                    and getattr(self.config.fault_plan, "faults", ())
+                    else ()
+                )
+            ),
+            network_stats=tuple(
+                sorted(self.replication.network.stats.items())
                 if self.replication is not None
                 else ()
             ),

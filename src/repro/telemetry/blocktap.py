@@ -1,0 +1,147 @@
+"""Read-only live analytics over the sealed block/event stream.
+
+:class:`BlockTap` is the miniature HTAP plane the ROADMAP names: it
+subscribes to every market chain's block notifications *after* the
+scheduler's own observer (:meth:`repro.chain.ledger.Chain.subscribe`
+runs observers in registration order), ingests sealed blocks and their
+contract events into columnar arrays, and answers windowed queries
+mid-run — sliding-window commit rate, per-shard conflict hot-spots,
+commit-latency percentiles by protocol — without perturbing a single
+market byte.  The tap never mutates chain or scheduler state, draws no
+randomness, and schedules no simulator events; it is an observer in
+the strictest sense, so telemetry-on runs stay byte-identical to
+telemetry-off.
+
+The one scheduler-side nudge it accepts is :meth:`note_deal` (called
+at admission), because a deal's protocol is an order attribute that
+never appears on-chain; everything else is derived from the
+``DealRegistered`` / ``DealDecided`` events the commit logs emit and
+the receipts in each sealed block.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import _percentile
+
+# Receipt methods whose reverts mean an escrow-funding race was lost —
+# the market's contention signal (book opens and per-deal deposits).
+_CONFLICT_METHODS = ("open", "deposit")
+
+
+class BlockTap:
+    """Columnar ingest of sealed blocks plus windowed queries."""
+
+    def __init__(self, scheduler):
+        self.chain_shard = dict(scheduler.chain_shard)
+        # Block columns (one row per sealed block on any market chain).
+        self.block_times: list[float] = []
+        self.block_chains: list[str] = []
+        self.block_shards: list[int] = []
+        self.block_txs: list[int] = []
+        self.block_reverted: list[int] = []
+        # Decision columns (one row per DealDecided event).
+        self.decided_times: list[float] = []
+        self.decided_outcomes: list[str] = []
+        self.decided_shards: list[int] = []
+        self.decided_deals: list[bytes] = []
+        # Per-deal registration times and protocols (for latency joins).
+        self.registered_at: dict[bytes, float] = {}
+        self.protocols: dict[bytes, str] = {}
+        # Per-shard counts of lost escrow-funding races.
+        self.conflicts_by_shard: dict[int, int] = {}
+        for chain in scheduler.chains.values():
+            chain.subscribe(self.on_block)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def note_deal(self, deal_id: bytes, protocol: str) -> None:
+        """Record a deal's protocol (an off-chain order attribute)."""
+        self.protocols[deal_id] = protocol
+
+    def on_block(self, chain, block) -> None:
+        """Ingest one sealed block into the columnar arrays."""
+        shard = self.chain_shard.get(chain.chain_id, 0)
+        reverted = 0
+        for receipt in block.receipts:
+            if not receipt.ok:
+                reverted += 1
+                if receipt.tx.method in _CONFLICT_METHODS:
+                    self.conflicts_by_shard[shard] = (
+                        self.conflicts_by_shard.get(shard, 0) + 1
+                    )
+            for event in receipt.events:
+                if event.name == "DealRegistered":
+                    deal_id = event.fields.get("deal_id")
+                    if deal_id not in self.registered_at:
+                        self.registered_at[deal_id] = receipt.executed_at
+                elif event.name == "DealDecided":
+                    self.decided_times.append(receipt.executed_at)
+                    self.decided_outcomes.append(event.fields.get("outcome"))
+                    self.decided_shards.append(shard)
+                    self.decided_deals.append(event.fields.get("deal_id"))
+        self.block_times.append(block.header.timestamp)
+        self.block_chains.append(chain.chain_id)
+        self.block_shards.append(shard)
+        self.block_txs.append(len(block.receipts))
+        self.block_reverted.append(reverted)
+
+    # ------------------------------------------------------------------
+    # Windowed queries (answerable mid-run)
+    # ------------------------------------------------------------------
+    def commit_rate(self, window: float, now: float) -> float:
+        """Commit decisions per tick over ``[now - window, now]``."""
+        if window <= 0:
+            return 0.0
+        lo = now - window
+        commits = sum(
+            1
+            for at, outcome in zip(self.decided_times, self.decided_outcomes)
+            if outcome == "commit" and lo < at <= now
+        )
+        return commits / window
+
+    def conflict_hotspots(self) -> list[tuple[int, int]]:
+        """(shard, lost-escrow-races) rows, hottest shard first."""
+        return sorted(
+            self.conflicts_by_shard.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+
+    def latency_percentiles(
+        self, qs: tuple[float, ...] = (0.50, 0.90, 0.99)
+    ) -> dict[str, dict[str, float]]:
+        """Register→decide commit latency percentiles, per protocol."""
+        by_protocol: dict[str, list[float]] = {}
+        for at, outcome, deal_id in zip(
+            self.decided_times, self.decided_outcomes, self.decided_deals
+        ):
+            if outcome != "commit":
+                continue
+            registered = self.registered_at.get(deal_id)
+            if registered is None:
+                continue
+            protocol = self.protocols.get(deal_id, "?")
+            by_protocol.setdefault(protocol, []).append(at - registered)
+        return {
+            protocol: {
+                f"p{int(q * 100)}": _percentile(sorted(values), q) for q in qs
+            }
+            for protocol, values in sorted(by_protocol.items())
+        }
+
+    def summary(self) -> dict:
+        """A deterministic roll-up of the ingested stream (for export)."""
+        decided = len(self.decided_times)
+        commits = sum(1 for o in self.decided_outcomes if o == "commit")
+        return {
+            "blocks_ingested": len(self.block_times),
+            "txs_ingested": sum(self.block_txs),
+            "txs_reverted": sum(self.block_reverted),
+            "deals_registered": len(self.registered_at),
+            "deals_decided": decided,
+            "deals_committed": commits,
+            "conflict_hotspots": [
+                list(row) for row in self.conflict_hotspots()
+            ],
+            "latency_percentiles": self.latency_percentiles(),
+        }

@@ -1,0 +1,76 @@
+"""Counter/gauge/histogram registry for the market's telemetry plane.
+
+All instruments are plain deterministic accumulators over simulation
+quantities — there is no sampling, no wall clock, and no randomness —
+so a seeded run produces a byte-identical metrics snapshot every time.
+
+Histograms keep their raw observations (market runs observe a few
+thousand values at most) so the exported summary can report exact
+nearest-rank percentiles instead of bucket approximations.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms."""
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to a histogram."""
+        self.histograms.setdefault(name, []).append(value)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def histogram_summary(self, name: str) -> dict:
+        """count/sum/min/max plus exact p50/p90/p99 for one histogram."""
+        values = sorted(self.histograms.get(name, ()))
+        if not values:
+            return {"count": 0, "sum": 0, "min": 0, "max": 0,
+                    "p50": 0, "p90": 0, "p99": 0}
+        return {
+            "count": len(values),
+            "sum": sum(values),
+            "min": values[0],
+            "max": values[-1],
+            "p50": _percentile(values, 0.50),
+            "p90": _percentile(values, 0.90),
+            "p99": _percentile(values, 0.99),
+        }
+
+    def snapshot(self) -> dict:
+        """Every instrument's state, sorted by name (deterministic)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: self.histogram_summary(name)
+                for name in sorted(self.histograms)
+            },
+        }

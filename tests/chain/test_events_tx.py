@@ -23,6 +23,37 @@ class TestEvent:
         assert not event.matches("Ping", a=2)
         assert not event.matches("Ping", missing=None)
 
+    def test_matches_missing_key_never_matches(self):
+        event = Event("c", "Ping", {"a": None})
+        # A condition on an absent field never matches, even for None
+        # or an accept-everything predicate.
+        assert event.matches("Ping", a=None)
+        assert not event.matches("Ping", b=None)
+        assert not event.matches("Ping", b=lambda value: True)
+
+    def test_matches_callable_conditions(self):
+        event = Event("c", "Vote", {"count": 3, "voter": "alice"})
+        assert event.matches("Vote", count=lambda n: n >= 2)
+        assert not event.matches("Vote", count=lambda n: n >= 5)
+        assert event.matches(
+            "Vote", count=lambda n: n >= 2, voter="alice"
+        )
+        assert not event.matches(
+            "Vote", count=lambda n: n >= 2, voter="bob"
+        )
+
+    def test_matches_does_not_mutate_payload(self):
+        payload = {"items": (1, 2)}
+        event = Event("c", "Ping", payload)
+        seen = []
+        event.matches("Ping", items=lambda value: seen.append(value) or True)
+        assert seen == [(1, 2)]
+        assert dict(event.fields) == {"items": (1, 2)}
+        # The event froze a copy: mutating the caller's dict afterwards
+        # never changes what matches() sees.
+        payload["items"] = (9,)
+        assert event.matches("Ping", items=(1, 2))
+
     def test_repr_contains_fields(self):
         event = Event("c", "Ping", {"a": 1})
         assert "Ping" in repr(event)
