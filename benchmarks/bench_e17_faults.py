@@ -42,7 +42,7 @@ from dataclasses import replace
 from functools import partial
 
 from repro.analysis.tables import render_table
-from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
+from repro.market import MarketConfig, MarketReport, open_market
 from repro.sim.faults import FaultPlan, ReplicaCrash
 from repro.sim.rng import DeterministicRng
 from repro.workloads.market import MarketProfile, MarketWorkload
@@ -124,7 +124,7 @@ def fault_point(
     span = profile.deals / profile.arrival_rate
     plan = crash_schedule(profile.shards, factor, crashes, span, profile.seed)
     config = MarketConfig(replication_factor=factor, fault_plan=plan)
-    report = DealScheduler(MarketWorkload(profile), config).run()
+    report = open_market(MarketWorkload(profile), config).run()
     stats = dict(report.replication_stats)
     return {
         "factor": factor,
@@ -208,7 +208,7 @@ def gate_run(quick: bool = False, telemetry=None) -> MarketReport:
     config = MarketConfig(
         replication_factor=3, fault_plan=plan, telemetry=telemetry
     )
-    return DealScheduler(MarketWorkload(profile), config).run()
+    return open_market(MarketWorkload(profile), config).run()
 
 
 def check_gate(report: MarketReport, quick: bool = False) -> list[str]:

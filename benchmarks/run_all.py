@@ -4,6 +4,7 @@ Usage::
 
     python benchmarks/run_all.py [output-file] [--jobs N] [--quick]
                                  [--shards M] [--trace PREFIX]
+                                 [--exec {inline,processes}]
 
 Writes the concatenated paper-style tables for E1..E17 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
@@ -19,6 +20,17 @@ A per-experiment timing summary is printed at the end either way
 E16 and E17) so CI's determinism gate — serial vs ``--jobs 2``
 reports must be byte-identical — stays cheap.  Quick reports are only
 comparable to other quick reports.
+
+``--exec processes`` runs experiments that support an execution
+backend (currently E16) with one worker process per shard; reports
+stay byte-identical to ``--exec inline`` (CI cmp's the two).  Use
+``--jobs 1`` with it — inside a pool worker the backend falls back
+to inline anyway (daemonic processes cannot fork).
+
+``--trace PREFIX`` writes each tracing experiment's deal-lifecycle
+trace to its own ``PREFIX.<id>.jsonl`` (concurrent ``--jobs`` workers
+would race on a single shared path) and then merges them, in
+experiment order, into ``PREFIX.jsonl``.
 """
 
 from __future__ import annotations
@@ -60,11 +72,18 @@ def _ensure_importable() -> None:
         sys.path.insert(0, _BENCH_DIR)
 
 
+def trace_path(trace: str, experiment_id: str) -> str:
+    """Per-experiment trace file: keyed by id so concurrent ``--jobs``
+    workers never write the same path."""
+    return f"{trace}.{experiment_id.lower()}.jsonl"
+
+
 def run_experiment(
     item: tuple[str, str],
     quick: bool = False,
     shards: int = 1,
     trace: str | None = None,
+    exec_backend: str = "inline",
 ) -> tuple[str, str, str, float]:
     """Run one experiment; return (id, module, report, elapsed seconds)."""
     experiment_id, module_name = item
@@ -78,9 +97,33 @@ def run_experiment(
     if shards > 1 and "shards" in parameters:
         kwargs["shards"] = shards
     if trace is not None and "trace" in parameters:
-        kwargs["trace"] = f"{trace}.{experiment_id.lower()}.jsonl"
+        kwargs["trace"] = trace_path(trace, experiment_id)
+    if exec_backend != "inline" and "exec_backend" in parameters:
+        kwargs["exec_backend"] = exec_backend
     report = module.make_report(**kwargs)
     return experiment_id, module_name, report, time.monotonic() - started
+
+
+def merge_traces(trace: str) -> str | None:
+    """Concatenate the per-experiment trace files into ``trace``.jsonl.
+
+    Runs after every worker has finished, in EXPERIMENTS order, so the
+    merged file is deterministic whatever the job count.  Returns the
+    merged path, or None when no experiment produced a trace.
+    """
+    merged = f"{trace}.jsonl"
+    parts = [
+        trace_path(trace, experiment_id)
+        for experiment_id, _ in EXPERIMENTS
+        if os.path.exists(trace_path(trace, experiment_id))
+    ]
+    if not parts:
+        return None
+    with open(merged, "w", encoding="utf-8") as out:
+        for part in parts:
+            with open(part, "r", encoding="utf-8") as handle:
+                out.write(handle.read())
+    return merged
 
 
 def _timing_table(results: list[tuple[str, str, str, float]], wall: float) -> str:
@@ -110,8 +153,18 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--trace", metavar="PREFIX", default=None,
                         help="write deal-lifecycle traces for experiments "
                              "that support tracing (currently E16, E17) to "
-                             "PREFIX.<id>.jsonl; report bytes are unchanged")
+                             "PREFIX.<id>.jsonl, then merge them into "
+                             "PREFIX.jsonl; report bytes are unchanged")
+    parser.add_argument("--exec", dest="exec_backend", default="inline",
+                        choices=("inline", "processes"),
+                        help="execution backend for experiments that "
+                             "support one (currently E16); reports are "
+                             "byte-identical either way")
     args = parser.parse_args(argv[1:])
+
+    identifiers = [experiment_id for experiment_id, _ in EXPERIMENTS]
+    assert len(set(identifiers)) == len(identifiers), \
+        "experiment ids must be unique (trace files are keyed by id)"
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     jobs = min(jobs, len(EXPERIMENTS))
@@ -131,7 +184,7 @@ def main(argv: list[str]) -> int:
     from functools import partial
 
     runner = partial(run_experiment, quick=args.quick, shards=args.shards,
-                     trace=args.trace)
+                     trace=args.trace, exec_backend=args.exec_backend)
     started = time.monotonic()
     if jobs > 1:
         method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -143,6 +196,11 @@ def main(argv: list[str]) -> int:
     wall = time.monotonic() - started
 
     print(_timing_table(results, wall))
+
+    if args.trace:
+        merged = merge_traces(args.trace)
+        if merged:
+            print(f"merged traces into {merged}")
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

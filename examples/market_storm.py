@@ -18,14 +18,13 @@ double-spent escrow, uniform outcomes across chains.
 Run:  python examples/market_storm.py
 """
 
-from repro.market.scheduler import DealScheduler
+from repro.market import open_market
 from repro.workloads.market import MarketProfile, MarketWorkload
 
 
 def run(title: str, profile: MarketProfile) -> None:
     workload = MarketWorkload(profile)
-    scheduler = DealScheduler(workload)
-    report = scheduler.run()
+    report = open_market(workload).run()
     print(f"--- {title} ---")
     print(report.render())
     assert report.stuck == 0

@@ -27,13 +27,20 @@ space.  This package is the runtime for that regime:
   of *its* deals exactly once (first decision wins, commit xor
   abort); :func:`~repro.market.order.shard_of_deal` names every
   deal's home shard and the log enforces the routing on-chain.
-* :mod:`repro.market.scheduler` — the
-  :class:`~repro.market.scheduler.DealScheduler` drives N interleaved
-  deal state machines through escrow → transfer → vote → settle
-  against the simulated clock, detects escrow conflicts (two deals
-  drawing on the same account: the first open wins, the loser aborts
-  and is refunded), and reports throughput, chain-time latency
-  percentiles, and abort rates.
+* :mod:`repro.market.runtime` / :mod:`repro.market.messages` — the
+  market runtime: a thin
+  :class:`~repro.market.runtime.MarketCoordinator` drives N
+  interleaved deal state machines through escrow → transfer → vote →
+  settle against the simulated clock, detects escrow conflicts (two
+  deals drawing on the same account: the first open wins, the loser
+  aborts and is refunded), and reports throughput, chain-time latency
+  percentiles, and abort rates — while every shard's chains, mempools
+  and commit log live in that shard's
+  :class:`~repro.market.runtime.ShardRuntime`, reached only through
+  typed message envelopes.  :func:`open_market` is the entry point and
+  picks the execution backend (``inline`` or one worker process per
+  shard); the old ``DealScheduler`` name survives in
+  :mod:`repro.market.scheduler` as a deprecation shim.
 * :mod:`repro.market.invariants` — conservation checks: token supply
   is constant across any interleaving, the book's internal ledger
   exactly backs its token holdings, no escrowed asset is double-spent,
@@ -53,10 +60,22 @@ from repro.market.order import (
     shard_of_deal,
     sign_order,
 )
-from repro.market.scheduler import DealScheduler, MarketConfig, MarketReport
+from repro.market.runtime import (
+    DealPhase,
+    MarketConfig,
+    MarketCoordinator,
+    MarketHandle,
+    MarketReport,
+    open_market,
+)
+from repro.market.scheduler import DealScheduler
 
 __all__ = [
+    "open_market",
+    "MarketHandle",
+    "MarketCoordinator",
     "DealScheduler",
+    "DealPhase",
     "MarketConfig",
     "MarketReport",
     "MarketEscrowBook",

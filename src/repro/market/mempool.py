@@ -80,6 +80,7 @@ class StepMempool:
         on_order_rejected: Callable[[bytes], None] | None = None,
         aggregator=None,
         telemetry=None,
+        verify_service=None,
     ):
         if max_txs_per_block <= 0:
             raise MarketError("max_txs_per_block must be positive")
@@ -93,6 +94,13 @@ class StepMempool:
         # boundary (one multi-exp for the whole market instant); with
         # no aggregator, seals verify synchronously.
         self.aggregator = aggregator
+        # The market runtime routes per-seal batches through its
+        # VerifyService instead (a SealBatch message keyed
+        # (chain_id, seq), so the processes backend can partition the
+        # verification work); when set it supersedes ``aggregator``,
+        # which the service itself may still feed.  Standalone
+        # mempools (tests, single-chain tools) keep the direct paths.
+        self.verify_service = verify_service
         # Telemetry hook (repro.telemetry.Telemetry or None): seals
         # report their occupancy and leftover depth; strictly
         # observational, one attribute check when off.
@@ -236,7 +244,9 @@ class StepMempool:
                     )
             self._dispatch(batch)
 
-        if self.aggregator is None:
+        if self.verify_service is not None:
+            self.verify_service.submit(self.chain.chain_id, merged, settle)
+        elif self.aggregator is None:
             settle(schnorr_batch_verify(merged))
         else:
             self.aggregator.enqueue(merged, settle)

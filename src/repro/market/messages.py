@@ -1,0 +1,166 @@
+"""The typed messages of the shard-runtime API.
+
+The market coordinator and its per-shard
+:class:`~repro.market.runtime.ShardRuntime`\\ s communicate *only*
+through the frozen payload types below, wrapped in the uniform
+:class:`~repro.sim.network.Envelope` (sender, shard, tick, payload)
+and carried by a :class:`~repro.sim.network.LocalBus` (inline
+backend) or replayed identically inside every worker of the
+``processes`` backend.  Each type names one protocol edge:
+
+* :class:`SubmitOrder` — coordinator → home shard: register a signed
+  deal order on the shard's commit log (the runtime builds the
+  on-chain registration transaction itself).
+* :class:`CrossShardEscrowOp` — coordinator → asset shard: publish a
+  per-deal escrow contract or submit one escrow step (``open``,
+  ``approve``, ``deposit``, ``transfer``, ``refund``, ``claim``) to
+  the asset chain's mempool.
+* :class:`VoteFanout` — coordinator → shard: a commit-log vote or
+  abort mark on the deal's home shard, or a §5 path-signature vote
+  fanned to a timelock escrow's chain.
+* :class:`DealDecided` — coordinator → asset shard: the home commit
+  log decided; claim (commit/abort) the deal's book escrows on one
+  chain.
+* :class:`SealBatch` / :class:`SealVerdict` — shard → verify service
+  and back: one sealed block's merged order-signature batch, keyed
+  ``(chain_id, seq)`` so the ``processes`` backend can partition the
+  actual verification work across workers and exchange verdicts.
+* :class:`BlockReceipts` — shard → coordinator: one sealed block's
+  receipts, which the coordinator's phase engine routes to deal state
+  machines.
+* :class:`DeltaShipment` / :class:`DeltaAck` — replication plane:
+  sealed-block write-set shipping leader → follower and the
+  follower's sequence acknowledgement (these two ride the dedicated
+  replication :class:`~repro.sim.network.SynchronousNetwork`, not the
+  bus, but share the Envelope wrapper so network fault stats cover
+  them uniformly).
+* :class:`TelemetrySpan` — worker 0 → parent process: the run's
+  telemetry export, shipped once at quiescence by the ``processes``
+  backend (inline runs never serialize telemetry).
+
+Every type is a frozen dataclass of picklable fields; nothing here
+imports the runtime, so the vocabulary is dependency-free and safe to
+unpickle in a bare worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.network import Envelope
+
+__all__ = [
+    "Envelope",
+    "SubmitOrder",
+    "CrossShardEscrowOp",
+    "VoteFanout",
+    "DealDecided",
+    "SealBatch",
+    "SealVerdict",
+    "BlockReceipts",
+    "DeltaShipment",
+    "DeltaAck",
+    "TelemetrySpan",
+]
+
+
+@dataclass(frozen=True)
+class SubmitOrder:
+    """Register a signed order on its home shard's commit log."""
+
+    deal_id: bytes
+    order: object  # SignedDealOrder
+
+
+@dataclass(frozen=True)
+class CrossShardEscrowOp:
+    """One escrow-plane operation on an asset chain.
+
+    ``op == "publish"`` carries the per-deal escrow ``contract`` to
+    publish; every other op carries the ready-signed transaction
+    ``tx`` for the chain's mempool.
+    """
+
+    deal_id: bytes
+    chain_id: str
+    op: str
+    tx: object | None = None  # Transaction
+    contract: object | None = None  # Contract (publish only)
+    asset_id: str = ""
+
+
+@dataclass(frozen=True)
+class VoteFanout:
+    """A vote (or abort mark) fanned out to one chain's mempool."""
+
+    deal_id: bytes
+    chain_id: str
+    tx: object  # Transaction
+
+
+@dataclass(frozen=True)
+class DealDecided:
+    """The home log decided: claim the deal's book escrows on a chain."""
+
+    deal_id: bytes
+    chain_id: str
+    method: str  # "commit" | "abort"
+
+
+@dataclass(frozen=True)
+class SealBatch:
+    """One sealed block's merged order-signature batch.
+
+    ``items`` are ``(public_key, message, signature)`` triples; the
+    ``(chain_id, seq)`` key is assigned per chain in seal order, so
+    every execution backend agrees on which worker owns the batch and
+    which verdict belongs to it.
+    """
+
+    chain_id: str
+    seq: int
+    items: tuple
+
+
+@dataclass(frozen=True)
+class SealVerdict:
+    """The verify service's answer to one :class:`SealBatch`."""
+
+    chain_id: str
+    seq: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class BlockReceipts:
+    """One sealed block's receipts, for the coordinator's phase engine."""
+
+    chain_id: str
+    height: int
+    receipts: tuple
+
+
+@dataclass(frozen=True)
+class DeltaShipment:
+    """A sealed block's write-set, shipped leader → follower."""
+
+    chain_id: str
+    seq: int
+    delta: object  # repro.chain.ledger.StateDelta
+
+
+@dataclass(frozen=True)
+class DeltaAck:
+    """A follower's highest-applied sequence acknowledgement."""
+
+    follower: str
+    chain_id: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class TelemetrySpan:
+    """A telemetry export shipped across the process boundary."""
+
+    kind: str
+    payload: object

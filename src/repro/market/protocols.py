@@ -67,13 +67,23 @@ from repro.crypto.hashing import hash_concat
 from repro.crypto.pathsig import sign_vote
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.market.scheduler import DealScheduler, _DealRun
+    from repro.market.runtime import MarketCoordinator, _DealRun
 
 
 class DealDriver:
-    """Shared machinery: per-deal escrow contracts behind the mempools."""
+    """Shared machinery: per-deal escrow contracts behind the mempools.
 
-    def __init__(self, scheduler: "DealScheduler", run: "_DealRun"):
+    Drivers never touch a shard's mempool directly: every escrow step
+    and vote goes through the coordinator's typed submit methods
+    (:meth:`~repro.market.runtime.MarketCoordinator.submit_escrow_op`,
+    :meth:`~repro.market.runtime.MarketCoordinator.submit_vote`), which
+    route it over the shard bus to the owning
+    :class:`~repro.market.runtime.ShardRuntime`.  Chain *reads* (escrow
+    state peeks for sweeps and invariants) stay direct — they are
+    observations, not market traffic.
+    """
+
+    def __init__(self, scheduler: "MarketCoordinator", run: "_DealRun"):
         self.scheduler = scheduler
         self.run = run
         self.spec = run.order.spec
@@ -105,21 +115,24 @@ class DealDriver:
             self.escrow_names[asset.asset_id] = name
             if asset.owner in self.run.order.no_show:
                 continue  # adversarial owner: never escrows
-            mempool = scheduler.mempools[asset.chain_id]
-            mempool.submit(
+            scheduler.submit_escrow_op(
+                asset.chain_id,
                 Transaction(
                     sender=asset.owner, contract=asset.token, method="approve",
                     args={"spender": contract.address, "amount": asset.amount},
                     phase="market/escrow-approve",
                 ),
                 self.deal_id,
+                op="approve",
             )
-            mempool.submit(
+            scheduler.submit_escrow_op(
+                asset.chain_id,
                 Transaction(
                     sender=asset.owner, contract=name, method="deposit",
                     args={}, phase="market/escrow",
                 ),
                 self.deal_id,
+                op="deposit",
             )
 
     def _phase_change(self, phase: str, at: float) -> None:
@@ -128,7 +141,7 @@ class DealDriver:
             telemetry.deal_phase(self.run, phase, at)
 
     def _submit_transfers(self) -> None:
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         self.run.phase = DealPhase.TRANSFER
         self._phase_change("transfer", self.scheduler.simulator.now)
@@ -137,7 +150,8 @@ class DealDriver:
             return
         for step in self.spec.steps:
             asset = self.spec.asset(step.asset_id)
-            self.scheduler.mempools[asset.chain_id].submit(
+            self.scheduler.submit_escrow_op(
+                asset.chain_id,
                 Transaction(
                     sender=step.giver,
                     contract=self.escrow_names[step.asset_id],
@@ -146,6 +160,7 @@ class DealDriver:
                     phase="market/transfer",
                 ),
                 self.deal_id,
+                op="transfer",
             )
 
     def _on_deposit(self, receipt: Receipt) -> None:
@@ -174,7 +189,7 @@ class DealDriver:
 
     def _note_settled(self, asset_id: str, receipt: Receipt) -> None:
         """Record a Released/Refunded event and finish when uniform."""
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         for event in receipt.events:
             if event.name == "Released":
@@ -240,7 +255,7 @@ class DealDriver:
 class TimelockDealDriver(DealDriver):
     """Drive one deal through §5's timelock protocol on shared chains."""
 
-    def __init__(self, scheduler: "DealScheduler", run: "_DealRun"):
+    def __init__(self, scheduler: "MarketCoordinator", run: "_DealRun"):
         super().__init__(scheduler, run)
         self.t0 = 0.0
         self.delta = scheduler.config.timelock_delta
@@ -251,7 +266,7 @@ class TimelockDealDriver(DealDriver):
         return self.t0 + len(self.spec.parties) * self.delta
 
     def on_registered(self, receipt: Receipt) -> None:
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         self.run.phase = DealPhase.ESCROW
         self._phase_change("escrow", receipt.executed_at)
@@ -276,7 +291,7 @@ class TimelockDealDriver(DealDriver):
         pass
 
     def _start_voting(self) -> None:
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         self.run.phase = DealPhase.VOTING
         self._phase_change("voting", self.scheduler.simulator.now)
@@ -288,7 +303,8 @@ class TimelockDealDriver(DealDriver):
             # executor and the protocol tests.
             path = sign_vote(scheduler.keypair_for(party), self.deal_id)
             for asset in self.spec.assets:
-                scheduler.mempools[asset.chain_id].submit(
+                scheduler.submit_vote(
+                    asset.chain_id,
                     Transaction(
                         sender=party,
                         contract=self.escrow_names[asset.asset_id],
@@ -340,19 +356,21 @@ class TimelockDealDriver(DealDriver):
             contract = scheduler.chains[asset.chain_id].contract(name)
             if contract.peek_state() is not EscrowState.ACTIVE:
                 continue
-            scheduler.mempools[asset.chain_id].submit(
+            scheduler.submit_escrow_op(
+                asset.chain_id,
                 Transaction(
                     sender=scheduler.coordinator.address, contract=name,
                     method="refund", args={}, phase="market/refund",
                 ),
                 self.deal_id,
+                op="refund",
             )
 
 
 class CbcDealDriver(DealDriver):
     """Drive one deal through §6's CBC protocol on shared chains."""
 
-    def __init__(self, scheduler: "DealScheduler", run: "_DealRun"):
+    def __init__(self, scheduler: "MarketCoordinator", run: "_DealRun"):
         super().__init__(scheduler, run)
         self.start_hash: bytes | None = None
         self.abort_vote_sent = False
@@ -364,7 +382,7 @@ class CbcDealDriver(DealDriver):
         self.cbc = None
 
     def on_registered(self, receipt: Receipt) -> None:
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         self.run.phase = DealPhase.ESCROW
         self._phase_change("escrow", receipt.executed_at)
@@ -414,7 +432,7 @@ class CbcDealDriver(DealDriver):
             self._claim("abort")
 
     def _claim(self, outcome: str) -> None:
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         self.run.decided = outcome
         self.run.phase = DealPhase.SETTLING
@@ -422,7 +440,8 @@ class CbcDealDriver(DealDriver):
         certificate = self.cbc.status_certificate(self.deal_id)
         proof = StatusProof(certificate=certificate)
         for asset in self.spec.assets:
-            self.scheduler.mempools[asset.chain_id].submit(
+            self.scheduler.submit_escrow_op(
+                asset.chain_id,
                 Transaction(
                     sender=self.scheduler.coordinator.address,
                     contract=self.escrow_names[asset.asset_id],
@@ -431,6 +450,7 @@ class CbcDealDriver(DealDriver):
                     phase=f"market/{outcome}-claim",
                 ),
                 self.deal_id,
+                op=outcome,
             )
 
     def _vote(self, party, kind: str) -> None:
@@ -444,7 +464,7 @@ class CbcDealDriver(DealDriver):
         ))
 
     def _start_voting(self) -> None:
-        from repro.market.scheduler import DealPhase
+        from repro.market.runtime import DealPhase
 
         self.run.phase = DealPhase.VOTING
         self._phase_change("voting", self.scheduler.simulator.now)
@@ -477,7 +497,8 @@ class CbcDealDriver(DealDriver):
                 signatures=validators.quorum_sign(message),
             ))
         target = self.spec.assets[0]
-        self.scheduler.mempools[target.chain_id].submit(
+        self.scheduler.submit_escrow_op(
+            target.chain_id,
             Transaction(
                 sender=forger,
                 contract=self.escrow_names[target.asset_id],
@@ -486,6 +507,7 @@ class CbcDealDriver(DealDriver):
                 phase="market/stale-proof",
             ),
             self.deal_id,
+            op="stale-proof",
         )
 
     def _on_escrow_conflict(self) -> None:

@@ -1,6 +1,6 @@
 """Per-shard replication and crash recovery for the sharded market.
 
-Every shard of the :class:`~repro.market.scheduler.DealScheduler`
+Every shard of the :class:`~repro.market.runtime.MarketCoordinator`
 becomes a small **replica group** (configurable factor ``r``): ``r``
 processes that each hold a full image of *that shard's chains only* —
 the home chain with its :class:`~repro.market.commitlog.MarketCommitLog`
@@ -51,7 +51,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.chain.ledger import Chain, StateDelta, digest_state
-from repro.sim.network import SynchronousNetwork
+from repro.market.messages import DeltaAck, DeltaShipment
+from repro.sim.network import Envelope, SynchronousNetwork
 from repro.sim.rng import DeterministicRng
 
 # Replica endpoint names are "s<shard>/r<index>" on the replication
@@ -229,10 +230,21 @@ class ReplicationLayer:
             for replica in group.replicas:
                 if replica is leader or not replica.alive:
                     continue
+                # Delta shipments ride the same typed Envelope as every
+                # other market plane (sim.network.Envelope), so the
+                # network's filter/drop/delay stats and the fault
+                # injectors treat them uniformly.
                 self.network.send(
                     leader.name,
                     replica.name,
-                    ("delta", chain.chain_id, seq, delta),
+                    Envelope(
+                        sender=leader.name,
+                        shard=shard,
+                        tick=self.simulator.now,
+                        payload=DeltaShipment(
+                            chain_id=chain.chain_id, seq=seq, delta=delta
+                        ),
+                    ),
                 )
                 self.counters["deltas_shipped"] += 1
                 if self.telemetry is not None:
@@ -272,15 +284,18 @@ class ReplicationLayer:
         return replayed
 
     def _on_message(self, replica: Replica, message) -> None:
-        kind = message.payload[0]
-        if kind == "ack":
-            _, follower, chain_id, seq = message.payload
+        payload = message.payload
+        if isinstance(payload, Envelope):
+            payload = payload.payload
+        if isinstance(payload, DeltaAck):
             group = self.groups[replica.shard]
-            high = group.acked.setdefault(follower, {})
-            high[chain_id] = max(high.get(chain_id, 0), seq)
+            high = group.acked.setdefault(payload.follower, {})
+            high[payload.chain_id] = max(
+                high.get(payload.chain_id, 0), payload.seq
+            )
             self.counters["acks_received"] += 1
             return
-        _, chain_id, seq, delta = message.payload
+        chain_id, seq, delta = payload.chain_id, payload.seq, payload.delta
         if not replica.alive:
             # A shipment racing a crash: the dead process sees nothing.
             self.counters["dropped_while_dead"] += 1
@@ -307,7 +322,16 @@ class ReplicationLayer:
             self.network.send(
                 replica.name,
                 target,
-                ("ack", replica.name, chain_id, replica.applied.get(chain_id, 0)),
+                Envelope(
+                    sender=replica.name,
+                    shard=replica.shard,
+                    tick=self.simulator.now,
+                    payload=DeltaAck(
+                        follower=replica.name,
+                        chain_id=chain_id,
+                        seq=replica.applied.get(chain_id, 0),
+                    ),
+                ),
             )
 
     # ------------------------------------------------------------------

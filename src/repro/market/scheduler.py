@@ -1,1190 +1,63 @@
-"""The multi-deal scheduler: N interleaved deals on shared chains.
+"""Deprecated home of the market scheduler (one-release shim).
 
-:class:`DealScheduler` assembles one simulated market — shared chains,
-one fungible and (optionally) one non-fungible token plus one
-:class:`~repro.market.book.MarketEscrowBook` per chain, one
-:class:`~repro.market.commitlog.MarketCommitLog` per **shard** (each
-on that shard's home chain), a
-:class:`~repro.market.mempool.StepMempool` in front of every block
-producer — and drives every arriving
-:class:`~repro.market.order.SignedDealOrder` through its nominated
-commit protocol concurrently.
+The 1,200-line ``DealScheduler`` god-object that used to live here was
+carved into the message-passing runtime of
+:mod:`repro.market.runtime`: a thin :class:`MarketCoordinator` over
+per-shard :class:`~repro.market.runtime.ShardRuntime`\\ s, talking
+only through the typed envelopes of :mod:`repro.market.messages`.
+Use the public entry point instead::
 
-With ``workload.shards = M > 1`` the market is sharded across M
-order-carrying coordinator chains: chain *i* belongs to shard
-``i % M``, shard *s*'s home chain is ``chain_ids[s]``, and every deal
-is routed to the home shard named by
-:func:`~repro.market.order.shard_of_deal` — registration, votes and
-abort marks all ride that shard's mempool and commit log (which
-*enforces* the routing on-chain).  A deal's escrows still live on its
-assets' chains, so a deal may straddle books owned by several shards
-(a *cross-shard deal*); escrow conflicts resolve first-committed-wins
-by block order on the asset chain, each loser aborting through its
-own home log.  Because every shard's order-carrying mempool seals on
-the same half-grid boundary, their per-seal signature batches meet in
-the shared :class:`~repro.consensus.validators.VerifyAggregator` and
-merge into one multi-exponentiation per boundary — the PR 4 seam,
-now exercised by real traffic.
+    from repro.market import open_market
+    report = open_market(workload, config).run()
 
-Every deal registers on its home commit log first (that sealing block
-is where order signatures are verified); what happens next depends on
-``spec.protocol``:
-
-* ``unanimity`` — PR 2's simplified flow: book escrows (fungible
-  amounts or NFT token-id locks), tentative transfers, one vote per
-  party on the commit log, commit/abort claims per chain;
-* ``timelock`` — the paper's §5 protocol, driven by
-  :class:`~repro.market.protocols.TimelockDealDriver`: one
-  :class:`~repro.core.timelock.TimelockEscrow` per (deal, asset) with
-  deadlines anchored at the registration block, path-signature votes
-  to every escrow, commit-on-last-vote or refund at the terminal
-  deadline;
-* ``cbc`` — the paper's §6 protocol, driven by
-  :class:`~repro.market.protocols.CbcDealDriver`: escrows resolved by
-  quorum-signed proofs extracted from the market's shared certified
-  blockchain.
-
-Each phase advances when the scheduler observes the previous phase's
-receipts in a block, so thousands of deals pipeline through shared
-block space, one phase hop per block interval.  Conflicts and faults
-resolve deterministically:
-
-* an ``open``/``deposit`` that reverts (another deal already claimed
-  the balance or token id — first-committed-wins by block order)
-  aborts the losing deal; every escrow it *did* take is refunded;
-* a party that withholds its vote, or never escrows at all, stalls
-  its deal until the scheduler's patience expires (unanimity, CBC) or
-  the timelock terminal deadline passes — either way with full
-  refunds;
-* a forged order is rejected at its sealing block and never touches a
-  chain; a stale CBC proof is rejected by the escrow it targets.
-
-The scheduler plays the parties directly (it holds their orders and
-submits their steps); the per-deal network/party machinery of
-:mod:`repro.core.executor` stays the reference implementation for
-single-deal protocol fidelity, while this runtime answers the
-throughput question.  Everything is deterministic given the workload:
-time, latencies, and outcomes are simulation quantities, so a
-fixed-seed report is byte-identical on any host or job count.
+Every historical name is re-exported below so old imports keep
+working; constructing :class:`DealScheduler` emits a
+``DeprecationWarning`` and the shim will be removed one release from
+now.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from enum import Enum
+import warnings
 
-from repro.analysis.tables import render_table
-from repro.chain.contracts import Contract
-from repro.chain.ledger import Chain
-from repro.chain.tokens import FungibleToken, NonFungibleToken
-from repro.chain.tx import Receipt, Transaction
-from repro.consensus.bft import CertifiedBlockchain
-from repro.consensus.validators import ValidatorSet, VerifyAggregator
-from repro.core.deal import (
-    PROTOCOL_CBC,
-    PROTOCOL_TIMELOCK,
-    PROTOCOL_UNANIMITY,
-    DealSpec,
+from repro.market.runtime import (  # noqa: F401 - re-exported compatibility surface
+    BOOK_CONTRACT,
+    COMMIT_LOG_CONTRACT,
+    DealPhase,
+    MarketConfig,
+    MarketCoordinator,
+    MarketReport,
+    _ABORT_RETRY_LIMIT,
+    _DealRun,
+    _percentile,
 )
-from repro.crypto.hashing import tagged_hash
-from repro.crypto.keys import Address, KeyPair, Wallet
-from repro.errors import MarketError
-from repro.market.book import MarketEscrowBook
-from repro.market.commitlog import MarketCommitLog
-from repro.market.invariants import check_market_invariants
-from repro.market.mempool import OrderLedger, StepMempool
-from repro.market.order import SignedDealOrder, shard_of_deal
-from repro.market.protocols import CbcDealDriver, DealDriver, TimelockDealDriver
-from repro.market.replication import ReplicationLayer
-from repro.sim.simulator import Simulator
 
-BOOK_CONTRACT = "market-book"
-COMMIT_LOG_CONTRACT = "market-commitlog"
-
-_ABORT_RETRY_LIMIT = 5
+__all__ = [
+    "BOOK_CONTRACT",
+    "COMMIT_LOG_CONTRACT",
+    "DealPhase",
+    "DealScheduler",
+    "MarketConfig",
+    "MarketCoordinator",
+    "MarketReport",
+]
 
 
-class DealPhase(Enum):
-    """Lifecycle of one deal inside the market."""
+class DealScheduler(MarketCoordinator):
+    """Deprecated alias of :class:`~repro.market.runtime.MarketCoordinator`.
 
-    REGISTERING = "registering"
-    ESCROW = "escrow"
-    TRANSFER = "transfer"
-    VOTING = "voting"
-    SETTLING = "settling"
-    COMMITTED = "committed"
-    ABORTED = "aborted"
-    REJECTED = "rejected"
+    Behaviour-identical (it *is* the coordinator); only the name and
+    the module are deprecated.
+    """
 
-
-_TERMINAL = {DealPhase.COMMITTED, DealPhase.ABORTED, DealPhase.REJECTED}
-
-
-@dataclass
-class _DealRun:
-    """Scheduler-internal state machine for one deal."""
-
-    order: SignedDealOrder
-    phase: DealPhase = DealPhase.REGISTERING
-    opens_expected: int = 0
-    opens_done: int = 0
-    transfers_expected: int = 0
-    transfers_done: int = 0
-    decided: str | None = None
-    abort_requested: bool = False
-    abort_retries: int = 0
-    conflict: bool = False
-    reason: str = ""
-    claim_chains: tuple[str, ...] = ()
-    settled_chains: set = field(default_factory=set)
-    finished_at: float | None = None
-    # §5 sore loser: a timelock deal whose escrows settled non-uniformly
-    # (released on one chain, refunded at deadline on another).  Only
-    # crash-gated sealing can produce it; fault-free runs treat it as
-    # an invariant violation.
-    sore_loser: bool = False
-    patience_handle: object = None
-    # Sharding: the deal's home shard (where it registers and votes)
-    # and whether its escrows straddle books owned by other shards.
-    home_shard: int = 0
-    cross_shard: bool = False
-    # Timelock/CBC runs delegate their phase logic to a protocol driver
-    # (repro.market.protocols); unanimity runs keep driver = None.
-    driver: DealDriver | None = None
-
-    @property
-    def protocol(self) -> str:
-        return self.order.spec.protocol
-
-    @property
-    def terminal(self) -> bool:
-        return self.phase in _TERMINAL
-
-
-@dataclass
-class MarketConfig:
-    """Knobs of one market run (all times in simulator ticks)."""
-
-    block_interval: float = 1.0
-    patience: float = 60.0
-    max_txs_per_block: int = 512
-    horizon: float | None = None
-    max_events: int = 20_000_000
-    # Re-check every conservation invariant after every block (O(state)
-    # per block — for tests, not for 5000-deal runs).
-    check_invariants_per_block: bool = False
-    # §5 deadline unit Δ for timelock deals.  A direct (path length 1)
-    # vote must execute before t0 + Δ; the market pipeline needs ~3
-    # block intervals from registration to the vote block, so Δ must
-    # comfortably exceed that plus any mempool backlog.
-    timelock_delta: float = 8.0
-    # Byzantine tolerance of the market's shared CBC (3f+1 validators).
-    cbc_f: int = 1
-    # Cross-block verify aggregation: merge the order-signature batches
-    # of every block sealing at one boundary into a single
-    # multi-exponentiation (up to verify_max_blocks block batches per
-    # flush).  Wall-clock only — verdicts land at the same simulated
-    # instant, so decisions and reports are byte identical; the off
-    # switch exists for the equivalence tests that prove exactly that.
-    verify_aggregation: bool = True
-    verify_max_blocks: int = 8
-    # Replication (repro.market.replication): each shard becomes a
-    # replica group of this size.  The layer is only constructed when
-    # factor > 1 or a fault plan is supplied, so the default market
-    # runs byte-identical to the unreplicated layout.
-    replication_factor: int = 1
-    # A repro.sim.faults.FaultPlan: message faults install on the
-    # replication network, ReplicaCrash/ReplicaRecover process faults
-    # install on the replication layer.
-    fault_plan: object | None = None
-    # Δ of the dedicated replication network (delta shipping + acks).
-    replication_delta: float = 0.4
-    # Detection delay before a crashed leader's shard fails over.
-    failover_timeout: float = 2.0
-    # A repro.telemetry.Telemetry instance (one per run), or None.
-    # Telemetry is strictly observational — it draws no randomness,
-    # schedules no events, and mutates no market state — so report
-    # bytes are identical either way; every instrumentation site in
-    # the runtime guards on ``telemetry is not None`` (one attribute
-    # check on the off path).
-    telemetry: object | None = None
-
-
-@dataclass
-class MarketReport:
-    """The observable outcome of one market run (simulation units only)."""
-
-    deals: int
-    committed: int
-    aborted: int
-    rejected: int
-    stuck: int
-    conflicts: int
-    timeouts: int
-    latency_p50: float
-    latency_p90: float
-    latency_p99: float
-    end_time: float
-    deals_per_kilotick: float
-    chains: int
-    blocks: int
-    txs_executed: int
-    txs_reverted: int
-    max_mempool_depth: int
-    events_processed: int
-    invariant_violations: tuple[str, ...] = ()
-    outcome_log: tuple = ()
-    # (protocol, committed, aborted, rejected, p50, p90, p99) rows,
-    # one per protocol present in the workload, sorted by protocol.
-    per_protocol: tuple = ()
-    stale_proofs_rejected: int = 0
-    timelock_refund_sweeps: int = 0
-    # Sorted (name, count) rows from the market's VerifyAggregator —
-    # deterministic simulation counters, but deliberately outside
-    # render() and fingerprint() so toggling aggregation can never
-    # change report bytes.  The E16 benchmark surfaces them in its own
-    # aggregation table and in BENCH_market.json.
-    verify_stats: tuple = ()
-    # Sharding: how many coordinator shards the market ran with, and
-    # how many deals straddled books owned by more than one shard.
-    # Rendered only when shards > 1, so unsharded reports stay
-    # byte-identical to the pre-sharding market.
-    shards: int = 1
-    cross_shard_deals: int = 0
-    cross_shard_committed: int = 0
-    # Replication/fault axis (PR 6): rendered only when the layer ran
-    # and did something, so fault-free unreplicated reports keep their
-    # exact bytes.  replication_stats mirrors verify_stats: sorted
-    # counter rows, deliberately outside render() and fingerprint().
-    replication_factor: int = 1
-    faults_injected: int = 0
-    recoveries: int = 0
-    failovers: int = 0
-    availability: float = 1.0
-    replication_stats: tuple = ()
-    # Fault/network observability (rendered inside the same gated
-    # block): per-fault rows from FaultPlan.stats() — each a tuple of
-    # sorted (name, value) items — and the replication network's
-    # delivery counters.  Empty on fault-free unreplicated runs, so
-    # those reports keep their exact bytes.
-    fault_stats: tuple = ()
-    network_stats: tuple = ()
-    # §5 sore losers: timelock deals whose escrows settled mixed
-    # (released here, deadline-refunded there) because crash faults
-    # gated sealing mid-deal.  Always 0 in fault-free runs, where a
-    # mixed settlement is an invariant violation instead.
-    sore_losers: int = 0
-
-    @property
-    def abort_rate(self) -> float:
-        """Aborted fraction of all terminally settled deals."""
-        settled = self.committed + self.aborted
-        return self.aborted / settled if settled else 0.0
-
-    @property
-    def cross_shard_fraction(self) -> float:
-        """Cross-shard slice of all spawned deals."""
-        return self.cross_shard_deals / self.deals if self.deals else 0.0
-
-    @property
-    def sore_loser_rate(self) -> float:
-        """Sore-loser slice of all terminally settled deals."""
-        settled = self.committed + self.aborted
-        return self.sore_losers / settled if settled else 0.0
-
-    def aggregator_merge_rate(self) -> float:
-        """Fraction of enqueued block batches that merged with others.
-
-        The measurable sharding win at the verify layer: with one
-        order-carrying shard this is exactly 0.0; with M shards
-        sealing on the same boundary it approaches (M-1)/M.
-        """
-        stats = dict(self.verify_stats)
-        batches = stats.get("batches", 0)
-        return stats.get("merged_batches", 0) / batches if batches else 0.0
-
-    def committed_by_protocol(self) -> dict[str, int]:
-        """Committed deal count per protocol (empty rows omitted)."""
-        return {row[0]: row[1] for row in self.per_protocol}
-
-    def protocol_outcome_rows(self, include_p90: bool = True) -> list[list]:
-        """The per-protocol rows, formatted for a render_table call.
-
-        The single place that knows the ``per_protocol`` tuple layout —
-        both the report's own table and the E16 benchmark table build
-        on it.
-        """
-        rows = []
-        for protocol, committed, aborted, rejected, p50, p90, p99 in self.per_protocol:
-            row = [protocol, committed, aborted, rejected, f"{p50:.2f}"]
-            if include_p90:
-                row.append(f"{p90:.2f}")
-            row.append(f"{p99:.2f}")
-            rows.append(row)
-        return rows
-
-    def fingerprint(self) -> str:
-        """A digest of every deal's outcome — the determinism witness."""
-        parts = [b"repro/market/report"]
-        for index, protocol, outcome, reason, latency in self.outcome_log:
-            parts.append(
-                f"{index}:{protocol}:{outcome}:{reason}:{latency:.9f}".encode("utf-8")
-            )
-        return tagged_hash("repro/market/fingerprint", b"|".join(parts)).hex()[:32]
-
-    def render(self) -> str:
-        """Paper-style summary table (deterministic bytes)."""
-        rows = [
-            ["deals spawned", self.deals],
-            ["committed", self.committed],
-            ["aborted", self.aborted],
-            ["rejected (forged orders)", self.rejected],
-            ["stuck (non-terminal)", self.stuck],
-            ["escrow conflicts", self.conflicts],
-            ["patience timeouts", self.timeouts],
-            ["stale proofs rejected", self.stale_proofs_rejected],
-            ["abort rate", f"{self.abort_rate:.1%}"],
-            ["commit latency p50 (ticks)", f"{self.latency_p50:.2f}"],
-            ["commit latency p90 (ticks)", f"{self.latency_p90:.2f}"],
-            ["commit latency p99 (ticks)", f"{self.latency_p99:.2f}"],
-            ["horizon (chain ticks)", f"{self.end_time:.1f}"],
-            ["throughput (deals / 1000 ticks)", f"{self.deals_per_kilotick:.1f}"],
-            ["chains", self.chains],
-        ]
-        if self.shards > 1:
-            rows += [
-                ["coordinator shards", self.shards],
-                ["cross-shard deals", self.cross_shard_deals],
-                ["cross-shard committed", self.cross_shard_committed],
-                ["cross-shard fraction", f"{self.cross_shard_fraction:.1%}"],
-            ]
-        if (
-            self.replication_factor > 1
-            or self.faults_injected
-            or self.failovers
-            or self.recoveries
-        ):
-            rows += [
-                ["replication factor", self.replication_factor],
-                ["replica crashes injected", self.faults_injected],
-                ["failovers", self.failovers],
-                ["recoveries", self.recoveries],
-                ["availability", f"{self.availability:.3%}"],
-                ["sore losers (mixed timelock)", self.sore_losers],
-            ]
-            if self.network_stats:
-                net = dict(self.network_stats)
-                rows += [
-                    ["replication msgs delivered", net.get("delivered", 0)],
-                    ["replication msgs dropped", net.get("dropped", 0)],
-                    ["replication msgs delayed (faults)",
-                     net.get("filter_delayed", 0)],
-                ]
-            if self.fault_stats:
-                fired = dropped = 0
-                kinds: dict[str, int] = {}
-                for row in self.fault_stats:
-                    record = dict(row)
-                    kind = record.get("kind", "?")
-                    kinds[kind] = kinds.get(kind, 0) + 1
-                    fired += record.get("crashes_fired", 0)
-                    fired += record.get("recoveries_fired", 0)
-                    dropped += record.get("dropped", 0)
-                plan = ", ".join(
-                    f"{kind} x{count}" for kind, count in sorted(kinds.items())
-                )
-                rows += [
-                    ["fault plan", plan],
-                    ["fault firings (crash+recover)", fired],
-                    ["fault msg drops", dropped],
-                ]
-        rows += [
-            ["blocks produced", self.blocks],
-            ["transactions executed", self.txs_executed],
-            ["transactions reverted", self.txs_reverted],
-            ["max mempool depth", self.max_mempool_depth],
-            ["conservation violations", len(self.invariant_violations)],
-            ["fingerprint", self.fingerprint()],
-        ]
-        table = render_table(["measure", "value"], rows, title="Market run")
-        if len(self.per_protocol) <= 1:
-            return table
-        return table + "\n" + render_table(
-            ["protocol", "committed", "aborted", "rejected",
-             "p50 (ticks)", "p90 (ticks)", "p99 (ticks)"],
-            self.protocol_outcome_rows(),
-            title="Per-protocol outcomes",
+    def __init__(self, workload, config: MarketConfig | None = None,
+                 verifier=None):
+        warnings.warn(
+            "DealScheduler is deprecated; use repro.market.open_market() "
+            "(or repro.market.runtime.MarketCoordinator for direct "
+            "construction). The repro.market.scheduler shim will be "
+            "removed one release from now.",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[min(rank, len(sorted_values)) - 1]
-
-
-class DealScheduler:
-    """Build one market and run a workload of concurrent deals on it."""
-
-    def __init__(self, workload, config: MarketConfig | None = None):
-        self.workload = workload
-        self.config = config or MarketConfig()
-        self.telemetry = self.config.telemetry
-        self.simulator = Simulator()
-        self.wallet = Wallet()
-        self.coordinator = KeyPair.from_label(f"market-coordinator/{workload.seed}")
-        self.wallet.register(self.coordinator)
-        for keypair in workload.accounts.values():
-            self.wallet.register(keypair)
-
-        self.chains: dict[str, Chain] = {}
-        self.tokens: dict[str, FungibleToken] = {}
-        self.nft_tokens: dict[str, NonFungibleToken] = {}
-        self.books: dict[str, MarketEscrowBook] = {}
-        self.mempools: dict[str, StepMempool] = {}
-        self.minted: dict[str, int] = {}  # chain_id -> total token supply
-        self.nft_minted: dict[str, tuple] = {}  # chain_id -> ((tid, owner), ...)
-        self.order_ledger = OrderLedger()
-        self.runs: dict[bytes, _DealRun] = {}
-        self._receipts_seen = 0
-        self._receipts_reverted = 0
-        # Per-deal escrow contracts (timelock/CBC): contract name ->
-        # (deal_id, asset_id) for receipt routing, and the published
-        # contracts per chain so the conservation invariants can count
-        # their token holdings.
-        self._escrow_index: dict[str, tuple[bytes, str]] = {}
-        self.deal_escrows: dict[str, list[Contract]] = {
-            chain_id: [] for chain_id in workload.chain_ids
-        }
-        self.stats = {"timelock_refund_sweeps": 0, "stale_proofs_rejected": 0}
-        # One verify aggregator for the whole market: every mempool
-        # sealing at a boundary contributes its block's signature batch
-        # and the flush — later in the same simulated instant — pays a
-        # single merged multi-exponentiation for all of them.
-        self.verify_aggregator = (
-            VerifyAggregator(
-                schedule=lambda callback: self.simulator.schedule_at(
-                    self.simulator.now, callback, label="market/verify-flush"
-                ),
-                max_blocks=self.config.verify_max_blocks,
-            )
-            if self.config.verify_aggregation
-            else None
-        )
-        if self.verify_aggregator is not None:
-            self.verify_aggregator.telemetry = self.telemetry
-        # Protocol-safety breaches observed directly by the drivers
-        # (e.g. a stale proof accepted) — merged into the report's
-        # invariant violations.
-        self.protocol_violations: list[str] = []
-        # One certified blockchain per shard, created on demand (CBC
-        # deals of shard s resolve against cbcs[s] and nothing else).
-        self.cbcs: dict[int, CertifiedBlockchain] = {}
-        self._cbc_drivers: dict[int, list[CbcDealDriver]] = {}
-
-        if len(workload.chain_ids) < 1:
-            raise MarketError("a market needs at least one chain")
-        self.shards = int(getattr(workload, "shards", 1) or 1)
-        if self.shards < 1:
-            raise MarketError("a market needs at least one shard")
-        if self.shards > len(workload.chain_ids):
-            raise MarketError(
-                f"{self.shards} shards need at least that many chains "
-                f"(got {len(workload.chain_ids)})"
-            )
-        # Chain i belongs to shard i % M; shard s's home (coordinator)
-        # chain is chain_ids[s], which carries that shard's commit log
-        # and therefore its order flow.
-        self.chain_shard = {
-            chain_id: index % self.shards
-            for index, chain_id in enumerate(workload.chain_ids)
-        }
-        self.shard_home_chain = {
-            shard: workload.chain_ids[shard] for shard in range(self.shards)
-        }
-        for chain_id in workload.chain_ids:
-            chain = Chain(
-                chain_id, self.simulator, self.wallet,
-                block_interval=self.config.block_interval,
-            )
-            self.chains[chain_id] = chain
-            token = FungibleToken(workload.tokens[chain_id])
-            chain.publish(token)
-            self.tokens[chain_id] = token
-            nft_name = getattr(workload, "nft_tokens", {}).get(chain_id)
-            if nft_name is not None:
-                nft_token = NonFungibleToken(nft_name)
-                chain.publish(nft_token)
-                self.nft_tokens[chain_id] = nft_token
-            book = MarketEscrowBook(BOOK_CONTRACT, self.coordinator.address)
-            chain.publish(book)
-            self.books[chain_id] = book
-            self.mempools[chain_id] = StepMempool(
-                chain,
-                self.wallet,
-                self.order_ledger,
-                max_txs_per_block=self.config.max_txs_per_block,
-                on_order_rejected=self._on_order_rejected,
-                aggregator=self.verify_aggregator,
-                telemetry=self.telemetry,
-            )
-            chain.subscribe(self._on_block)
-        self.coordinator_chain_id = workload.chain_ids[0]
-        # One commit log per shard, on the shard's home chain.  Shard
-        # 0 keeps the historical contract name so an unsharded market
-        # is byte-identical to the pre-sharding layout.
-        self.commit_logs: dict[int, MarketCommitLog] = {}
-        self._commitlog_shards: dict[str, int] = {}
-        for shard in range(self.shards):
-            name = (
-                COMMIT_LOG_CONTRACT if shard == 0
-                else f"{COMMIT_LOG_CONTRACT}-s{shard}"
-            )
-            log = MarketCommitLog(
-                name, self.coordinator.address, shard=shard, shards=self.shards
-            )
-            self.chains[self.shard_home_chain[shard]].publish(log)
-            self.commit_logs[shard] = log
-            self._commitlog_shards[name] = shard
-        self.commit_log = self.commit_logs[0]
-        self._fund_accounts()
-        # Replication is strictly additive: the layer only exists when
-        # asked for, and with no crash faults it adds no market-visible
-        # behaviour (separate network, separate rng stream, gates that
-        # never close) — the E16 fingerprint equivalence test holds the
-        # scheduler to that.
-        self.replication: ReplicationLayer | None = None
-        plan = self.config.fault_plan
-        if self.config.replication_factor > 1 or (
-            plan is not None and getattr(plan, "faults", ())
-        ):
-            self.replication = ReplicationLayer(
-                self,
-                factor=self.config.replication_factor,
-                delta=self.config.replication_delta,
-                failover_timeout=self.config.failover_timeout,
-            )
-            if plan is not None:
-                plan.install(self.replication.network)
-                plan.install_processes(self.replication)
-        # Telemetry attaches last so the BlockTap's chain subscriptions
-        # run after the scheduler's own (observer order is registration
-        # order — the tap reads what the phase engine already routed).
-        if self.telemetry is not None:
-            self.telemetry.attach(self)
-
-    # ------------------------------------------------------------------
-    # Shard routing
-    # ------------------------------------------------------------------
-    def home_shard(self, deal_id: bytes) -> int:
-        """The shard whose coordinator chain owns this deal.
-
-        Hashed once per deal at admission and cached on the run
-        (``run.home_shard``); the submit paths below take the cached
-        value rather than re-deriving it.
-        """
-        return shard_of_deal(deal_id, self.shards)
-
-    def _home_log(self, shard: int) -> MarketCommitLog:
-        return self.commit_logs[shard]
-
-    def _home_mempool(self, shard: int) -> StepMempool:
-        return self.mempools[self.shard_home_chain[shard]]
-
-    @property
-    def cbc(self) -> CertifiedBlockchain | None:
-        """Shard 0's certified blockchain (back-compat accessor)."""
-        return self.cbcs.get(0)
-
-    # ------------------------------------------------------------------
-    # Setup
-    # ------------------------------------------------------------------
-    def _setup_tx(self, chain: Chain, sender: Address, contract: str,
-                  method: str, **args) -> None:
-        receipt = chain.execute_now(Transaction(
-            sender=sender, contract=contract, method=method,
-            args=args, phase="market/setup",
-        ))
-        if not receipt.ok:  # pragma: no cover - setup must succeed
-            raise MarketError(f"setup failed: {receipt.error}")
-
-    def _fund_accounts(self) -> None:
-        """Mint and deposit every account's session balance (setup-time).
-
-        ``book_fund_fraction`` of each balance goes into the escrow
-        book (backing unanimity deals); the rest stays in the wallet,
-        where timelock/CBC deals escrow it into per-deal contracts.
-        Non-fungible tokens are minted per the workload's manifest and
-        funded into the book's custody (deposit-once).
-        """
-        fraction = getattr(self.workload, "book_fund_fraction", 1.0)
-        for chain_id in self.workload.chain_ids:
-            chain = self.chains[chain_id]
-            token = self.tokens[chain_id]
-            book = self.books[chain_id]
-            total = 0
-            for address in self.workload.accounts:
-                balance = self.workload.initial_balance
-                book_amount = int(balance * fraction)
-                total += balance
-                self._setup_tx(chain, address, token.name, "mint",
-                               to=address, amount=balance)
-                if book_amount > 0:
-                    self._setup_tx(chain, address, token.name, "approve",
-                                   spender=book.address, amount=book_amount)
-                    self._setup_tx(chain, address, BOOK_CONTRACT, "fund",
-                                   token=token.name, amount=book_amount)
-            self.minted[chain_id] = total
-            nft_token = self.nft_tokens.get(chain_id)
-            if nft_token is None:
-                continue
-            minted = tuple(getattr(self.workload, "nft_minted", {}).get(chain_id, ()))
-            self.nft_minted[chain_id] = minted
-            for token_id, owner in minted:
-                self._setup_tx(chain, owner, nft_token.name, "mint",
-                               to=owner, token_id=token_id)
-                self._setup_tx(chain, owner, nft_token.name, "approve",
-                               spender=book.address, token_id=token_id)
-                self._setup_tx(chain, owner, BOOK_CONTRACT, "fund_nft",
-                               token=nft_token.name, token_id=token_id)
-
-    # ------------------------------------------------------------------
-    # Run loop
-    # ------------------------------------------------------------------
-    def run(self) -> MarketReport:
-        """Admit every order at its arrival time and run to quiescence."""
-        for order in self.workload.orders():
-            self.simulator.schedule_at(
-                order.arrival,
-                lambda order=order: self._admit(order),
-                label="market/arrival",
-            )
-        self.simulator.run(
-            until=self.config.horizon, max_events=self.config.max_events
-        )
-        if self.replication is not None:
-            self.replication.finish(self.simulator.now)
-        if self.telemetry is not None:
-            self.telemetry.finalize(self)
-        return self._report()
-
-    def _admit(self, order: SignedDealOrder) -> None:
-        spec = order.spec
-        deal_id = spec.deal_id
-        if deal_id in self.runs:
-            raise MarketError(f"duplicate deal id for order #{order.index}")
-        run = _DealRun(order=order)
-        run.opens_expected = len(spec.assets)
-        run.transfers_expected = len(spec.steps)
-        run.claim_chains = spec.chains()
-        run.home_shard = self.home_shard(deal_id)
-        touched = {
-            self.chain_shard.get(chain_id, run.home_shard)
-            for chain_id in run.claim_chains
-        }
-        touched.add(run.home_shard)
-        run.cross_shard = len(touched) > 1
-        self.runs[deal_id] = run
-        telemetry = self.telemetry
-        if telemetry is not None:
-            telemetry.deal_admitted(run, self.simulator.now)
-        if not self._admissible(spec):
-            run.phase = DealPhase.REJECTED
-            run.reason = "malformed"
-            run.finished_at = self.simulator.now
-            if telemetry is not None:
-                telemetry.deal_finished(run, run.finished_at)
-            return
-        if spec.protocol == PROTOCOL_TIMELOCK:
-            run.driver = TimelockDealDriver(self, run)
-        elif spec.protocol == PROTOCOL_CBC:
-            run.driver = CbcDealDriver(self, run)
-            self._cbc_drivers.setdefault(run.home_shard, []).append(run.driver)
-        self._home_mempool(run.home_shard).submit(
-            Transaction(
-                sender=self.coordinator.address,
-                contract=self._home_log(run.home_shard).name,
-                method="register",
-                args={"deal_id": deal_id, "parties": spec.parties},
-                phase="market/register",
-            ),
-            deal_id,
-            order=order,
-        )
-        if spec.protocol != PROTOCOL_TIMELOCK:
-            # Timelock deals need no patience timer: their own terminal
-            # deadline (t0 + N·Δ) already guarantees termination.
-            run.patience_handle = self.simulator.schedule(
-                self.config.patience,
-                lambda: self._on_patience(run),
-                label="market/patience",
-            )
-
-    def _admissible(self, spec: DealSpec) -> bool:
-        if not spec.assets:
-            return False
-        for asset in spec.assets:
-            if asset.chain_id not in self.chains:
-                return False
-            if asset.fungible:
-                if asset.token != self.tokens[asset.chain_id].name:
-                    return False
-            else:
-                # NFT escrows live in the book: unanimity only.
-                if spec.protocol != PROTOCOL_UNANIMITY:
-                    return False
-                nft_token = self.nft_tokens.get(asset.chain_id)
-                if nft_token is None or asset.token != nft_token.name:
-                    return False
-        return spec.is_well_formed()
-
-    # ------------------------------------------------------------------
-    # Services for the protocol drivers
-    # ------------------------------------------------------------------
-    def keypair_for(self, party: Address) -> KeyPair:
-        """The keypair of a market account (drivers sign votes with it)."""
-        return self.workload.accounts[party]
-
-    def publish_deal_escrow(
-        self, chain_id: str, contract: Contract, deal_id: bytes, asset_id: str
-    ) -> None:
-        """Publish a per-deal escrow contract and index it for routing."""
-        self.chains[chain_id].publish(contract)
-        self._escrow_index[contract.name] = (deal_id, asset_id)
-        self.deal_escrows[chain_id].append(contract)
-
-    def ensure_cbc(self, shard: int = 0) -> CertifiedBlockchain:
-        """Create one shard's certified blockchain on demand.
-
-        Each shard's CBC has its own validator set and log; a proof
-        extracted from one shard's CBC carries that shard's validator
-        signatures and is rejected by every escrow bound to another
-        shard's keys (the wrong-shard replay defence).  Shard 0 keeps
-        the unsharded market's name and validator seed.
-        """
-        cbc = self.cbcs.get(shard)
-        if cbc is None:
-            suffix = "" if shard == 0 else f"-s{shard}"
-            validators = ValidatorSet.generate(
-                self.config.cbc_f,
-                seed=f"market-cbc{suffix}/{self.workload.seed}",
-            )
-            cbc = CertifiedBlockchain(
-                self.simulator, validators, self.wallet,
-                block_interval=self.config.block_interval,
-                name=f"market-cbc{suffix}",
-            )
-            cbc.subscribe(
-                lambda _cbc, _block, shard=shard: self._on_cbc_block(shard)
-            )
-            self.cbcs[shard] = cbc
-        return cbc
-
-    def _on_cbc_block(self, shard: int) -> None:
-        # Prune settled deals as we go so each CBC block only touches
-        # the in-flight CBC runs of its own shard, not the whole
-        # market history.
-        survivors = []
-        for driver in self._cbc_drivers.get(shard, ()):
-            if driver.run.terminal:
-                continue
-            driver.on_cbc_block()
-            if not driver.run.terminal:
-                survivors.append(driver)
-        self._cbc_drivers[shard] = survivors
-
-    # ------------------------------------------------------------------
-    # Receipt routing (the phase engine)
-    # ------------------------------------------------------------------
-    def _on_block(self, chain: Chain, block) -> None:
-        for receipt in block.receipts:
-            self._receipts_seen += 1
-            if not receipt.ok:
-                self._receipts_reverted += 1
-            self._route(chain, receipt)
-        if self.config.check_invariants_per_block:
-            violations = check_market_invariants(self)
-            if violations:
-                raise MarketError(
-                    f"conservation violated at block {block.height} of "
-                    f"{chain.chain_id}: {violations[0]}"
-                )
-
-    def _route(self, chain: Chain, receipt: Receipt) -> None:
-        escrow_ref = self._escrow_index.get(receipt.tx.contract)
-        if escrow_ref is not None:
-            deal_id, asset_id = escrow_ref
-            run = self.runs.get(deal_id)
-            if run is None or run.terminal or run.driver is None:
-                return
-            run.driver.on_escrow_receipt(asset_id, receipt)
-            return
-        if (
-            receipt.tx.contract != BOOK_CONTRACT
-            and receipt.tx.contract not in self._commitlog_shards
-        ):
-            return  # token transfers etc. are not deal phase steps
-        deal_id = receipt.tx.args.get("deal_id")
-        run = self.runs.get(deal_id)
-        if run is None or run.terminal:
-            return
-        method = receipt.tx.method
-        if method == "register":
-            self._on_register(run, receipt)
-        elif method == "open":
-            self._on_open(run, receipt)
-        elif method == "transfer":
-            self._on_transfer(run, receipt)
-        elif method in ("vote", "mark_abort"):
-            self._on_log_receipt(run, receipt)
-        elif method in ("commit", "abort"):
-            self._on_claim(run, chain, receipt)
-
-    def _on_register(self, run: _DealRun, receipt: Receipt) -> None:
-        if not receipt.ok:
-            self.finish(run, DealPhase.REJECTED, "register-reverted",
-                        receipt.executed_at)
-            return
-        if run.driver is not None:
-            # Timelock/CBC deals: the order cleared signature checks at
-            # this block; hand the deal to its protocol driver.
-            run.driver.on_registered(receipt)
-            return
-        run.phase = DealPhase.ESCROW
-        if self.telemetry is not None:
-            self.telemetry.deal_phase(run, "escrow", receipt.executed_at)
-        spec = run.order.spec
-        for asset in spec.assets:
-            if asset.owner in run.order.no_show:
-                continue  # adversarial owner: never escrows
-            args = {
-                "deal_id": spec.deal_id,
-                "asset_id": asset.asset_id,
-                "token": asset.token,
-                "parties": spec.parties,
-            }
-            if asset.fungible:
-                args["amount"] = asset.amount
-            else:
-                args["token_ids"] = asset.token_ids
-            self.mempools[asset.chain_id].submit(
-                Transaction(
-                    sender=asset.owner,
-                    contract=BOOK_CONTRACT,
-                    method="open",
-                    args=args,
-                    phase="market/escrow",
-                ),
-                spec.deal_id,
-            )
-
-    def _on_open(self, run: _DealRun, receipt: Receipt) -> None:
-        if not receipt.ok:
-            if run.decided is not None or run.abort_requested:
-                # A straggler open bouncing off an already-settled deal
-                # (e.g. after a patience abort) is not a conflict.
-                return
-            # Escrow conflict: another deal already holds the funds.
-            run.conflict = True
-            self._request_abort(run, "conflict")
-            return
-        run.opens_done += 1
-        if run.phase is DealPhase.ESCROW and run.opens_done == run.opens_expected:
-            run.phase = DealPhase.TRANSFER
-            if self.telemetry is not None:
-                self.telemetry.deal_phase(run, "transfer", receipt.executed_at)
-            if run.transfers_expected == 0:
-                self._start_voting(run)
-            else:
-                self._submit_transfers(run)
-
-    def _submit_transfers(self, run: _DealRun) -> None:
-        spec = run.order.spec
-        for step in spec.steps:
-            asset = spec.asset(step.asset_id)
-            args = {
-                "deal_id": spec.deal_id,
-                "asset_id": step.asset_id,
-                "to": step.receiver,
-            }
-            if asset.fungible:
-                args["amount"] = step.amount
-            else:
-                args["token_ids"] = step.token_ids
-            self.mempools[asset.chain_id].submit(
-                Transaction(
-                    sender=step.giver,
-                    contract=BOOK_CONTRACT,
-                    method="transfer",
-                    args=args,
-                    phase="market/transfer",
-                ),
-                spec.deal_id,
-            )
-
-    def _on_transfer(self, run: _DealRun, receipt: Receipt) -> None:
-        if not receipt.ok:
-            self._request_abort(run, "transfer-failed")
-            return
-        run.transfers_done += 1
-        if (
-            run.phase is DealPhase.TRANSFER
-            and run.transfers_done == run.transfers_expected
-        ):
-            self._start_voting(run)
-
-    def _start_voting(self, run: _DealRun) -> None:
-        run.phase = DealPhase.VOTING
-        if self.telemetry is not None:
-            self.telemetry.deal_phase(run, "voting", self.simulator.now)
-        deal_id = run.order.deal_id
-        for party in run.order.voters():
-            self._home_mempool(run.home_shard).submit(
-                Transaction(
-                    sender=party,
-                    contract=self._home_log(run.home_shard).name,
-                    method="vote",
-                    args={"deal_id": deal_id},
-                    phase="market/commit",
-                ),
-                deal_id,
-            )
-
-    def _on_log_receipt(self, run: _DealRun, receipt: Receipt) -> None:
-        if not receipt.ok:
-            # A mark_abort can only revert because the registration has
-            # not landed yet or because the deal is already decided; in
-            # the latter case the decision receipt precedes this one (the
-            # log's state changed first), so ``decided`` is already set
-            # and no retry fires.  No error-message inspection needed.
-            if (
-                receipt.tx.method == "mark_abort"
-                and run.decided is None
-                and run.abort_retries < _ABORT_RETRY_LIMIT
-            ):
-                run.abort_retries += 1
-                run.abort_requested = False
-                self.simulator.schedule(
-                    2 * self.config.block_interval,
-                    lambda: self._request_abort(run, run.reason or "timeout"),
-                    label="market/abort-retry",
-                )
-            return  # a vote losing the race with an abort mark is benign
-        for event in receipt.events:
-            if event.name == "DealDecided":
-                self._on_decided(run, event.fields["outcome"], receipt.executed_at)
-
-    def _request_abort(self, run: _DealRun, reason: str) -> None:
-        if run.abort_requested or run.decided is not None or run.terminal:
-            return
-        run.abort_requested = True
-        if not run.reason:
-            run.reason = reason
-        self._home_mempool(run.home_shard).submit(
-            Transaction(
-                sender=self.coordinator.address,
-                contract=self._home_log(run.home_shard).name,
-                method="mark_abort",
-                args={"deal_id": run.order.deal_id},
-                phase="market/abort",
-            ),
-            run.order.deal_id,
-        )
-
-    def _on_decided(self, run: _DealRun, outcome: str, at: float) -> None:
-        if run.decided is not None:
-            return
-        run.decided = outcome
-        run.phase = DealPhase.SETTLING
-        if self.telemetry is not None:
-            self.telemetry.deal_phase(run, "settling", at)
-        method = "commit" if outcome == "commit" else "abort"
-        for chain_id in run.claim_chains:
-            self.mempools[chain_id].submit(
-                Transaction(
-                    sender=self.coordinator.address,
-                    contract=BOOK_CONTRACT,
-                    method=method,
-                    args={"deal_id": run.order.deal_id},
-                    phase=f"market/{method}-claim",
-                ),
-                run.order.deal_id,
-            )
-
-    def _on_claim(self, run: _DealRun, chain: Chain, receipt: Receipt) -> None:
-        if not receipt.ok:
-            return  # duplicate claim after the deal settled: benign
-        run.settled_chains.add(chain.chain_id)
-        if set(run.claim_chains) <= run.settled_chains:
-            if run.decided == "commit":
-                # A patience/abort request that lost the race with the
-                # deciding vote leaves a stale reason; the deal committed.
-                self.finish(run, DealPhase.COMMITTED, "", receipt.executed_at)
-            else:
-                self.finish(run, DealPhase.ABORTED, run.reason,
-                            receipt.executed_at)
-
-    def _on_patience(self, run: _DealRun) -> None:
-        if run.terminal or run.decided is not None:
-            return
-        if run.driver is not None:
-            run.driver.on_patience()
-            return
-        self._request_abort(run, "timeout")
-
-    def _on_order_rejected(self, deal_id: bytes) -> None:
-        run = self.runs.get(deal_id)
-        if run is None or run.terminal:
-            return
-        self.finish(run, DealPhase.REJECTED, "forged", self.simulator.now)
-
-    def finish(self, run: _DealRun, phase: DealPhase, reason: str, at: float) -> None:
-        run.phase = phase
-        run.reason = reason
-        run.finished_at = at
-        if run.patience_handle is not None:
-            run.patience_handle.cancel()
-            run.patience_handle = None
-        if self.telemetry is not None:
-            self.telemetry.deal_finished(run, at)
-
-    # ------------------------------------------------------------------
-    # Reporting
-    # ------------------------------------------------------------------
-    def _report(self) -> MarketReport:
-        committed = aborted = rejected = stuck = conflicts = timeouts = 0
-        cross_shard_deals = cross_shard_committed = 0
-        commit_latencies: list[float] = []
-        outcome_log = []
-        per_protocol: dict[str, dict] = {}
-        for run in self.runs.values():
-            if run.cross_shard:
-                cross_shard_deals += 1
-                if run.phase is DealPhase.COMMITTED:
-                    cross_shard_committed += 1
-            latency = (
-                run.finished_at - run.order.arrival
-                if run.finished_at is not None
-                else -1.0
-            )
-            outcome_log.append(
-                (run.order.index, run.protocol, run.phase.value, run.reason, latency)
-            )
-            bucket = per_protocol.setdefault(
-                run.protocol,
-                {"committed": 0, "aborted": 0, "rejected": 0, "latencies": []},
-            )
-            if run.phase is DealPhase.COMMITTED:
-                committed += 1
-                commit_latencies.append(latency)
-                bucket["committed"] += 1
-                bucket["latencies"].append(latency)
-            elif run.phase is DealPhase.ABORTED:
-                aborted += 1
-                bucket["aborted"] += 1
-            elif run.phase is DealPhase.REJECTED:
-                rejected += 1
-                bucket["rejected"] += 1
-            else:
-                stuck += 1
-            if run.conflict:
-                conflicts += 1
-            if run.phase is DealPhase.ABORTED and run.reason == "timeout":
-                timeouts += 1
-        commit_latencies.sort()
-        outcome_log.sort()
-        protocol_rows = []
-        for protocol in sorted(per_protocol):
-            bucket = per_protocol[protocol]
-            latencies = sorted(bucket["latencies"])
-            protocol_rows.append((
-                protocol, bucket["committed"], bucket["aborted"],
-                bucket["rejected"],
-                _percentile(latencies, 0.50),
-                _percentile(latencies, 0.90),
-                _percentile(latencies, 0.99),
-            ))
-        end_time = self.simulator.now
-        return MarketReport(
-            deals=len(self.runs),
-            committed=committed,
-            aborted=aborted,
-            rejected=rejected,
-            stuck=stuck,
-            conflicts=conflicts,
-            timeouts=timeouts,
-            latency_p50=_percentile(commit_latencies, 0.50),
-            latency_p90=_percentile(commit_latencies, 0.90),
-            latency_p99=_percentile(commit_latencies, 0.99),
-            end_time=end_time,
-            deals_per_kilotick=(committed / end_time * 1000.0) if end_time else 0.0,
-            chains=len(self.chains),
-            blocks=sum(len(chain.blocks) - 1 for chain in self.chains.values()),
-            txs_executed=self._receipts_seen,
-            txs_reverted=self._receipts_reverted,
-            max_mempool_depth=max(
-                pool.stats["max_depth"] for pool in self.mempools.values()
-            ),
-            events_processed=self.simulator.events_processed,
-            invariant_violations=tuple(
-                self.protocol_violations + check_market_invariants(self)
-            ),
-            outcome_log=tuple(outcome_log),
-            per_protocol=tuple(protocol_rows),
-            stale_proofs_rejected=self.stats["stale_proofs_rejected"],
-            timelock_refund_sweeps=self.stats["timelock_refund_sweeps"],
-            verify_stats=tuple(
-                sorted(self.verify_aggregator.stats.items())
-                if self.verify_aggregator is not None
-                else ()
-            ),
-            shards=self.shards,
-            cross_shard_deals=cross_shard_deals,
-            cross_shard_committed=cross_shard_committed,
-            replication_factor=(
-                self.replication.factor if self.replication is not None else 1
-            ),
-            faults_injected=(
-                self.replication.counters["crashes"]
-                if self.replication is not None
-                else 0
-            ),
-            recoveries=(
-                self.replication.counters["recoveries"]
-                if self.replication is not None
-                else 0
-            ),
-            failovers=(
-                self.replication.counters["failovers"]
-                if self.replication is not None
-                else 0
-            ),
-            availability=(
-                self.replication.availability(end_time)
-                if self.replication is not None
-                else 1.0
-            ),
-            replication_stats=tuple(
-                sorted(self.replication.stats().items())
-                if self.replication is not None
-                else ()
-            ),
-            fault_stats=tuple(
-                tuple(sorted(row.items()))
-                for row in (
-                    self.config.fault_plan.stats()
-                    if self.config.fault_plan is not None
-                    and getattr(self.config.fault_plan, "faults", ())
-                    else ()
-                )
-            ),
-            network_stats=tuple(
-                sorted(self.replication.network.stats.items())
-                if self.replication is not None
-                else ()
-            ),
-            sore_losers=sum(1 for run in self.runs.values() if run.sore_loser),
-        )
+        super().__init__(workload, config, verifier=verifier)

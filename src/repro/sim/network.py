@@ -35,6 +35,30 @@ class Message:
     sent_at: float
 
 
+@dataclass(frozen=True)
+class Envelope:
+    """The one typed wrapper every market message plane shares.
+
+    Replication delta shipping, telemetry span emission, and the shard
+    runtime messages (:mod:`repro.market.messages`) all travel as an
+    ``Envelope``: who sent it, which shard it concerns, the simulated
+    tick it was posted at, and a frozen payload.  Because the wrapper
+    is uniform, :class:`Network` filter/drop/delay stats — and the
+    fault injectors behind them — apply to every plane the same way:
+    a fault filter keyed on endpoint names never needs to know which
+    plane a message belongs to, and a payload-typed consumer can
+    ``isinstance`` its way through any plane's traffic.
+
+    Envelopes are plain frozen dataclasses so they pickle across the
+    process boundary of the ``processes`` execution backend unchanged.
+    """
+
+    sender: str
+    shard: int
+    tick: float
+    payload: object
+
+
 Handler = Callable[[Message], None]
 
 
@@ -141,6 +165,87 @@ class Network:
 
 class DropMessage(Exception):
     """Raised by a delivery filter to drop the message entirely."""
+
+
+class LocalBus:
+    """Zero-latency, synchronous :class:`Envelope` delivery.
+
+    The in-process message plane of the market's shard runtimes: a
+    ``post`` builds an :class:`Envelope` stamped with the current
+    simulated tick and hands it to the recipient's handler *in the
+    same call* — no simulator event is scheduled, so wiring the bus
+    into an existing event order perturbs nothing.  That synchronous
+    delivery is also the degenerate (and trivially correct) form of
+    the simulated-time barrier protocol: every message for tick *t*
+    is delivered before anything advances past *t*, because nothing
+    advances at all until the handler returns.
+
+    The bus keeps :class:`Network`-shaped delivery counters and
+    accepts the same style of delivery filters (return extra delay,
+    or raise :class:`DropMessage`), so drop/delay observability is
+    uniform across the replication network, the telemetry plane, and
+    the shard message plane.  A delayed envelope is re-posted through
+    the simulator; the market itself installs no filters, keeping the
+    default path event-free.
+    """
+
+    def __init__(self, simulator: Simulator):
+        self.simulator = simulator
+        self._handlers: dict[str, Callable[[Envelope], None]] = {}
+        self._filters: list[Callable[[Envelope], float | None]] = []
+        self.stats = {
+            "delivered": 0,
+            "dropped": 0,
+            "filter_dropped": 0,
+            "filter_delayed": 0,
+        }
+
+    def register(self, name: str, handler: Callable[[Envelope], None]) -> None:
+        """Attach an endpoint; envelopes posted to ``name`` invoke it."""
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def deregister(self, name: str) -> None:
+        """Detach an endpoint; future envelopes to it are dropped."""
+        self._handlers.pop(name, None)
+
+    def add_filter(self, fn: Callable[[Envelope], float | None]) -> None:
+        """Install a delivery filter (same contract as Network's)."""
+        self._filters.append(fn)
+
+    def post(self, sender: str, recipient: str, shard: int, payload: object) -> None:
+        """Deliver ``payload`` to ``recipient`` at this very instant."""
+        envelope = Envelope(
+            sender=sender, shard=shard, tick=self.simulator.now, payload=payload
+        )
+        delay = 0.0
+        try:
+            for fn in self._filters:
+                extra = fn(envelope)
+                if extra is not None and extra > 0:
+                    delay += extra
+                    self.stats["filter_delayed"] += 1
+        except DropMessage:
+            self.stats["dropped"] += 1
+            self.stats["filter_dropped"] += 1
+            return
+        if delay > 0:
+            self.simulator.schedule(
+                delay,
+                lambda: self._deliver(recipient, envelope),
+                label=f"bus->{recipient}",
+            )
+            return
+        self._deliver(recipient, envelope)
+
+    def _deliver(self, recipient: str, envelope: Envelope) -> None:
+        handler = self._handlers.get(recipient)
+        if handler is None:
+            self.stats["dropped"] += 1
+            return
+        self.stats["delivered"] += 1
+        handler(envelope)
 
 
 class SynchronousNetwork(Network):

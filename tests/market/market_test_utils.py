@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.core.deal import Asset, DealSpec, TransferStep
 from repro.crypto.keys import KeyPair
 from repro.market.order import sign_order
-from repro.market.scheduler import DealScheduler, MarketConfig
+from repro.market import MarketConfig, MarketCoordinator
 
 
 class HandWorkload:
@@ -121,7 +121,7 @@ def run_hand(orders_builder, config: MarketConfig | None = None,
              **workload_kwargs):
     """Run hand-built orders with per-block invariant checking on."""
     workload = HandWorkload(orders_builder, **workload_kwargs)
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload,
         config or MarketConfig(patience=30.0, check_invariants_per_block=True),
     )

@@ -1,0 +1,154 @@
+"""Backend equivalence: ``processes`` is byte-identical to ``inline``.
+
+The contract of :func:`repro.market.open_market` is that the execution
+backend is invisible in the results: one worker process per shard (the
+SPMD replay with partitioned seal verification) must produce the same
+report bytes and the same fingerprint as the single-process run, for
+any market the inline backend can run.  These tests sweep the matrix
+the ISSUE names — shards {1, 2, 4} x protocol mix x replication factor
+{1, 3} x a seeded crash schedule — plus the facade's edge cases (the
+deprecation shim, unknown backend names, handle memoization).
+"""
+
+import multiprocessing
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import MarketError
+from repro.market import (
+    DealScheduler,
+    MarketConfig,
+    MarketCoordinator,
+    open_market,
+)
+from repro.sim.faults import FaultPlan, ReplicaCrash
+from repro.sim.network import DropMessage, Envelope, LocalBus
+from repro.sim.simulator import Simulator
+from repro.workloads.market import MarketProfile, MarketWorkload
+
+PROTOCOL_MIX = (("unanimity", 1.0), ("timelock", 1.0), ("cbc", 1.0))
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not fork_available, reason="processes backend needs the fork start method"
+)
+
+
+def _profile(shards: int) -> MarketProfile:
+    """A tiny protocol-mix market over ``shards`` coordinator shards."""
+    base = MarketProfile.sharded_smoke(seed=7, shards=shards)
+    if shards == 1:
+        base = replace(base, cross_shard_rate=0.0)
+    return replace(
+        base, deals=40, protocol_mix=PROTOCOL_MIX, book_fund_fraction=0.5
+    )
+
+
+def _config(replication: int, crash: bool) -> MarketConfig:
+    plan = None
+    if crash:
+        # A seeded (deterministic) crash schedule: a follower of shard
+        # 0 dies mid-run and recovers through snapshot + replay.
+        plan = FaultPlan().add(
+            ReplicaCrash(replica="s0/r1", at_time=12.0, recover_at=30.0)
+        )
+    return MarketConfig(replication_factor=replication, fault_plan=plan)
+
+
+# (shards, replication factor, seeded crash schedule?)
+MATRIX = [
+    (1, 1, False),
+    (2, 1, False),
+    (4, 1, False),
+    (1, 3, True),
+    (2, 3, True),
+    (4, 3, True),
+]
+
+
+@needs_fork
+@pytest.mark.parametrize("shards,replication,crash", MATRIX)
+def test_processes_backend_matches_inline(shards, replication, crash):
+    workload = MarketWorkload(_profile(shards))
+    inline = open_market(workload, _config(replication, crash)).run()
+
+    workload = MarketWorkload(_profile(shards))
+    procs_handle = open_market(
+        workload, _config(replication, crash), backend="processes"
+    )
+    assert procs_handle.backend.name == "processes"
+    assert procs_handle.market is None  # workers own their coordinators
+    procs = procs_handle.run()
+
+    assert procs.fingerprint() == inline.fingerprint()
+    assert procs.render() == inline.render()
+    assert procs.committed == inline.committed
+    assert not inline.invariant_violations
+
+
+def test_inline_handle_exposes_the_coordinator():
+    handle = open_market(MarketWorkload(_profile(1)))
+    assert handle.backend.name == "inline"
+    assert isinstance(handle.market, MarketCoordinator)
+    # run() is memoized: report() is the same object, not a re-run.
+    assert handle.report() is handle.run()
+
+
+def test_unknown_backend_is_a_market_error():
+    with pytest.raises(MarketError, match="unknown execution backend"):
+        open_market(MarketWorkload(_profile(1)), backend="threads")
+
+
+def test_deal_scheduler_shim_warns_and_matches():
+    workload = MarketWorkload(_profile(1))
+    with pytest.deprecated_call():
+        shim = DealScheduler(workload)
+    report = shim.run()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the facade must not warn
+        fresh = open_market(MarketWorkload(_profile(1))).run()
+    assert report.render() == fresh.render()
+    assert report.fingerprint() == fresh.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# The Envelope plane underneath the backends
+# ----------------------------------------------------------------------
+def test_local_bus_delivers_synchronously_with_stats():
+    simulator = Simulator()
+    bus = LocalBus(simulator)
+    seen = []
+    bus.register("sink", seen.append)
+    bus.post("source", "sink", 3, payload="hello")
+    envelope = seen[0]
+    assert isinstance(envelope, Envelope)
+    assert (envelope.sender, envelope.shard, envelope.tick) == ("source", 3, 0.0)
+    assert envelope.payload == "hello"
+    bus.post("source", "nobody", 0, payload="lost")
+    assert bus.stats["delivered"] == 1
+    assert bus.stats["dropped"] == 1
+
+
+def test_local_bus_filters_drop_and_delay():
+    simulator = Simulator()
+    bus = LocalBus(simulator)
+    seen = []
+    bus.register("sink", seen.append)
+
+    def fn(envelope):
+        if envelope.payload == "poison":
+            raise DropMessage
+        if envelope.payload == "slow":
+            return 2.5
+        return None
+
+    bus.add_filter(fn)
+    bus.post("source", "sink", 0, payload="poison")
+    assert not seen and bus.stats["filter_dropped"] == 1
+    bus.post("source", "sink", 0, payload="slow")
+    assert not seen  # delayed envelopes ride the simulator
+    simulator.run()
+    assert [envelope.payload for envelope in seen] == ["slow"]
+    assert bus.stats["filter_delayed"] == 1

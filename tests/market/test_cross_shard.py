@@ -41,7 +41,7 @@ from repro.core.proofs import StatusProof
 from repro.crypto.hashing import hash_concat
 from repro.market.commitlog import MarketCommitLog
 from repro.market.order import shard_of_deal
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator
 
 
 def _config(**overrides) -> MarketConfig:
@@ -69,7 +69,7 @@ def test_wrong_shard_registration_reverts_on_chain():
         return []
 
     workload = HandWorkload(orders, shards=2, chains=2)
-    scheduler = DealScheduler(workload, _config())
+    scheduler = MarketCoordinator(workload, _config())
     # Mine a deal id that routes to shard 1, then try to register it
     # on shard 0's log directly: the contract must revert.
     foreign = on_shard(
@@ -261,7 +261,7 @@ def test_cbc_stale_proof_replayed_on_wrong_shard_is_rejected():
         return [deal_a, deal_b]
 
     workload = HandWorkload(orders, shards=2, book_fund_fraction=0.5)
-    scheduler = DealScheduler(workload, _config())
+    scheduler = MarketCoordinator(workload, _config())
 
     def inject() -> None:
         target = next(

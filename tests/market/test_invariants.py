@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from market_test_utils import HandWorkload, nft_sale, run_hand, two_party_swap
 from repro.market.invariants import check_market_invariants
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator
 from repro.workloads.market import MarketProfile, MarketWorkload
 
 
@@ -25,7 +25,7 @@ def test_double_spend_pressure_first_committed_wins():
         ]
 
     workload = HandWorkload(orders, balance=100)
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, MarketConfig(patience=30.0, check_invariants_per_block=True)
     )
     report = scheduler.run()
@@ -57,7 +57,7 @@ def test_escrowed_asset_cannot_fund_a_second_deal():
         ]
 
     workload = HandWorkload(orders, balance=100)
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, MarketConfig(patience=30.0, check_invariants_per_block=True)
     )
     report = scheduler.run()
@@ -69,7 +69,7 @@ def test_escrowed_asset_cannot_fund_a_second_deal():
 def test_conservation_holds_through_a_contended_storm():
     """A starved-balance storm: many conflicts, zero leaks."""
     workload = MarketWorkload(MarketProfile.contended())
-    scheduler = DealScheduler(workload)
+    scheduler = MarketCoordinator(workload)
     report = scheduler.run()
     assert report.conflicts > 20  # the storm actually stormed
     assert report.committed > 0
@@ -96,7 +96,7 @@ def test_per_block_invariant_checking_passes_on_adversarial_smoke():
         initial_balance=600, withhold_rate=0.1, no_show_rate=0.1,
         forge_rate=0.05, seed=11,
     )
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         MarketWorkload(profile), MarketConfig(check_invariants_per_block=True)
     )
     report = scheduler.run()  # raises MarketError on any violated block
@@ -186,7 +186,7 @@ def test_nft_distinct_tokens_commit_concurrently():
 def test_uniform_outcomes_across_chains():
     """A settled deal is committed everywhere or aborted everywhere."""
     workload = MarketWorkload(MarketProfile.contended())
-    scheduler = DealScheduler(workload)
+    scheduler = MarketCoordinator(workload)
     scheduler.run()
     from repro.market.book import ABORTED, COMMITTED
 

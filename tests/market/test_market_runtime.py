@@ -15,7 +15,7 @@ from market_test_utils import HandWorkload, run_hand, two_party_swap
 from repro.core.deal import Asset, DealSpec, TransferStep
 from repro.errors import MarketError
 from repro.market.order import sign_order
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator, open_market
 from repro.workloads.market import MarketProfile, MarketWorkload
 
 
@@ -104,7 +104,7 @@ def test_mempool_backpressure_delays_but_never_drops():
         ]
 
     workload = HandWorkload(orders)
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, MarketConfig(patience=60.0, max_txs_per_block=8)
     )
     report = scheduler.run()
@@ -158,7 +158,7 @@ def test_minimum_account_pool_never_overflows_ring_size():
     orders = workload.orders()
     assert len(orders) == 60
     assert all(len(o.parties) <= 3 for o in orders)
-    report = DealScheduler(MarketWorkload(profile)).run()
+    report = open_market(MarketWorkload(profile)).run()
     assert report.stuck == 0
     assert report.invariant_violations == ()
 
@@ -176,7 +176,7 @@ def test_smoke_profile_run_is_fingerprint_stable():
     profile = MarketProfile(deals=40, chains=3, accounts=8,
                             initial_balance=1_500, seed=3)
     reports = [
-        DealScheduler(MarketWorkload(profile)).run() for _ in range(2)
+        open_market(MarketWorkload(profile)).run() for _ in range(2)
     ]
     assert reports[0].fingerprint() == reports[1].fingerprint()
     assert reports[0].render() == reports[1].render()

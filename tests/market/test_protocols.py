@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from market_test_utils import HandWorkload, run_hand, two_party_swap
 from repro.core.escrow import EscrowState
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator
 
 
 def _escrow_states(scheduler, run):

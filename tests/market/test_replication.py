@@ -35,7 +35,7 @@ from repro.chain.tx import Transaction
 from repro.consensus.bft import DealStatus, StatusCertificate
 from repro.core.proofs import StatusProof
 from repro.market.replication import replica_name
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator
 from repro.sim.faults import FaultPlan, ReplicaCrash, ReplicaRecover
 
 
@@ -89,7 +89,7 @@ def test_commitlog_and_book_snapshot_restore():
         return [two_party_swap(wl, index=0, arrival=0.2)]
 
     workload = HandWorkload(orders, shards=1)
-    scheduler = DealScheduler(workload, _config())
+    scheduler = MarketCoordinator(workload, _config())
     log = scheduler.commit_logs[0]
     book = scheduler.books[scheduler.workload.chain_ids[0]]
     log_image, book_image = log.snapshot(), book.snapshot()
@@ -172,7 +172,7 @@ def test_leader_kill_between_escrow_open_and_vote_fanin():
     plan = _plan(ReplicaCrash(
         replica=replica_name(1, 0), at_time=crash_at, recover_at=12.0,
     ))
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload,
         _config(replication_factor=3, fault_plan=plan,
                 timelock_delta=20.0),
@@ -227,7 +227,7 @@ def test_crash_during_cbc_proof_assembly():
     plan = _plan(ReplicaCrash(
         replica=replica_name(0, 0), at_time=crash_at, recover_at=14.0,
     ))
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, _config(replication_factor=2, fault_plan=plan),
     )
 
@@ -283,7 +283,7 @@ def test_recovered_replica_replays_through_stale_proof_attack():
     plan = _plan(ReplicaCrash(
         replica=replica_name(0, 1), at_time=1.0, recover_at=20.0,
     ))
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, _config(replication_factor=2, fault_plan=plan),
     )
 
@@ -354,7 +354,7 @@ def test_factor_one_outage_queues_orders_until_recovery():
     plan = _plan(ReplicaCrash(
         replica=replica_name(0, 0), at_time=1.0, recover_at=10.0,
     ))
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, _config(replication_factor=1, fault_plan=plan),
     )
     report = scheduler.run()
@@ -384,7 +384,7 @@ def test_replica_recover_fault_and_plan_stats():
     crash = ReplicaCrash(replica=replica_name(0, 2), at_time=1.0)
     revive = ReplicaRecover(replica=replica_name(0, 2), at_time=6.0)
     plan = _plan(crash, revive)
-    scheduler = DealScheduler(
+    scheduler = MarketCoordinator(
         workload, _config(replication_factor=3, fault_plan=plan),
     )
     report = scheduler.run()

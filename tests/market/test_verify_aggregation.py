@@ -17,7 +17,7 @@ from dataclasses import replace
 from market_test_utils import HandWorkload, run_hand, two_party_swap
 from repro.consensus.validators import VerifyAggregator
 from repro.crypto.schnorr import generate_keypair, sign
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator
 from repro.sim.simulator import Simulator
 from repro.workloads.market import MarketProfile, MarketWorkload
 
@@ -92,7 +92,7 @@ def test_aggregation_on_off_reports_are_byte_identical():
     profile = replace(MarketProfile.smoke(), deals=60)
     reports = []
     for enabled in (True, False):
-        scheduler = DealScheduler(
+        scheduler = MarketCoordinator(
             MarketWorkload(profile), MarketConfig(verify_aggregation=enabled)
         )
         reports.append(scheduler.run())
@@ -115,7 +115,7 @@ def test_aggregation_on_off_equivalence_with_hand_forgeries():
     results = []
     for enabled in (True, False):
         workload = HandWorkload(orders)
-        scheduler = DealScheduler(workload, _config(verify_aggregation=enabled))
+        scheduler = MarketCoordinator(workload, _config(verify_aggregation=enabled))
         results.append(scheduler.run())
     on, off = results
     assert on.fingerprint() == off.fingerprint()

@@ -27,7 +27,7 @@ from dataclasses import replace
 
 from repro.market.order import shard_of_deal
 from repro.market.replication import replica_name
-from repro.market.scheduler import DealScheduler, MarketConfig
+from repro.market import MarketConfig, MarketCoordinator
 from repro.sim.faults import (
     CrashFault,
     FaultPlan,
@@ -50,7 +50,7 @@ def _run(profile: MarketProfile, plan: FaultPlan | None, factor: int = 2):
     config = MarketConfig(
         replication_factor=factor, fault_plan=plan, patience=60.0
     )
-    scheduler = DealScheduler(MarketWorkload(profile), config)
+    scheduler = MarketCoordinator(MarketWorkload(profile), config)
     return scheduler, scheduler.run()
 
 

@@ -27,7 +27,7 @@ from dataclasses import replace
 from repro.market.book import ABORTED as BOOK_ABORTED, COMMITTED as BOOK_COMMITTED
 from repro.market.commitlog import ABORTED, COMMITTED, PENDING
 from repro.market.order import shard_of_deal
-from repro.market.scheduler import DealPhase, DealScheduler, MarketConfig
+from repro.market import DealPhase, MarketConfig, MarketCoordinator
 from repro.workloads.market import MarketProfile, MarketWorkload
 
 # Enough deals for real contention and cross-shard traffic, small
@@ -40,7 +40,7 @@ _GRID_PROFILE = MarketProfile(
 
 def _run(profile: MarketProfile, **config_overrides):
     config = MarketConfig(**config_overrides) if config_overrides else None
-    scheduler = DealScheduler(MarketWorkload(profile), config)
+    scheduler = MarketCoordinator(MarketWorkload(profile), config)
     return scheduler, scheduler.run()
 
 
@@ -133,7 +133,7 @@ def test_sharded_run_is_deterministic_and_aggregation_invariant():
 
 def _sharded_fingerprint(seed: int) -> dict:
     profile = replace(MarketProfile.sharded_smoke(), deals=40, seed=seed)
-    scheduler = DealScheduler(MarketWorkload(profile))
+    scheduler = MarketCoordinator(MarketWorkload(profile))
     report = scheduler.run()
     return {
         "fingerprint": report.fingerprint(),

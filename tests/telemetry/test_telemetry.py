@@ -13,8 +13,8 @@ import json
 
 import pytest
 
-from repro.market.scheduler import DealScheduler, MarketConfig
-from repro.market.scheduler import _percentile as scheduler_percentile
+from repro.market import MarketConfig, MarketCoordinator, open_market
+from repro.market.runtime import _percentile as scheduler_percentile
 from repro.sim.faults import FaultPlan, ReplicaCrash
 from repro.telemetry import MetricsRegistry, Telemetry, Tracer
 from repro.telemetry.export import (
@@ -35,14 +35,14 @@ def _run(telemetry=None, replication=1, fault_plan=None):
         fault_plan=fault_plan,
         telemetry=telemetry,
     )
-    scheduler = DealScheduler(MarketWorkload(MarketProfile.sharded_smoke()), config)
+    scheduler = MarketCoordinator(MarketWorkload(MarketProfile.sharded_smoke()), config)
     return scheduler.run()
 
 
 @pytest.fixture(scope="module")
 def base_report():
     """The untraced, unreplicated reference run."""
-    return DealScheduler(MarketWorkload(MarketProfile.sharded_smoke())).run()
+    return open_market(MarketWorkload(MarketProfile.sharded_smoke())).run()
 
 
 @pytest.fixture(scope="module")

@@ -56,6 +56,7 @@ EXPECTED_METRICS = {
     "availability",
     "sore_losers",
     "replication",
+    "exec_backend",
 }
 
 
@@ -63,10 +64,11 @@ def test_market_quick_smoke(tmp_path):
     output = tmp_path / "BENCH_market.json"
     assert bench_e16_market.main(["--quick", "--output", str(output)]) == 0
     report = json.loads(output.read_text())
-    assert report["schema"] == "BENCH_market/v4"
+    assert report["schema"] == "BENCH_market/v5"
     assert report["quick"] is True
     metrics = report["metrics"]
     assert set(metrics) == EXPECTED_METRICS
+    assert metrics["exec_backend"] == "inline"
     # The fixed-seed smoke market must actually run hot: most deals
     # commit, none are stranded, and every conservation invariant holds.
     assert metrics["deals_committed"] > metrics["deals_spawned"] * 0.8
