@@ -161,6 +161,7 @@ def make_report(
     shards: int = 1,
     trace: str | None = None,
     exec_backend: str = "inline",
+    chaos: float = 0.0,
 ) -> str:
     profile = _pick_profile(quick, mixed=False, shards=shards)
     config = None
@@ -174,6 +175,19 @@ def make_report(
 
         telemetry = Telemetry()
         config = MarketConfig(telemetry=telemetry)
+    if chaos > 0:
+        # The seeded chaos axis: drop/dup/delay/reorder the headline
+        # run's message planes at this intensity.  chaos == 0 must not
+        # touch the config at all (CI cmp's --chaos 0 against the
+        # chaos-free report to prove byte-neutrality).
+        from repro.sim.chaos import ChaosPlan
+
+        plan = ChaosPlan.at(chaos, seed=profile.seed)
+        config = (
+            replace(config, chaos=plan)
+            if config is not None
+            else MarketConfig(chaos=plan)
+        )
     # The backend applies to the headline run only: the sweep tables
     # are process-pooled already, and a backend cannot change report
     # bytes anyway (CI cmp's inline vs processes output to prove it).
@@ -445,6 +459,11 @@ def main(argv: list[str]) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the load sweep")
+    parser.add_argument("--chaos", type=float, default=0.0, metavar="P",
+                        help="seeded chaos intensity for the headline run "
+                             "(drop/dup/delay/reorder each message plane "
+                             "at probability P; 0 = chaos off, "
+                             "byte-identical to a chaos-free build)")
     args = parser.parse_args(argv)
     profile = _pick_profile(args.quick, args.protocol_mix, args.shards)
     telemetry = None
@@ -452,9 +471,16 @@ def main(argv: list[str]) -> int:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
+    chaos_plan = None
+    if args.chaos > 0:
+        from repro.sim.chaos import ChaosPlan
+
+        chaos_plan = ChaosPlan.at(args.chaos, seed=profile.seed)
     config = (
-        MarketConfig(replication_factor=args.replication, telemetry=telemetry)
+        MarketConfig(replication_factor=args.replication,
+                     telemetry=telemetry, chaos=chaos_plan)
         if args.replication > 1 or telemetry is not None
+        or chaos_plan is not None
         else None
     )
     run = run_market(profile, config, exec_backend=args.exec_backend)
@@ -465,8 +491,10 @@ def main(argv: list[str]) -> int:
         # contract) must produce the identical report, and on a host
         # with the cores the processes backend must be faster.
         baseline_config = (
-            MarketConfig(replication_factor=args.replication)
-            if args.replication > 1 else None
+            MarketConfig(replication_factor=args.replication,
+                         chaos=chaos_plan)
+            if args.replication > 1 or chaos_plan is not None
+            else None
         )
         inline_report, inline_wall = run_market(profile, baseline_config)
         if inline_report.render() != run[0].render():

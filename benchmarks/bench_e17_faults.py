@@ -195,8 +195,15 @@ def fault_table(jobs: int | None = None, quick: bool = False) -> str:
 # ----------------------------------------------------------------------
 # Recovery conformance gate
 # ----------------------------------------------------------------------
-def gate_run(quick: bool = False, telemetry=None) -> MarketReport:
-    """The acceptance run: factor 3, leader kills mid-deal included."""
+def gate_run(
+    quick: bool = False, telemetry=None, chaos: float = 0.0
+) -> MarketReport:
+    """The acceptance run: factor 3, leader kills mid-deal included.
+
+    ``chaos`` composes a seeded message-plane chaos plan on top of the
+    crash schedule (E18's axis); 0 leaves the config untouched so the
+    chaos-off report stays byte-identical to a chaos-free build.
+    """
     if quick:
         profile = _with_mix(MarketProfile.sharded_smoke(seed=29, shards=2))
     else:
@@ -205,15 +212,32 @@ def gate_run(quick: bool = False, telemetry=None) -> MarketReport:
         )
     span = profile.deals / profile.arrival_rate
     plan = crash_schedule(profile.shards, 3, 2, span, profile.seed)
+    chaos_plan = None
+    if chaos > 0:
+        from repro.sim.chaos import ChaosPlan
+
+        chaos_plan = ChaosPlan.at(chaos, seed=profile.seed)
     config = MarketConfig(
-        replication_factor=3, fault_plan=plan, telemetry=telemetry
+        replication_factor=3, fault_plan=plan, telemetry=telemetry,
+        chaos=chaos_plan,
     )
     return open_market(MarketWorkload(profile), config).run()
 
 
-def check_gate(report: MarketReport, quick: bool = False) -> list[str]:
-    """The E17 acceptance criteria; returns failures (empty = pass)."""
+def check_gate(
+    report: MarketReport, quick: bool = False, chaos: float = 0.0
+) -> list[str]:
+    """The E17 acceptance criteria; returns failures (empty = pass).
+
+    With ``chaos`` composed onto the crash schedule the commit floor
+    halves: message loss legitimately aborts timelock/CBC deals whose
+    votes miss a deadline (the paper's §5 partial-synchrony caveat),
+    and E18 owns the chaos-conformance accounting — this gate keeps
+    proving crash recovery, calibrated for intensities up to ~0.15.
+    """
     floor = 80 if quick else 1_000
+    if chaos > 0:
+        floor //= 2
     stats = dict(report.replication_stats)
     failures = []
     if report.faults_injected == 0:
@@ -236,10 +260,14 @@ def check_gate(report: MarketReport, quick: bool = False) -> list[str]:
     return failures
 
 
-def gate_table(quick: bool = False, report: MarketReport | None = None) -> str:
+def gate_table(
+    quick: bool = False,
+    report: MarketReport | None = None,
+    chaos: float = 0.0,
+) -> str:
     if report is None:
         report = gate_run(quick=quick)
-    failures = check_gate(report, quick=quick)
+    failures = check_gate(report, quick=quick, chaos=chaos)
     stats = dict(report.replication_stats)
     net = dict(report.network_stats)
     rows = [
@@ -268,7 +296,10 @@ def gate_table(quick: bool = False, report: MarketReport | None = None) -> str:
 
 
 def make_report(
-    jobs: int | None = None, quick: bool = False, trace: str | None = None
+    jobs: int | None = None,
+    quick: bool = False,
+    trace: str | None = None,
+    chaos: float = 0.0,
 ) -> str:
     telemetry = None
     if trace is not None:
@@ -277,13 +308,13 @@ def make_report(
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
-    report = gate_run(quick=quick, telemetry=telemetry)
+    report = gate_run(quick=quick, telemetry=telemetry, chaos=chaos)
     if telemetry is not None:
         from repro.telemetry.export import write_trace_jsonl
 
         write_trace_jsonl(telemetry, trace)
     return (
-        gate_table(quick=quick, report=report)
+        gate_table(quick=quick, report=report, chaos=chaos)
         + "\n"
         + fault_table(jobs=jobs, quick=quick)
     )
@@ -299,21 +330,25 @@ def main(argv: list[str]) -> int:
                         help="write a deal-lifecycle trace (JSONL) of the "
                              "gate run; byte-neutral — report bytes and "
                              "fingerprint are unchanged")
+    parser.add_argument("--chaos", type=float, default=0.0, metavar="P",
+                        help="seeded chaos intensity composed onto the "
+                             "gate run's crash schedule (0 = chaos off, "
+                             "byte-identical to a chaos-free build)")
     args = parser.parse_args(argv)
     telemetry = None
     if args.trace is not None:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
-    report = gate_run(quick=args.quick, telemetry=telemetry)
+    report = gate_run(quick=args.quick, telemetry=telemetry, chaos=args.chaos)
     if telemetry is not None:
         from repro.telemetry.export import write_trace_jsonl
 
         records = write_trace_jsonl(telemetry, args.trace)
         print(f"trace: {records} records -> {args.trace}")
-    print(gate_table(quick=args.quick, report=report))
+    print(gate_table(quick=args.quick, report=report, chaos=args.chaos))
     print(fault_table(jobs=args.jobs, quick=args.quick))
-    failures = check_gate(report, quick=args.quick)
+    failures = check_gate(report, quick=args.quick, chaos=args.chaos)
     if failures:
         print("FAIL: " + "; ".join(failures))
         return 1

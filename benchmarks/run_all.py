@@ -4,9 +4,9 @@ Usage::
 
     python benchmarks/run_all.py [output-file] [--jobs N] [--quick]
                                  [--shards M] [--trace PREFIX]
-                                 [--exec {inline,processes}]
+                                 [--exec {inline,processes}] [--chaos P]
 
-Writes the concatenated paper-style tables for E1..E17 (the full
+Writes the concatenated paper-style tables for E1..E18 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
 
 ``--jobs N`` fans the experiments out over ``N`` worker processes
@@ -17,9 +17,15 @@ A per-experiment timing summary is printed at the end either way
 (it feeds the perf trajectory in BENCHMARKS.md).
 
 ``--quick`` shrinks experiments that support a quick mode (currently
-E16 and E17) so CI's determinism gate — serial vs ``--jobs 2``
+E16, E17 and E18) so CI's determinism gate — serial vs ``--jobs 2``
 reports must be byte-identical — stays cheap.  Quick reports are only
 comparable to other quick reports.
+
+``--chaos P`` turns on seeded message-plane chaos (drop / duplicate /
+delay / reorder at probability P per transmission) for experiments
+that support the axis (currently E16 and E17; E18 sweeps it
+natively).  ``--chaos 0`` is the default and is byte-identical to a
+chaos-free run — CI cmp's the two to prove it.
 
 ``--exec processes`` runs experiments that support an execution
 backend (currently E16) with one worker process per shard; reports
@@ -61,6 +67,7 @@ EXPERIMENTS = [
     ("E15", "bench_e15_asynchrony"),
     ("E16", "bench_e16_market"),
     ("E17", "bench_e17_faults"),
+    ("E18", "bench_e18_chaos"),
 ]
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
@@ -84,6 +91,7 @@ def run_experiment(
     shards: int = 1,
     trace: str | None = None,
     exec_backend: str = "inline",
+    chaos: float = 0.0,
 ) -> tuple[str, str, str, float]:
     """Run one experiment; return (id, module, report, elapsed seconds)."""
     experiment_id, module_name = item
@@ -100,6 +108,8 @@ def run_experiment(
         kwargs["trace"] = trace_path(trace, experiment_id)
     if exec_backend != "inline" and "exec_backend" in parameters:
         kwargs["exec_backend"] = exec_backend
+    if chaos > 0 and "chaos" in parameters:
+        kwargs["chaos"] = chaos
     report = module.make_report(**kwargs)
     return experiment_id, module_name, report, time.monotonic() - started
 
@@ -160,6 +170,11 @@ def main(argv: list[str]) -> int:
                         help="execution backend for experiments that "
                              "support one (currently E16); reports are "
                              "byte-identical either way")
+    parser.add_argument("--chaos", type=float, default=0.0, metavar="P",
+                        help="seeded message-plane chaos intensity for "
+                             "experiments that support the axis "
+                             "(currently E16, E17); 0 = off, "
+                             "byte-identical to a chaos-free run")
     args = parser.parse_args(argv[1:])
 
     identifiers = [experiment_id for experiment_id, _ in EXPERIMENTS]
@@ -184,7 +199,8 @@ def main(argv: list[str]) -> int:
     from functools import partial
 
     runner = partial(run_experiment, quick=args.quick, shards=args.shards,
-                     trace=args.trace, exec_backend=args.exec_backend)
+                     trace=args.trace, exec_backend=args.exec_backend,
+                     chaos=args.chaos)
     started = time.monotonic()
     if jobs > 1:
         method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None

@@ -38,9 +38,8 @@ space.  This package is the runtime for that regime:
   and commit log live in that shard's
   :class:`~repro.market.runtime.ShardRuntime`, reached only through
   typed message envelopes.  :func:`open_market` is the entry point and
-  picks the execution backend (``inline`` or one worker process per
-  shard); the old ``DealScheduler`` name survives in
-  :mod:`repro.market.scheduler` as a deprecation shim.
+  picks the execution backend (``inline`` or one supervised worker
+  process per shard).
 * :mod:`repro.market.invariants` — conservation checks: token supply
   is constant across any interleaving, the book's internal ledger
   exactly backs its token holdings, no escrowed asset is double-spent,
@@ -68,13 +67,11 @@ from repro.market.runtime import (
     MarketReport,
     open_market,
 )
-from repro.market.scheduler import DealScheduler
 
 __all__ = [
     "open_market",
     "MarketHandle",
     "MarketCoordinator",
-    "DealScheduler",
     "DealPhase",
     "MarketConfig",
     "MarketReport",

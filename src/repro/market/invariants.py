@@ -148,12 +148,15 @@ def check_market_invariants(scheduler) -> list[str]:
                 )
 
     # 4. Outcome uniformity: every chain agrees on every settled deal.
-    # With crash faults active, a timelock deal may legitimately settle
-    # mixed (the §5 sore loser); anywhere else that pattern is a bug.
+    # With crash faults active — or a chaotic message plane dropping
+    # and delaying vote fanout — a timelock deal may legitimately
+    # settle mixed (the §5 sore loser); anywhere else that pattern is
+    # a bug.
     replication = getattr(scheduler, "replication", None)
+    chaos = getattr(getattr(scheduler, "config", None), "chaos", None)
     crash_faults_active = (
         replication is not None and replication.counters["crashes"] > 0
-    )
+    ) or (chaos is not None and getattr(chaos, "market_active", False))
     for deal_id, run in scheduler.runs.items():
         if run.driver is not None:
             violations.extend(

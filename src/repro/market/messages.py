@@ -38,6 +38,18 @@ backend) or replayed identically inside every worker of the
   telemetry export, shipped once at quiescence by the ``processes``
   backend (inline runs never serialize telemetry).
 
+**At-least-once delivery.**  Under a chaotic bus
+(:class:`~repro.sim.network.ChaosBus`) every envelope carries a
+per-(sender, recipient) monotonic ``msg_id`` (a sender sequence
+number), the transport acks each delivery with a
+:class:`~repro.sim.network.BusAck`, and unacked envelopes are resent
+on a capped exponential backoff.  At-least-once means handlers *will*
+see duplicates; each handler guards itself with a
+:class:`DedupWindow`, which suppresses any (sender, msg_id) it has
+already admitted — making replayed, duplicated, and reordered
+delivery indistinguishable from exact delivery at the state level.
+``msg_id == 0`` (the plain bus) bypasses the window entirely.
+
 Every type is a frozen dataclass of picklable fields; nothing here
 imports the runtime, so the vocabulary is dependency-free and safe to
 unpickle in a bare worker process.
@@ -47,10 +59,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.network import Envelope
+from repro.sim.network import BusAck, Envelope
 
 __all__ = [
     "Envelope",
+    "BusAck",
+    "DedupWindow",
     "SubmitOrder",
     "CrossShardEscrowOp",
     "VoteFanout",
@@ -62,6 +76,45 @@ __all__ = [
     "DeltaAck",
     "TelemetrySpan",
 ]
+
+
+class DedupWindow:
+    """Suppress duplicate reliable envelopes at one endpoint.
+
+    Tracks, per sender, a contiguous *floor* (every ``msg_id`` at or
+    below it has been admitted) plus the sparse set of admitted ids
+    above it.  Because :class:`~repro.sim.network.ChaosBus` stamps
+    ``msg_id`` per (sender, recipient) pair, the ids arriving at one
+    endpoint from one sender are gap-free once delivery settles, so
+    the floor advances and the set stays small.  ``stats`` (optional)
+    is a counter dict whose ``"dup_suppressed"`` key is bumped on
+    every suppression — the market passes the bus's own stats dict so
+    suppression shows up next to the chaos counters.
+    """
+
+    def __init__(self, stats: dict | None = None):
+        self._floor: dict[str, int] = {}
+        self._seen: dict[str, set[int]] = {}
+        self._stats = stats
+
+    def duplicate(self, envelope: Envelope) -> bool:
+        """Admit ``envelope`` once; True if it was already admitted."""
+        msg_id = envelope.msg_id
+        if not msg_id:
+            return False
+        sender = envelope.sender
+        floor = self._floor.get(sender, 0)
+        seen = self._seen.setdefault(sender, set())
+        if msg_id <= floor or msg_id in seen:
+            if self._stats is not None:
+                self._stats["dup_suppressed"] += 1
+            return True
+        seen.add(msg_id)
+        while floor + 1 in seen:
+            floor += 1
+            seen.discard(floor)
+        self._floor[sender] = floor
+        return False
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,21 @@ class ShardReplicaGroup:
     downtime: float = 0.0
     # follower name -> {chain_id: highest acked seq} (leader's view).
     acked: dict[str, dict[str, int]] = field(default_factory=dict)
+    # Backref to the owning ReplicationLayer (set at construction).
+    layer: object | None = None
+
+    def apply_delta(
+        self, replica: Replica, chain_id: str, seq: int, delta
+    ) -> str:
+        """Apply one shipped delta to ``replica``, idempotently.
+
+        Returns ``"duplicate"`` (seq already applied — replayed or
+        duplicated shipment, a no-op), ``"applied"`` (seq was next, one
+        apply), or ``"healed"`` (seq exposed a gap; the missing range
+        was replayed from the group log first).  This is the public
+        idempotency seam the chaos property tests replay against.
+        """
+        return self.layer._apply_shipment(replica, chain_id, seq, delta)
 
     def alive_replicas(self) -> list[Replica]:
         return [replica for replica in self.replicas if replica.alive]
@@ -139,6 +154,9 @@ class ReplicationLayer:
         factor: int,
         delta: float = 0.4,
         failover_timeout: float = 2.0,
+        reliable: bool = False,
+        ack_timeout: float = 2.0,
+        backoff_cap: float = 16.0,
     ):
         if factor < 1:
             raise ValueError("replication factor must be >= 1")
@@ -146,6 +164,16 @@ class ReplicationLayer:
         self.simulator = scheduler.simulator
         self.factor = factor
         self.failover_timeout = failover_timeout
+        # Reliable shipping (chaos runs only): the leader watches its
+        # highest shipped seq per (follower, chain) and resends on a
+        # capped exponential backoff until acked.  Off by default — the
+        # watch timers are simulator events, and a chaos-free run must
+        # schedule nothing beyond the PR 6 baseline.
+        self.reliable = reliable
+        self.ack_timeout = ack_timeout
+        self.backoff_cap = backoff_cap
+        # (follower name, chain_id) -> [watched seq, attempt, timer]
+        self._ship_watch: dict[tuple[str, str], list] = {}
         # Telemetry hook: crash/recover/failover spans and delta-ship
         # events ride the run's tracer.  Observational only.
         self.telemetry = getattr(scheduler, "telemetry", None)
@@ -174,6 +202,8 @@ class ReplicationLayer:
             "hash_mismatches": 0,
             "dropped_while_dead": 0,
         }
+        if reliable:
+            self.counters["deltas_resent"] = 0
 
         shard_chains: dict[int, list[str]] = {}
         for chain_id, shard in scheduler.chain_shard.items():
@@ -184,6 +214,7 @@ class ReplicationLayer:
                 shard=shard,
                 chain_ids=chain_ids,
                 logs={chain_id: [] for chain_id in chain_ids},
+                layer=self,
             )
             for index in range(factor):
                 replica = Replica(
@@ -249,8 +280,75 @@ class ReplicationLayer:
                 self.counters["deltas_shipped"] += 1
                 if self.telemetry is not None:
                     self.telemetry.delta_shipped(shard, chain.chain_id, seq)
+                if self.reliable:
+                    self._watch_shipment(group, replica.name, chain.chain_id, seq)
         # With no live leader nothing ships: followers heal from the
         # group log at failover/recovery time (anti-entropy).
+
+    # ------------------------------------------------------------------
+    # Reliable shipping (chaos runs): watch, resend, back off
+    # ------------------------------------------------------------------
+    def _watch_shipment(
+        self, group: ShardReplicaGroup, follower: str, chain_id: str, seq: int
+    ) -> None:
+        """Watch the highest shipped seq to one follower until acked.
+
+        A newer shipment supersedes the watch (the follower's gap-heal
+        replays anything older from the log, so only the newest seq
+        needs the resend guarantee).
+        """
+        key = (follower, chain_id)
+        watch = self._ship_watch.get(key)
+        if watch is not None and watch[2] is not None:
+            watch[2].cancel()
+        entry = [seq, 0, None]
+        self._ship_watch[key] = entry
+        entry[2] = self.simulator.schedule(
+            self.ack_timeout,
+            lambda: self._check_shipment(group, key),
+            label=f"replication/resend-{follower}",
+        )
+
+    def _check_shipment(
+        self, group: ShardReplicaGroup, key: tuple[str, str]
+    ) -> None:
+        entry = self._ship_watch.get(key)
+        if entry is None:
+            return
+        follower, chain_id = key
+        seq, attempt, _ = entry
+        replica = self.replicas.get(follower)
+        acked = group.acked.get(follower, {}).get(chain_id, 0)
+        if (
+            acked >= seq
+            or replica is None
+            or not replica.alive
+            or group.leader is None
+            or attempt >= 6
+        ):
+            # Satisfied, moot (dead follower / leaderless shard), or
+            # out of patience — finish()'s anti-entropy backstops.
+            self._ship_watch.pop(key, None)
+            return
+        leader = group.leader_replica()
+        delta = group.logs[chain_id][seq - 1]
+        self.network.send(
+            leader.name,
+            follower,
+            Envelope(
+                sender=leader.name,
+                shard=group.shard,
+                tick=self.simulator.now,
+                payload=DeltaShipment(chain_id=chain_id, seq=seq, delta=delta),
+            ),
+        )
+        self.counters["deltas_resent"] += 1
+        entry[1] = attempt + 1
+        entry[2] = self.simulator.schedule(
+            min(self.ack_timeout * (2.0 ** entry[1]), self.backoff_cap),
+            lambda: self._check_shipment(group, key),
+            label=f"replication/resend-{follower}",
+        )
 
     def _apply_to(
         self, replica: Replica, chain_id: str, seq: int, delta: StateDelta
@@ -268,6 +366,27 @@ class ReplicationLayer:
                 image.get(contract, {}).get(storage, {}).pop(key, None)
         replica.applied[chain_id] = seq
         self.counters["deltas_applied"] += 1
+
+    def _apply_shipment(
+        self, replica: Replica, chain_id: str, seq: int, delta: StateDelta
+    ) -> str:
+        """Idempotent shipment intake (the body of group.apply_delta)."""
+        applied = replica.applied.get(chain_id, 0)
+        if seq <= applied:
+            return "duplicate"  # already applied or replayed — no-op
+        if seq == applied + 1:
+            self._apply_to(replica, chain_id, seq, delta)
+            return "applied"
+        # Gap (an earlier shipment was dropped): heal from the log.
+        group = self.groups[replica.shard]
+        log = group.logs[chain_id]
+        replayed = 0
+        while replica.applied.get(chain_id, 0) < min(seq, len(log)):
+            next_seq = replica.applied.get(chain_id, 0) + 1
+            self._apply_to(replica, chain_id, next_seq, log[next_seq - 1])
+            replayed += 1
+        self.counters["deltas_replayed"] += replayed
+        return "healed"
 
     def _catch_up(self, replica: Replica) -> int:
         """Replay every group-log delta the replica is missing."""
@@ -294,27 +413,20 @@ class ReplicationLayer:
                 high.get(payload.chain_id, 0), payload.seq
             )
             self.counters["acks_received"] += 1
+            if self.reliable:
+                key = (payload.follower, payload.chain_id)
+                watch = self._ship_watch.get(key)
+                if watch is not None and payload.seq >= watch[0]:
+                    if watch[2] is not None:
+                        watch[2].cancel()
+                    self._ship_watch.pop(key, None)
             return
         chain_id, seq, delta = payload.chain_id, payload.seq, payload.delta
         if not replica.alive:
             # A shipment racing a crash: the dead process sees nothing.
             self.counters["dropped_while_dead"] += 1
             return
-        applied = replica.applied.get(chain_id, 0)
-        if seq <= applied:
-            pass  # duplicate of an already-replayed delta
-        elif seq == applied + 1:
-            self._apply_to(replica, chain_id, seq, delta)
-        else:
-            # Gap (an earlier shipment was dropped): heal from the log.
-            group = self.groups[replica.shard]
-            log = group.logs[chain_id]
-            replayed = 0
-            while replica.applied.get(chain_id, 0) < min(seq, len(log)):
-                next_seq = replica.applied.get(chain_id, 0) + 1
-                self._apply_to(replica, chain_id, next_seq, log[next_seq - 1])
-                replayed += 1
-            self.counters["deltas_replayed"] += replayed
+        self._apply_shipment(replica, chain_id, seq, delta)
         # Acknowledge on simulated time so the leader's view of
         # replication lag is an observable quantity.
         target = self.groups[replica.shard].leader

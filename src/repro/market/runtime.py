@@ -1,7 +1,7 @@
 """The market runtime: a thin coordinator over per-shard runtimes.
 
-This module is the carve of the old 1,200-line ``DealScheduler``
-god-object into an explicit, message-passing architecture:
+This module is the carve of the old 1,200-line scheduler god-object
+into an explicit, message-passing architecture:
 
 * :class:`ShardRuntime` — owns exactly one shard's state: its chains,
   :class:`~repro.market.mempool.StepMempool`\\ s, escrow books, its
@@ -42,9 +42,18 @@ equal the merged ones and every worker's run — report, fingerprint,
 trace — is byte-identical to the inline run.  The backend proves it
 per run: all workers' fingerprints must agree.
 
-The public entry point is :func:`repro.market.open_market`; the old
-``DealScheduler`` name survives in :mod:`repro.market.scheduler` as a
-deprecation shim for one release.
+**Chaos hardening.**  With a :class:`~repro.sim.chaos.ChaosPlan` in
+the config the bus becomes a :class:`~repro.sim.network.ChaosBus`
+(seeded drop/duplicate/delay/reorder plus ack/resend at-least-once
+delivery), every handler below guards itself with a
+:class:`~repro.market.messages.DedupWindow`, the replication layer
+ships deltas reliably under a :class:`~repro.sim.faults.MessageStorm`,
+and the ``processes`` backend supervises its workers — heartbeats,
+stall detection, restart with a state-digest proof, and graceful
+degradation to inline execution.  Chaos off constructs the plain bus
+and schedules nothing extra, so default runs stay byte-identical.
+
+The public entry point is :func:`repro.market.open_market`.
 """
 
 from __future__ import annotations
@@ -52,6 +61,8 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import threading
+import time
 from dataclasses import dataclass, field, replace
 from enum import Enum
 
@@ -83,6 +94,7 @@ from repro.market.messages import (
     BlockReceipts,
     CrossShardEscrowOp,
     DealDecided,
+    DedupWindow,
     Envelope,
     SealBatch,
     SealVerdict,
@@ -93,7 +105,8 @@ from repro.market.messages import (
 from repro.market.order import SignedDealOrder, shard_of_deal
 from repro.market.protocols import CbcDealDriver, DealDriver, TimelockDealDriver
 from repro.market.replication import ReplicationLayer
-from repro.sim.network import LocalBus
+from repro.sim.faults import MessageStorm
+from repro.sim.network import ChaosBus, LocalBus
 from repro.sim.simulator import Simulator
 
 BOOK_CONTRACT = "market-book"
@@ -103,6 +116,10 @@ _ABORT_RETRY_LIMIT = 5
 
 COORDINATOR_ENDPOINT = "coordinator"
 VERIFY_ENDPOINT = "verify"
+
+# Exit code a WorkerKill-felled worker dies with, so the supervisor can
+# tell an injected kill from an organic crash.
+_WORKER_KILL_EXIT = 73
 
 
 def shard_endpoint(shard: int) -> str:
@@ -207,6 +224,12 @@ class MarketConfig:
     replication_delta: float = 0.4
     # Detection delay before a crashed leader's shard fails over.
     failover_timeout: float = 2.0
+    # A repro.sim.chaos.ChaosPlan, or None.  An active market policy
+    # swaps the plain LocalBus for a ChaosBus (seeded chaos +
+    # at-least-once delivery); an active replication policy storms the
+    # delta network and switches the layer to reliable shipping.  None
+    # (or an all-zero plan) constructs the exact chaos-free objects.
+    chaos: object | None = None
     # A repro.telemetry.Telemetry instance (one per run), or None.
     # Telemetry is strictly observational — it draws no randomness,
     # schedules no events, and mutates no market state — so report
@@ -391,23 +414,38 @@ class MarketReport:
                      net.get("filter_delayed", 0)],
                 ]
             if self.fault_stats:
-                fired = dropped = 0
+                fired = dropped = duplicated = 0
                 kinds: dict[str, int] = {}
                 for row in self.fault_stats:
                     record = dict(row)
                     kind = record.get("kind", "?")
                     kinds[kind] = kinds.get(kind, 0) + 1
-                    fired += record.get("crashes_fired", 0)
-                    fired += record.get("recoveries_fired", 0)
+                    fired += record.get("crashes", 0)
+                    fired += record.get("recoveries", 0)
+                    fired += record.get("kills", 0)
                     dropped += record.get("dropped", 0)
+                    duplicated += record.get("duplicated", 0)
                 plan = ", ".join(
                     f"{kind} x{count}" for kind, count in sorted(kinds.items())
                 )
                 rows += [
                     ["fault plan", plan],
-                    ["fault firings (crash+recover)", fired],
+                    ["fault firings (crash+recover+kill)", fired],
                     ["fault msg drops", dropped],
+                    ["fault msg dups", duplicated],
                 ]
+        bus = dict(self.bus_stats)
+        if "chaos_dropped" in bus:
+            # Only the ChaosBus carries these keys, so chaos-off
+            # reports render byte-identically to a chaos-free build.
+            rows += [
+                ["chaos msgs dropped", bus["chaos_dropped"]],
+                ["chaos msgs duplicated", bus["chaos_duplicated"]],
+                ["chaos msgs delayed", bus["chaos_delayed"]],
+                ["chaos msgs reordered", bus["chaos_reordered"]],
+                ["at-least-once resends", bus["resends"]],
+                ["duplicates suppressed", bus["dup_suppressed"]],
+            ]
         rows += [
             ["blocks produced", self.blocks],
             ["transactions executed", self.txs_executed],
@@ -455,6 +493,7 @@ class VerifyService:
         self.market = market
         self._seq: dict[str, int] = {}
         self._settles: dict[tuple[str, int], object] = {}
+        self._dedup = DedupWindow(stats=market.bus.stats)
         market.bus.register(VERIFY_ENDPOINT, self._on_envelope)
 
     def submit(self, chain_id: str, items: list, settle) -> None:
@@ -472,9 +511,13 @@ class VerifyService:
         )
 
     def _on_envelope(self, envelope: Envelope) -> None:
+        if self._dedup.duplicate(envelope):
+            return
         batch: SealBatch = envelope.payload
         key = (batch.chain_id, batch.seq)
-        settle = self._settles.pop(key)
+        settle = self._settles.pop(key, None)
+        if settle is None:  # replayed batch already settled
+            return
         owner = self.market.chain_shard[batch.chain_id]
         items = list(batch.items)
         aggregator = self.market.verify_aggregator
@@ -513,6 +556,7 @@ class ShardRuntime:
         self.commit_log: MarketCommitLog | None = None
         self.cbc: CertifiedBlockchain | None = None
         self.replica_group = None  # set by the ReplicationLayer
+        self.dedup = DedupWindow(stats=market.bus.stats)
 
     # ------------------------------------------------------------------
     # Construction (driven by the coordinator, in global chain order so
@@ -585,24 +629,61 @@ class ShardRuntime:
     # ------------------------------------------------------------------
     # Inbound: the coordinator's typed messages
     # ------------------------------------------------------------------
+    # Causal deferral: under a reordering bus, a step transaction can
+    # land before the per-deal escrow contract it targets has been
+    # published.  The runtime parks such messages and retries on a
+    # short cadence; a message that never becomes deliverable (its
+    # publish lost with the deal) is abandoned after the cap and the
+    # deal resolves through the ordinary patience timeout.
+    _DEFER_INTERVAL = 0.5
+    _DEFER_LIMIT = 200
+
     def handle(self, envelope: Envelope) -> None:
         """Dispatch one coordinator envelope to the owning machinery."""
-        message = envelope.payload
+        if self.dedup.duplicate(envelope):
+            return
+        self._dispatch(envelope.payload, 0)
+
+    def _dispatch(self, message, deferrals: int) -> None:
         if isinstance(message, SubmitOrder):
             self._handle_submit_order(message)
         elif isinstance(message, VoteFanout):
+            if not self.chains[message.chain_id].has_contract(
+                message.tx.contract
+            ):
+                self._defer(message, deferrals)
+                return
             self.mempools[message.chain_id].submit(message.tx, message.deal_id)
         elif isinstance(message, CrossShardEscrowOp):
             if message.op == "publish":
                 self.chains[message.chain_id].publish(message.contract)
             else:
-                self.mempools[message.chain_id].submit(message.tx, message.deal_id)
+                if not self.chains[message.chain_id].has_contract(
+                    message.tx.contract
+                ):
+                    self._defer(message, deferrals)
+                    return
+                self.mempools[message.chain_id].submit(
+                    message.tx, message.deal_id
+                )
         elif isinstance(message, DealDecided):
             self._handle_decided(message)
         else:  # pragma: no cover - vocabulary is closed
             raise MarketError(
                 f"shard {self.shard}: unknown message {type(message).__name__}"
             )
+
+    def _defer(self, message, deferrals: int) -> None:
+        stats = self.market.bus.stats
+        if deferrals >= self._DEFER_LIMIT:
+            stats["defer_abandoned"] = stats.get("defer_abandoned", 0) + 1
+            return
+        stats["deferred"] = stats.get("deferred", 0) + 1
+        self.market.simulator.schedule(
+            self._DEFER_INTERVAL,
+            lambda: self._dispatch(message, deferrals + 1),
+            label=f"shard{self.shard}/defer",
+        )
 
     def _handle_submit_order(self, message: SubmitOrder) -> None:
         order = message.order
@@ -728,7 +809,21 @@ class MarketCoordinator:
         }
         # The message plane: one synchronous bus, one endpoint per
         # shard runtime plus the coordinator and the verify service.
-        self.bus = LocalBus(self.simulator)
+        # An active chaos plan swaps in the ChaosBus (seeded hazards +
+        # at-least-once delivery); the structural branch keeps the
+        # chaos-off path byte-identical by construction.
+        chaos = self.config.chaos
+        if chaos is not None and chaos.market_active:
+            self.bus = ChaosBus(
+                self.simulator,
+                chaos.market,
+                seed=f"{workload.seed}/{chaos.seed}",
+                ack_timeout=chaos.ack_timeout,
+                backoff_cap=chaos.backoff_cap,
+            )
+        else:
+            self.bus = LocalBus(self.simulator)
+        self._dedup = DedupWindow(stats=self.bus.stats)
         self.bus.register(COORDINATOR_ENDPOINT, self._on_envelope)
         self.verify_service = VerifyService(self)
         self.runtimes: dict[int, ShardRuntime] = {}
@@ -765,6 +860,7 @@ class MarketCoordinator:
         # runtime to that.
         self.replication: ReplicationLayer | None = None
         plan = self.config.fault_plan
+        replication_chaos = chaos is not None and chaos.replication_active
         if self.config.replication_factor > 1 or (
             plan is not None and getattr(plan, "faults", ())
         ):
@@ -773,12 +869,34 @@ class MarketCoordinator:
                 factor=self.config.replication_factor,
                 delta=self.config.replication_delta,
                 failover_timeout=self.config.failover_timeout,
+                reliable=replication_chaos,
+                ack_timeout=chaos.ack_timeout if replication_chaos else 2.0,
+                backoff_cap=chaos.backoff_cap if replication_chaos else 16.0,
             )
             for shard, group in self.replication.groups.items():
                 self.runtimes[shard].replica_group = group
+            if replication_chaos:
+                # Storm the delta network from the plan's replication
+                # policy; the layer's reliable shipping (above) and the
+                # follower's seq-idempotent apply absorb it.
+                policy = chaos.replication
+                MessageStorm(
+                    drop_rate=policy.drop_rate,
+                    dup_rate=policy.dup_rate,
+                    delay_rate=policy.delay_rate,
+                    delay_min=policy.delay_min,
+                    delay_max=policy.delay_max,
+                    seed=f"{workload.seed}/{chaos.seed}",
+                ).install(self.replication.network)
             if plan is not None:
                 plan.install(self.replication.network)
                 plan.install_processes(self.replication)
+        if plan is not None and getattr(plan, "faults", ()):
+            # Worker-level faults (WorkerKill) are scheduled on *every*
+            # coordinator's simulator — inline and all SPMD workers
+            # alike, keeping the event heaps identical across backends
+            # — but only act in the worker whose index matches.
+            plan.install_workers(_WorkerFaultHost(self))
         # Telemetry attaches last so the BlockTap's chain subscriptions
         # run after the runtimes' own (observer order is registration
         # order — the tap reads what the phase engine already routed).
@@ -829,6 +947,8 @@ class MarketCoordinator:
 
     def _on_envelope(self, envelope: Envelope) -> None:
         """Inbound shard traffic: sealed-block receipts."""
+        if self._dedup.duplicate(envelope):
+            return
         message = envelope.payload
         if isinstance(message, BlockReceipts):
             self._handle_block_receipts(message)
@@ -915,6 +1035,22 @@ class MarketCoordinator:
         if self.telemetry is not None:
             self.telemetry.finalize(self)
         return self._report()
+
+    def state_digest(self) -> str:
+        """A compact hash of every chain's committed state.
+
+        The ``processes`` supervisor uses this as its recovery proof:
+        a restarted worker must converge to the same digest as its
+        healthy peers before its run is accepted.
+        """
+        digest = tagged_hash(
+            "repro/market/state-digest",
+            b"".join(
+                self.chains[chain_id].state_hash()
+                for chain_id in sorted(self.chains)
+            ),
+        )
+        return digest.hex()[:32]
 
     def _admit(self, order: SignedDealOrder) -> None:
         spec = order.spec
@@ -1443,6 +1579,38 @@ class MarketCoordinator:
 # ----------------------------------------------------------------------
 # Execution backends
 # ----------------------------------------------------------------------
+class _WorkerFaultHost:
+    """The adapter :meth:`FaultPlan.install_workers` aims worker faults at.
+
+    Every coordinator — inline and all SPMD workers alike — schedules
+    the same worker-fault events, keeping the event heaps identical
+    across backends; a fault only *acts* inside the worker whose index
+    matches, and never inside a restarted replacement (replacements run
+    with worker faults suppressed so recovery can complete).
+    """
+
+    def __init__(self, market: "MarketCoordinator"):
+        self.market = market
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.market.simulator
+
+    def fires_worker_faults(self, worker: int) -> bool:
+        verifier = self.market.verifier
+        if verifier is None:
+            return False
+        if getattr(verifier, "suppress_worker_faults", False):
+            return False
+        return getattr(verifier, "index", None) == worker
+
+    def kill_worker(self, mode: str) -> None:
+        if mode == "hang":
+            while True:  # pragma: no cover - supervisor terminates us
+                time.sleep(3600.0)
+        os._exit(_WORKER_KILL_EXIT)
+
+
 class ExecutionBackend:
     """Where a market run's work actually executes."""
 
@@ -1476,11 +1644,22 @@ class _PartitionedVerifier:
     verification for it has landed.
     """
 
-    def __init__(self, index: int, conn):
+    def __init__(self, index: int, conn, preload=None,
+                 suppress_worker_faults: bool = False):
         self.index = index
         self.conn = conn
         self._foreign: dict[tuple[str, int], bool] = {}
         self.stats = {"own_batches": 0, "foreign_batches": 0, "pairs_verified": 0}
+        # Supervision plumbing: ``waiting`` tells the heartbeat thread
+        # (and through it the supervisor) that a frozen event counter
+        # means "blocked on a foreign verdict", not "hung".  A restarted
+        # worker replays the run from scratch with the verdicts already
+        # relayed before the failure preloaded, so it never waits for a
+        # barrier the other workers have long passed.
+        self.waiting = False
+        self.suppress_worker_faults = suppress_worker_faults
+        for verdict in preload or ():
+            self._foreign[(verdict.chain_id, verdict.seq)] = verdict.ok
 
     def verify_many(self, keyed: list) -> list:
         own = [(key, items) for key, owner, items in keyed if owner == self.index]
@@ -1506,23 +1685,81 @@ class _PartitionedVerifier:
         return self.verify_many([(key, owner, items)])[0]
 
     def _await(self, key: tuple[str, int]) -> bool:
-        while key not in self._foreign:
-            message = self.conn.recv()
-            if message[0] == "verdict":
-                verdict: SealVerdict = message[1]
-                self._foreign[(verdict.chain_id, verdict.seq)] = verdict.ok
+        self.waiting = True
+        try:
+            while key not in self._foreign:
+                message = self.conn.recv()
+                if message[0] == "verdict":
+                    verdict: SealVerdict = message[1]
+                    self._foreign[(verdict.chain_id, verdict.seq)] = verdict.ok
+        finally:
+            self.waiting = False
         return self._foreign.pop(key)
 
 
-def _worker_run(index: int, workload, config, conn) -> None:
+class _LockedConn:
+    """A pipe end whose ``send`` is serialized across threads.
+
+    The worker's main thread (verdicts, report, done) and its
+    heartbeat daemon share one pipe to the supervisor; ``Connection``
+    sends are not atomic across threads, so both go through one lock.
+    ``recv`` stays main-thread-only and needs no lock.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, message) -> None:
+        with self._lock:
+            self._conn.send(message)
+
+    def recv(self):
+        return self._conn.recv()
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _heartbeat_loop(conn, index: int, market, verifier, interval: float) -> None:
+    """Beat until the pipe dies: (events processed, blocked-on-barrier)."""
+    while True:
+        try:
+            conn.send((
+                "heartbeat",
+                index,
+                market.simulator.events_processed,
+                verifier.waiting,
+            ))
+        except (BrokenPipeError, OSError):  # worker done or parent gone
+            return
+        time.sleep(interval)
+
+
+def _worker_run(index: int, workload, config, conn, options=None) -> None:
     """One shard worker: replay the full market, own one verify slice."""
+    options = options or {}
     try:
         if index > 0 and config is not None and config.telemetry is not None:
             # Only worker 0's telemetry ships home; the others skip the
             # (byte-neutral) tracing work entirely.
             config = replace(config, telemetry=None)
-        verifier = _PartitionedVerifier(index, conn)
+        conn = _LockedConn(conn)
+        verifier = _PartitionedVerifier(
+            index,
+            conn,
+            preload=options.get("preload_verdicts"),
+            suppress_worker_faults=options.get("suppress_worker_faults", False),
+        )
         market = MarketCoordinator(workload, config, verifier=verifier)
+        interval = options.get("heartbeat_interval", 0.0)
+        if interval > 0:
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(conn, index, market, verifier, interval),
+                name=f"market-heartbeat-{index}",
+                daemon=True,
+            ).start()
         report = market.run()
         if index == 0:
             conn.send(("report", report))
@@ -1539,7 +1776,7 @@ def _worker_run(index: int, workload, config, conn) -> None:
                         ),
                     ),
                 ))
-        conn.send(("done", index, report.fingerprint()))
+        conn.send(("done", index, report.fingerprint(), market.state_digest()))
     except BaseException:  # noqa: BLE001 - ship the traceback to the parent
         import traceback
 
@@ -1551,8 +1788,23 @@ def _worker_run(index: int, workload, config, conn) -> None:
         conn.close()
 
 
+class _WorkerSlot:
+    """The supervisor's bookkeeping for one worker index."""
+
+    def __init__(self, index: int, conn, proc):
+        self.index = index
+        self.conn = conn
+        self.proc = proc
+        self.restarts = 0
+        self.restarted = False
+        self.done = False
+        self.progress = -1
+        self.last_change = time.monotonic()
+        self.waiting = False
+
+
 class ProcessBackend(ExecutionBackend):
-    """One worker process per shard, verdicts exchanged per barrier.
+    """One supervised worker process per shard, verdicts per barrier.
 
     Every worker replays the same deterministic simulation; the
     expensive part — seal-batch signature verification, ~90% of a
@@ -1564,9 +1816,42 @@ class ProcessBackend(ExecutionBackend):
     execution (byte-identical by construction) when workers cannot be
     forked — inside a daemonic pool worker such as ``run_all.py
     --jobs``, or on platforms without ``fork``.
+
+    **Supervision.**  Workers heartbeat (events processed,
+    blocked-on-barrier) every ``heartbeat_interval`` seconds.  The
+    supervisor detects a killed worker by pipe EOF (exit code 73 =
+    injected kill, anything else = crash) and a hung one by a frozen
+    event counter past ``stall_timeout`` (workers legitimately blocked
+    awaiting a foreign verdict are exempt).  A failed worker is
+    restarted with worker faults suppressed and the full verdict log
+    relayed so far preloaded — passed as process *arguments*, never
+    over the pipe, so a restart can never deadlock on a full pipe —
+    and replays the run from scratch; its final report fingerprint
+    *and* chain-state digest must match its healthy peers
+    (``restarts_verified`` counts the proof).  After ``max_restarts``
+    failures of one slot the backend degrades gracefully: it tears the
+    workers down and runs the whole market inline.  ``stats`` carries
+    the observable accounting (detections, restarts, proofs,
+    heartbeats, degradations); the report itself stays
+    backend-invariant.
     """
 
     name = "processes"
+
+    def __init__(self, heartbeat_interval: float = 0.5,
+                 stall_timeout: float = 30.0, max_restarts: int = 2):
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_timeout = stall_timeout
+        self.max_restarts = max_restarts
+        self.stats = {
+            "kills_detected": 0,
+            "hangs_detected": 0,
+            "crashes_detected": 0,
+            "restarts": 0,
+            "restarts_verified": 0,
+            "heartbeats": 0,
+            "degraded": 0,
+        }
 
     @staticmethod
     def _can_fork() -> bool:
@@ -1575,39 +1860,47 @@ class ProcessBackend(ExecutionBackend):
             and not multiprocessing.current_process().daemon
         )
 
+    def _spawn(self, context, index: int, workload, config, options):
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(
+            target=_worker_run,
+            args=(index, workload, config, child_conn, options),
+            name=f"market-shard-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
     def execute(self, handle: "MarketHandle") -> MarketReport:
         workload, config = handle.workload, handle.config
         if not self._can_fork():
             return MarketCoordinator(workload, config).run()
         workers = int(getattr(workload, "shards", 1) or 1)
         context = multiprocessing.get_context("fork")
-        conns, procs = [], []
+        options = {"heartbeat_interval": self.heartbeat_interval}
+        slots: dict[int, _WorkerSlot] = {}
         for index in range(workers):
-            parent_conn, child_conn = context.Pipe()
-            proc = context.Process(
-                target=_worker_run,
-                args=(index, workload, config, child_conn),
-                name=f"market-shard-{index}",
-            )
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
+            conn, proc = self._spawn(context, index, workload, config, options)
+            slots[index] = _WorkerSlot(index, conn, proc)
         try:
-            report, fingerprints, telemetry_export, errors = self._relay(conns)
+            (report, telemetry_export, fingerprints, digests, errors,
+             degrade) = self._supervise(context, workload, config, slots)
         finally:
-            for conn in conns:
-                conn.close()
-            if errors:
-                for proc in procs:
-                    if proc.is_alive():
-                        proc.terminate()
-            for proc in procs:
-                proc.join()
+            for slot in slots.values():
+                try:
+                    slot.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                if slot.proc.is_alive():
+                    slot.proc.terminate()
+                slot.proc.join()
         if errors:
             raise MarketError(
                 "market worker failed:\n" + "\n".join(errors)
             )
+        if degrade:
+            self.stats["degraded"] += 1
+            return MarketCoordinator(workload, config).run()
         if report is None or len(fingerprints) != workers:
             raise MarketError(
                 f"market workers exited early: {len(fingerprints)}/{workers} "
@@ -1617,6 +1910,14 @@ class ProcessBackend(ExecutionBackend):
             raise MarketError(
                 f"market workers diverged: fingerprints {sorted(fingerprints.items())}"
             )
+        if len(set(digests.values())) != 1:
+            raise MarketError(
+                f"market workers diverged: state digests {sorted(digests.items())}"
+            )
+        for slot in slots.values():
+            if slot.restarted:
+                # Digest agreement above is the recovery proof.
+                self.stats["restarts_verified"] += 1
         if (
             config is not None
             and config.telemetry is not None
@@ -1625,50 +1926,106 @@ class ProcessBackend(ExecutionBackend):
             config.telemetry.absorb(telemetry_export.payload.payload)
         return report
 
-    @staticmethod
-    def _relay(conns):
-        """Pump the verdict exchange until every worker is done.
+    def _supervise(self, context, workload, config, slots):
+        """Pump the verdict exchange, watching worker health, until done.
 
-        Each ``SealVerdict`` a worker publishes is forwarded to every
-        other worker still running; report/telemetry/fingerprint
-        messages are collected.  A worker that finished (or died)
-        stops receiving forwards, and any error aborts the relay.
+        Each ``SealVerdict`` a worker publishes is appended to the
+        verdict log and forwarded to every other running worker;
+        report/telemetry/fingerprint/digest messages are collected.
+        Worker death (EOF) and stalls (frozen heartbeats) trigger a
+        restart with the log preloaded; repeated failure of one slot
+        requests degradation.  A deterministic worker error aborts.
         """
-        live = set(conns)
-        forward = set(conns)
+        verdict_log: list = []
         report = None
         telemetry_export = None
         fingerprints: dict[int, str] = {}
+        digests: dict[int, str] = {}
         errors: list[str] = []
-        while live and not errors:
-            for conn in multiprocessing.connection.wait(list(live)):
+        degrade = False
+
+        def restart(slot: _WorkerSlot, detected: str) -> None:
+            nonlocal degrade
+            self.stats[detected] += 1
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+            slot.proc.join()
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if slot.restarts >= self.max_restarts:
+                degrade = True
+                return
+            slot.restarts += 1
+            slot.restarted = True
+            self.stats["restarts"] += 1
+            slot.conn, slot.proc = self._spawn(
+                context, slot.index, workload, config,
+                {
+                    "heartbeat_interval": self.heartbeat_interval,
+                    "suppress_worker_faults": True,
+                    "preload_verdicts": tuple(verdict_log),
+                },
+            )
+            slot.progress = -1
+            slot.waiting = False
+            slot.last_change = time.monotonic()
+
+        while (not degrade and not errors
+               and any(not slot.done for slot in slots.values())):
+            live = {
+                slot.conn: slot for slot in slots.values() if not slot.done
+            }
+            ready = multiprocessing.connection.wait(
+                list(live), timeout=self.heartbeat_interval or 0.05
+            )
+            for conn in ready:
+                slot = live[conn]
+                if slot.conn is not conn:  # replaced by a restart above
+                    continue
                 try:
                     message = conn.recv()
                 except EOFError:
-                    live.discard(conn)
-                    forward.discard(conn)
+                    slot.proc.join()
+                    restart(slot, "kills_detected"
+                            if slot.proc.exitcode == _WORKER_KILL_EXIT
+                            else "crashes_detected")
                     continue
                 kind = message[0]
                 if kind == "verdict":
-                    for other in list(forward):
-                        if other is conn:
+                    verdict_log.append(message[1])
+                    for other in slots.values():
+                        if other is slot or other.done:
                             continue
                         try:
-                            other.send(message)
+                            other.conn.send(message)
                         except (BrokenPipeError, OSError):
-                            forward.discard(other)
+                            pass  # death is handled on its own EOF
+                elif kind == "heartbeat":
+                    self.stats["heartbeats"] += 1
+                    slot.waiting = message[3]
+                    if message[2] != slot.progress:
+                        slot.progress = message[2]
+                        slot.last_change = time.monotonic()
                 elif kind == "report":
                     report = message[1]
                 elif kind == "telemetry":
                     telemetry_export = message[1]
                 elif kind == "done":
                     fingerprints[message[1]] = message[2]
-                    forward.discard(conn)
+                    digests[message[1]] = message[3]
+                    slot.done = True
                 elif kind == "error":
                     errors.append(message[2])
-                    live.discard(conn)
-                    forward.discard(conn)
-        return report, fingerprints, telemetry_export, errors
+            if self.stall_timeout > 0:
+                now = time.monotonic()
+                for slot in slots.values():
+                    if slot.done or slot.waiting:
+                        continue
+                    if now - slot.last_change > self.stall_timeout:
+                        restart(slot, "hangs_detected")
+        return report, telemetry_export, fingerprints, digests, errors, degrade
 
 
 _BACKENDS = {
@@ -1725,10 +2082,9 @@ def open_market(
         from repro.market import open_market
         report = open_market(MarketWorkload(profile)).run()
 
-    ``backend`` is ``"inline"`` (default: everything in-process,
-    byte-identical to the historical ``DealScheduler``),
-    ``"processes"`` (one worker per shard; same bytes, more cores), or
-    an :class:`ExecutionBackend` instance.
+    ``backend`` is ``"inline"`` (default: everything in-process),
+    ``"processes"`` (one supervised worker per shard; same bytes, more
+    cores), or an :class:`ExecutionBackend` instance.
     """
     if isinstance(backend, str):
         try:

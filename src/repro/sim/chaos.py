@@ -1,0 +1,111 @@
+"""Chaos policies: seeded fault schedules for the message planes.
+
+A :class:`ChaosPolicy` is a bag of per-hazard rates (drop, duplicate,
+delay, reorder) with optional per-payload-type overrides; a
+:class:`ChaosPlan` groups one policy per message plane — the market
+ops bus and the replication delta network — plus the seed and the
+at-least-once retransmission knobs.
+
+Everything here is frozen data: the *mechanics* live in
+:class:`repro.sim.network.ChaosBus` (market plane) and
+:class:`repro.sim.faults.MessageStorm` (replication plane).  A plan
+with no active policy is treated exactly like no plan at all — the
+market constructs its plain :class:`~repro.sim.network.LocalBus` and
+stays byte-identical to a chaos-free build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ChaosPolicy", "ChaosPlan"]
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Per-hazard rates for one message plane.
+
+    Rates are probabilities per physical transmission.  ``delay_min``/
+    ``delay_max`` bound the delay hazard's hold; ``reorder_max`` bounds
+    the reordering hold (short, so reordered envelopes land behind
+    nearby traffic rather than far in the future).  ``per_type`` maps
+    payload type *names* to override policies, so one plane can, say,
+    drop telemetry spans aggressively while only delaying votes.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_min: float = 0.1
+    delay_max: float = 0.8
+    reorder_rate: float = 0.0
+    reorder_max: float = 0.3
+    per_type: tuple = ()  # ((payload type name, ChaosPolicy), ...)
+
+    def for_payload(self, payload: object) -> "ChaosPolicy":
+        """The effective policy for ``payload`` (type overrides win)."""
+        if self.per_type:
+            name = type(payload).__name__
+            for type_name, policy in self.per_type:
+                if type_name == name:
+                    return policy
+        return self
+
+    @property
+    def active(self) -> bool:
+        """Whether any hazard can ever fire under this policy."""
+        if self.drop_rate or self.dup_rate or self.delay_rate or self.reorder_rate:
+            return True
+        return any(policy.active for _, policy in self.per_type)
+
+    @classmethod
+    def at(cls, intensity: float, **overrides) -> "ChaosPolicy":
+        """All four hazards at probability ``intensity``."""
+        policy = cls(
+            drop_rate=intensity,
+            dup_rate=intensity,
+            delay_rate=intensity,
+            reorder_rate=intensity,
+        )
+        return replace(policy, **overrides) if overrides else policy
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One chaos policy per message plane, plus delivery knobs.
+
+    ``market`` drives the :class:`~repro.sim.network.ChaosBus` under
+    the shard-runtime ops plane (telemetry spans included — they ride
+    the same bus); ``replication`` parameterizes the
+    :class:`~repro.sim.faults.MessageStorm` installed on the delta
+    network and switches the replication layer into reliable
+    (ack/resend) shipping.  ``ack_timeout``/``backoff_cap`` tune the
+    capped exponential backoff both planes use.
+    """
+
+    market: ChaosPolicy | None = None
+    replication: ChaosPolicy | None = None
+    seed: int = 0
+    ack_timeout: float = 2.0
+    backoff_cap: float = 16.0
+
+    @property
+    def market_active(self) -> bool:
+        return self.market is not None and self.market.active
+
+    @property
+    def replication_active(self) -> bool:
+        return self.replication is not None and self.replication.active
+
+    @property
+    def active(self) -> bool:
+        return self.market_active or self.replication_active
+
+    @classmethod
+    def at(cls, intensity: float, seed: int = 0) -> "ChaosPlan":
+        """Both planes at ``intensity`` — the benchmark sweep's axis."""
+        return cls(
+            market=ChaosPolicy.at(intensity),
+            replication=ChaosPolicy.at(intensity),
+            seed=seed,
+        )

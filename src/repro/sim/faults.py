@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.network import DropMessage, Message, Network
+from repro.sim.network import DropMessage, DuplicateMessage, Message, Network
+from repro.sim.rng import DeterministicRng
 
 
 @dataclass
@@ -180,6 +181,113 @@ class TargetedDelay:
 
 
 @dataclass
+class MessageStorm:
+    """Seeded lossy weather over a network: drop, duplicate, delay.
+
+    The chaos hazard for the *replication* plane (the market-ops plane
+    gets the richer :class:`~repro.sim.network.ChaosBus`): each message
+    in the ``[start, end)`` window rolls an independent seeded draw —
+    drop wins over duplicate wins over delay, so one message suffers
+    one hazard.  Duplicates are requested by raising
+    :class:`~repro.sim.network.DuplicateMessage`, which the network
+    delivers as a second FIFO-clamped copy; the replication layer's
+    sequence-numbered apply must absorb it.  ``endpoint`` narrows the
+    storm to messages touching one endpoint; ``None`` storms all
+    traffic.  Draw count per message is fixed, so the schedule is a
+    pure function of (seed, message index).
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_min: float = 0.1
+    delay_max: float = 0.8
+    endpoint: str | None = None
+    start: float = 0.0
+    end: float = float("inf")
+    seed: int | str = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    def install(self, network: Network) -> None:
+        """Attach the storm's delivery filter to ``network``."""
+        rng = DeterministicRng(f"message-storm/{self.seed}")
+        stream = rng.stream("storm")
+
+        def fn(message: Message) -> float | None:
+            now = network.simulator.now
+            if not self.start <= now < self.end:
+                return None
+            if self.endpoint is not None and self.endpoint not in (
+                message.sender,
+                message.recipient,
+            ):
+                return None
+            r_drop = stream.random()
+            r_dup = stream.random()
+            r_delay = stream.random()
+            u_delay = stream.random()
+            hold = self.delay_min + u_delay * (self.delay_max - self.delay_min)
+            if r_drop < self.drop_rate:
+                self.dropped += 1
+                raise DropMessage
+            if r_dup < self.dup_rate:
+                self.duplicated += 1
+                raise DuplicateMessage(hold)
+            if r_delay < self.delay_rate:
+                self.delayed += 1
+                return hold
+            return None
+
+        network.add_filter(fn)
+
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+
+@dataclass
+class WorkerKill:
+    """Kill (or hang) one worker of the ``processes`` backend mid-run.
+
+    Worker level: the fault is scheduled on *every* coordinator's
+    simulator — inline and all SPMD workers alike, so the event heaps
+    stay identical across backends — but it only *acts* in the worker
+    whose index matches, via the host's ``kill_worker``.  ``mode
+    "kill"`` exits the process hard (``os._exit``); ``"hang"`` spins
+    it forever, exercising the supervisor's stall detector instead of
+    its EOF path.  Counters stay zero in the surviving processes (the
+    victim's memory dies with it); the supervisor's ``kills_detected``
+    / ``restarts`` stats carry the observable accounting, keeping the
+    report itself backend-invariant.
+    """
+
+    worker: int
+    at_time: float
+    mode: str = "kill"
+    kills_fired: int = 0
+
+    def install_worker(self, host) -> None:
+        """Schedule the (conditional) kill on the host's simulator."""
+        def fire() -> None:
+            if not host.fires_worker_faults(self.worker):
+                return
+            self.kills_fired += 1
+            host.kill_worker(self.mode)
+
+        host.simulator.schedule_at(self.at_time, fire, label="fault/worker-kill")
+
+    def counters(self) -> dict[str, int]:
+        """This fault's observable effect so far."""
+        return {"kills": self.kills_fired}
+
+
+@dataclass
 class ReplicaCrash:
     """Kill a replication-layer replica at ``at_time``; optionally revive it.
 
@@ -301,6 +409,17 @@ class FaultPlan:
             if hasattr(fault, "install_process"):
                 fault.install_process(host)
 
+    def install_workers(self, host) -> None:
+        """Install every worker-level fault on ``host``.
+
+        The host must expose ``simulator``, ``fires_worker_faults``
+        and ``kill_worker`` (the market coordinator's worker-fault
+        host does).  Other faults are skipped.
+        """
+        for fault in self.faults:
+            if hasattr(fault, "install_worker"):
+                fault.install_worker(host)
+
     def stats(self) -> list[dict]:
         """Per-fault effect counters, in plan order.
 
@@ -315,11 +434,17 @@ class FaultPlan:
             if target is None:
                 target = getattr(fault, "replica", None)
             if target is None:
+                worker = getattr(fault, "worker", None)
+                if worker is not None:
+                    target = f"worker-{worker}"
+            if target is None:
                 groups = getattr(fault, "groups", None)
                 if groups is not None:
                     target = "|".join(
                         ",".join(sorted(group)) for group in groups
                     )
+            if target is None and isinstance(fault, MessageStorm):
+                target = "*"
             row["target"] = target or ""
             if hasattr(fault, "counters"):
                 row.update(fault.counters())

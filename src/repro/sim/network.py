@@ -51,12 +51,35 @@ class Envelope:
 
     Envelopes are plain frozen dataclasses so they pickle across the
     process boundary of the ``processes`` execution backend unchanged.
+
+    ``msg_id`` is the at-least-once delivery tag: a per-(sender,
+    recipient) monotonic sequence number stamped by :class:`ChaosBus`.
+    ``msg_id == 0`` marks exact-transport traffic (the plain
+    :class:`LocalBus`, acks) that is neither acked nor deduplicated —
+    the trailing default keeps chaos-free construction byte-identical.
     """
 
     sender: str
     shard: int
     tick: float
     payload: object
+    msg_id: int = 0
+
+
+@dataclass(frozen=True)
+class BusAck:
+    """Transport-level receipt for a reliable :class:`Envelope`.
+
+    Emitted by :class:`ChaosBus` when a reliable envelope reaches its
+    handler; consumed inside the bus (never delivered to endpoint
+    handlers).  ``origin`` names the acking recipient, ``msg_id`` the
+    sequence number being acknowledged.  Acks themselves ride the
+    chaotic channel: a lost ack is healed by the sender's resend, whose
+    duplicate delivery is re-acked.
+    """
+
+    origin: str
+    msg_id: int
 
 
 Handler = Callable[[Message], None]
@@ -79,6 +102,7 @@ class Network:
         self._dropped = 0
         self._filter_dropped = 0
         self._filter_delayed = 0
+        self._filter_duplicated = 0
         self._last_delivery: dict[tuple[str, str], float] = {}
 
     def register(self, name: str, handler: Handler) -> None:
@@ -117,12 +141,14 @@ class Network:
             "dropped": self._dropped,
             "filter_dropped": self._filter_dropped,
             "filter_delayed": self._filter_delayed,
+            "filter_duplicated": self._filter_duplicated,
         }
 
     def send(self, sender: str, recipient: str, payload: object) -> None:
         """Send ``payload``; delivery is scheduled per the timing model."""
         message = Message(sender, recipient, payload, self.simulator.now)
         delay = self.latency(message)
+        duplicate_delay: float | None = None
         try:
             for fn in self._filters:
                 extra = fn(message)
@@ -134,18 +160,30 @@ class Network:
             self._dropped += 1
             self._filter_dropped += 1
             return
+        except DuplicateMessage as dup:
+            self._filter_duplicated += 1
+            duplicate_delay = delay + dup.extra_delay
         # FIFO per ordered pair (a TCP-like channel): a later send is
         # never delivered before an earlier one.  The clamp can only
         # push delivery later, and never past the Δ bound, because the
         # earlier message already respected it at an earlier send time.
-        pair = (sender, recipient)
+        self._schedule_delivery(message, delay)
+        if duplicate_delay is not None:
+            # The duplicated copy rides the same FIFO channel, so it
+            # lands *after* the original — idempotent apply absorbs it.
+            self._schedule_delivery(message, duplicate_delay)
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        pair = (message.sender, message.recipient)
         deliver_at = self.simulator.now + delay
         floor = self._last_delivery.get(pair)
         if floor is not None and deliver_at <= floor:
             deliver_at = floor + 1e-9
         self._last_delivery[pair] = deliver_at
         self.simulator.schedule_at(
-            deliver_at, lambda: self._deliver(message), label=f"deliver->{recipient}"
+            deliver_at,
+            lambda: self._deliver(message),
+            label=f"deliver->{message.recipient}",
         )
 
     def broadcast(self, sender: str, payload: object) -> None:
@@ -165,6 +203,19 @@ class Network:
 
 class DropMessage(Exception):
     """Raised by a delivery filter to drop the message entirely."""
+
+
+class DuplicateMessage(Exception):
+    """Raised by a delivery filter to deliver the message *twice*.
+
+    The second copy is delivered ``extra_delay`` ticks after the
+    original's delivery time (FIFO-clamped, so it never overtakes it).
+    Fault injectors raise this to exercise idempotent apply paths.
+    """
+
+    def __init__(self, extra_delay: float = 0.0):
+        super().__init__(extra_delay)
+        self.extra_delay = extra_delay
 
 
 class LocalBus:
@@ -200,6 +251,7 @@ class LocalBus:
             "filter_delayed": 0,
         }
 
+
     def register(self, name: str, handler: Callable[[Envelope], None]) -> None:
         """Attach an endpoint; envelopes posted to ``name`` invoke it."""
         if name in self._handlers:
@@ -219,6 +271,10 @@ class LocalBus:
         envelope = Envelope(
             sender=sender, shard=shard, tick=self.simulator.now, payload=payload
         )
+        self._route(recipient, envelope)
+
+    def _route(self, recipient: str, envelope: Envelope) -> None:
+        """Run the delivery filters, then deliver (now or delayed)."""
         delay = 0.0
         try:
             for fn in self._filters:
@@ -246,6 +302,177 @@ class LocalBus:
             return
         self.stats["delivered"] += 1
         handler(envelope)
+
+
+class ChaosBus(LocalBus):
+    """A :class:`LocalBus` with seeded chaos and at-least-once delivery.
+
+    Every ``post`` stamps the envelope with a per-(sender, recipient)
+    monotonic ``msg_id`` and registers it as pending.  Each physical
+    transmission then rolls the plane's :class:`~repro.sim.chaos.ChaosPolicy`
+    hazards on the dedicated ``chaos/bus`` stream — drop (the copy
+    vanishes), duplicate (a second copy is dispatched), delay and
+    reorder (the copy is held and re-enters via the simulator, landing
+    behind same-instant traffic).  Reliability sits on top: a delivered
+    reliable envelope is acked with a :class:`BusAck` back to its
+    sender (the ack rides the same chaotic channel and is intercepted
+    by the bus, never reaching endpoint handlers); an unacked envelope
+    is retransmitted on a capped exponential backoff timer.  Duplicate
+    deliveries are re-acked, so a lost ack heals, and recipients are
+    expected to suppress them with a :class:`~repro.market.messages.DedupWindow`.
+
+    Determinism: all hazard draws come from one labelled stream with a
+    fixed number of draws per transmission, so a given (seed, policy,
+    workload) triple replays the identical chaos schedule in any
+    process layout.  A pending envelope whose recipient turns out to be
+    unregistered is abandoned (retrying a void endpoint forever would
+    keep the event loop alive); everything else is retried until acked.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        policy,
+        seed: int | str = 0,
+        ack_timeout: float = 2.0,
+        backoff_cap: float = 16.0,
+    ):
+        super().__init__(simulator)
+        self.policy = policy
+        self.rng = DeterministicRng(f"chaos-bus/{seed}")
+        self.ack_timeout = ack_timeout
+        self.backoff_cap = backoff_cap
+        self._next_seq: dict[tuple[str, str], int] = {}
+        # (sender, recipient, msg_id) -> [recipient, envelope, attempt, timer]
+        self._pending: dict[tuple[str, str, int], list] = {}
+        self.stats.update(
+            {
+                "chaos_dropped": 0,
+                "chaos_duplicated": 0,
+                "chaos_delayed": 0,
+                "chaos_reordered": 0,
+                "resends": 0,
+                "acks_delivered": 0,
+                "dup_suppressed": 0,
+            }
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Reliable envelopes posted but not yet acknowledged."""
+        return len(self._pending)
+
+    def post(self, sender: str, recipient: str, shard: int, payload: object) -> None:
+        """Reliably deliver ``payload`` (at-least-once, acked)."""
+        pair = (sender, recipient)
+        seq = self._next_seq.get(pair, 0) + 1
+        self._next_seq[pair] = seq
+        envelope = Envelope(
+            sender=sender,
+            shard=shard,
+            tick=self.simulator.now,
+            payload=payload,
+            msg_id=seq,
+        )
+        key = (sender, recipient, seq)
+        self._pending[key] = [recipient, envelope, 0, None]
+        self._transmit(recipient, envelope)
+        if key in self._pending:
+            # Not acked synchronously (the copy was dropped, held, or
+            # the ack was) — arm the resend timer.  The zero-chaos
+            # path never reaches here, so it schedules no events.
+            self._arm(key)
+
+    def _transmit(self, recipient: str, envelope: Envelope) -> None:
+        """One physical transmission attempt: roll hazards, dispatch."""
+        policy = self.policy.for_payload(envelope.payload)
+        stream = self.rng.stream("chaos/bus")
+        # Fixed draw count per transmission keeps the chaos schedule a
+        # pure function of (seed, transmission index), independent of
+        # which hazards fire.
+        r_drop = stream.random()
+        r_dup = stream.random()
+        r_delay = stream.random()
+        u_delay = stream.random()
+        r_reorder = stream.random()
+        u_reorder = stream.random()
+        u_dup = stream.random()
+        if r_drop < policy.drop_rate:
+            self.stats["chaos_dropped"] += 1
+            return
+        hold = 0.0
+        if r_delay < policy.delay_rate:
+            hold += policy.delay_min + u_delay * (policy.delay_max - policy.delay_min)
+            self.stats["chaos_delayed"] += 1
+        if r_reorder < policy.reorder_rate:
+            # A short hold re-enters the simulator behind other traffic
+            # at nearby instants — the reordering hazard.
+            hold += u_reorder * policy.reorder_max
+            self.stats["chaos_reordered"] += 1
+        if r_dup < policy.dup_rate:
+            self.stats["chaos_duplicated"] += 1
+            self._dispatch(recipient, envelope, hold + u_dup * policy.reorder_max)
+        self._dispatch(recipient, envelope, hold)
+
+    def _dispatch(self, recipient: str, envelope: Envelope, hold: float) -> None:
+        if hold > 0:
+            self.simulator.schedule(
+                hold,
+                lambda: self._route(recipient, envelope),
+                label=f"chaos->{recipient}",
+            )
+            return
+        self._route(recipient, envelope)
+
+    def _deliver(self, recipient: str, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, BusAck):
+            entry = self._pending.pop((recipient, payload.origin, payload.msg_id), None)
+            if entry is not None:
+                if entry[3] is not None:
+                    entry[3].cancel()
+                self.stats["acks_delivered"] += 1
+            return
+        handler = self._handlers.get(recipient)
+        if handler is None:
+            self.stats["dropped"] += 1
+            if envelope.msg_id:
+                entry = self._pending.pop(
+                    (envelope.sender, recipient, envelope.msg_id), None
+                )
+                if entry is not None and entry[3] is not None:
+                    entry[3].cancel()
+            return
+        self.stats["delivered"] += 1
+        handler(envelope)
+        if envelope.msg_id:
+            ack = Envelope(
+                sender=recipient,
+                shard=envelope.shard,
+                tick=self.simulator.now,
+                payload=BusAck(origin=recipient, msg_id=envelope.msg_id),
+            )
+            self._transmit(envelope.sender, ack)
+
+    def _arm(self, key: tuple[str, str, int]) -> None:
+        entry = self._pending.get(key)
+        if entry is None:
+            return
+        delay = min(self.ack_timeout * (2.0 ** entry[2]), self.backoff_cap)
+        entry[3] = self.simulator.schedule(
+            delay, lambda: self._retry(key), label=f"bus-retry->{entry[0]}"
+        )
+
+    def _retry(self, key: tuple[str, str, int]) -> None:
+        entry = self._pending.get(key)
+        if entry is None:
+            return
+        entry[2] += 1
+        entry[3] = None
+        self.stats["resends"] += 1
+        self._transmit(entry[0], entry[1])
+        if key in self._pending:
+            self._arm(key)
 
 
 class SynchronousNetwork(Network):

@@ -6,24 +6,24 @@ SPMD replay with partitioned seal verification) must produce the same
 report bytes and the same fingerprint as the single-process run, for
 any market the inline backend can run.  These tests sweep the matrix
 the ISSUE names — shards {1, 2, 4} x protocol mix x replication factor
-{1, 3} x a seeded crash schedule — plus the facade's edge cases (the
-deprecation shim, unknown backend names, handle memoization).
+{1, 3} x a seeded crash schedule — plus the facade's edge cases
+(unknown backend names, handle memoization) and the supervisor's
+recovery paths (injected worker kills and hangs, degradation).
 """
 
 import multiprocessing
-import warnings
 from dataclasses import replace
 
 import pytest
 
 from repro.errors import MarketError
 from repro.market import (
-    DealScheduler,
     MarketConfig,
     MarketCoordinator,
     open_market,
 )
-from repro.sim.faults import FaultPlan, ReplicaCrash
+from repro.market.runtime import ProcessBackend
+from repro.sim.faults import FaultPlan, ReplicaCrash, WorkerKill
 from repro.sim.network import DropMessage, Envelope, LocalBus
 from repro.sim.simulator import Simulator
 from repro.workloads.market import MarketProfile, MarketWorkload
@@ -101,16 +101,83 @@ def test_unknown_backend_is_a_market_error():
         open_market(MarketWorkload(_profile(1)), backend="threads")
 
 
-def test_deal_scheduler_shim_warns_and_matches():
-    workload = MarketWorkload(_profile(1))
-    with pytest.deprecated_call():
-        shim = DealScheduler(workload)
-    report = shim.run()
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")  # the facade must not warn
-        fresh = open_market(MarketWorkload(_profile(1))).run()
-    assert report.render() == fresh.render()
-    assert report.fingerprint() == fresh.fingerprint()
+def test_deal_scheduler_shim_is_gone():
+    # The one-release deprecation shim has been removed: the public
+    # surface is open_market (and MarketCoordinator for direct use).
+    with pytest.raises(ImportError):
+        from repro.market import DealScheduler  # noqa: F401
+    with pytest.raises(ModuleNotFoundError):
+        import repro.market.scheduler  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Supervisor recovery: kills, hangs, graceful degradation (PR 9)
+# ----------------------------------------------------------------------
+def _kill_config(mode: str = "kill") -> MarketConfig:
+    # Fresh plan per run: fault counters are mutated where the fault
+    # fires, and forked workers inherit whatever the parent's plan
+    # already recorded.
+    plan = FaultPlan().add(WorkerKill(worker=1, at_time=8.0, mode=mode))
+    return MarketConfig(fault_plan=plan)
+
+
+@needs_fork
+def test_supervisor_recovers_killed_worker_and_matches_inline():
+    inline = open_market(MarketWorkload(_profile(2)), _kill_config()).run()
+    # Inline: the kill is scheduled but never acts (no worker index),
+    # so the baseline is the clean run.
+    assert not inline.invariant_violations
+
+    backend = ProcessBackend(heartbeat_interval=0.1, stall_timeout=60.0)
+    procs = open_market(
+        MarketWorkload(_profile(2)), _kill_config(), backend=backend
+    ).run()
+    assert backend.stats["kills_detected"] == 1
+    assert backend.stats["restarts"] == 1
+    assert backend.stats["restarts_verified"] == 1
+    assert backend.stats["degraded"] == 0
+    # The restarted worker replayed from scratch (faults suppressed,
+    # verdict log preloaded) and proved itself: same bytes as inline.
+    assert procs.fingerprint() == inline.fingerprint()
+    assert procs.render() == inline.render()
+
+
+@needs_fork
+def test_supervisor_detects_hung_worker_by_frozen_heartbeats():
+    inline = open_market(MarketWorkload(_profile(2)), _kill_config("hang")).run()
+
+    backend = ProcessBackend(heartbeat_interval=0.05, stall_timeout=0.6)
+    procs = open_market(
+        MarketWorkload(_profile(2)), _kill_config("hang"), backend=backend
+    ).run()
+    # A hung worker never closes its pipe: only the stall detector
+    # (event counter frozen past stall_timeout) can catch it.
+    assert backend.stats["hangs_detected"] == 1
+    assert backend.stats["kills_detected"] == 0
+    assert backend.stats["restarts"] == 1
+    assert backend.stats["restarts_verified"] == 1
+    assert backend.stats["heartbeats"] > 0
+    assert procs.fingerprint() == inline.fingerprint()
+    assert procs.render() == inline.render()
+
+
+@needs_fork
+def test_supervisor_degrades_to_inline_after_repeated_failures():
+    inline = open_market(MarketWorkload(_profile(2)), _kill_config()).run()
+
+    backend = ProcessBackend(heartbeat_interval=0.1, stall_timeout=60.0,
+                             max_restarts=0)
+    procs = open_market(
+        MarketWorkload(_profile(2)), _kill_config(), backend=backend
+    ).run()
+    # max_restarts=0: the first detected kill exhausts the budget, the
+    # backend tears the workers down and the whole market runs inline
+    # in the parent — same bytes, one core.
+    assert backend.stats["kills_detected"] == 1
+    assert backend.stats["restarts"] == 0
+    assert backend.stats["degraded"] == 1
+    assert procs.fingerprint() == inline.fingerprint()
+    assert procs.render() == inline.render()
 
 
 # ----------------------------------------------------------------------

@@ -211,3 +211,145 @@ def test_fault_plan_stats_rows_cover_every_kind():
                        "delayed": 0}
     assert rows[4]["target"] == "s0/r0"
     assert rows[4]["crashes"] == 1 and rows[4]["recoveries"] == 1
+
+
+# ----------------------------------------------------------------------
+# MessageStorm: seeded lossy weather over a plane (PR 9)
+# ----------------------------------------------------------------------
+def test_message_storm_counters_cover_every_hazard():
+    from repro.sim.faults import MessageStorm
+
+    sim, net = make_net(delta=1.0)
+    received = []
+    net.register("b", lambda message: received.append(sim.now))
+    storm = MessageStorm(drop_rate=0.3, dup_rate=0.3, delay_rate=0.3, seed=4)
+    storm.install(net)
+    for index in range(200):
+        net.send("a", "b", index)
+    sim.run()
+    assert storm.dropped > 0 and storm.duplicated > 0 and storm.delayed > 0
+    # Drop wins over duplicate wins over delay: one hazard per message.
+    assert storm.dropped + storm.duplicated + storm.delayed <= 200
+    assert len(received) == 200 - storm.dropped + storm.duplicated
+    assert storm.counters() == {
+        "dropped": storm.dropped,
+        "duplicated": storm.duplicated,
+        "delayed": storm.delayed,
+    }
+    assert net.stats["filter_duplicated"] == storm.duplicated
+
+
+def test_message_storm_respects_window_and_endpoint():
+    from repro.sim.faults import MessageStorm
+
+    sim, net = make_net(delta=1.0)
+    received = []
+    net.register("victim", lambda message: received.append("victim"))
+    net.register("bystander", lambda message: received.append("bystander"))
+    storm = MessageStorm(
+        drop_rate=1.0, endpoint="victim", start=5.0, end=10.0, seed=0
+    )
+    storm.install(net)
+    net.send("a", "victim", "before-window")       # t=0: clean
+    net.send("a", "bystander", "never-stormed")
+    sim.schedule(6.0, lambda: net.send("a", "victim", "in-window"))
+    sim.schedule(6.0, lambda: net.send("a", "bystander", "in-window"))
+    sim.schedule(11.0, lambda: net.send("a", "victim", "after-window"))
+    sim.run()
+    assert storm.dropped == 1
+    assert received.count("victim") == 2
+    assert received.count("bystander") == 2
+
+
+def test_message_storm_schedule_is_seed_deterministic():
+    from repro.sim.faults import MessageStorm
+
+    def run(seed):
+        sim, net = make_net(delta=1.0)
+        arrivals = []
+        net.register("b", lambda message: arrivals.append(
+            (message.payload, sim.now)))
+        storm = MessageStorm(
+            drop_rate=0.2, dup_rate=0.2, delay_rate=0.2, seed=seed
+        )
+        storm.install(net)
+        for index in range(100):
+            net.send("a", "b", index)
+        sim.run()
+        return arrivals, storm.counters()
+
+    assert run("gale") == run("gale")
+
+
+# ----------------------------------------------------------------------
+# WorkerKill: supervised-backend faults (PR 9)
+# ----------------------------------------------------------------------
+class _FakeWorkerHost:
+    """Minimal install_workers host: records (conditional) kills."""
+
+    def __init__(self, simulator, worker=None):
+        self.simulator = simulator
+        self.worker = worker  # None models the inline coordinator
+        self.kills = []
+
+    def fires_worker_faults(self, worker):
+        return self.worker is not None and self.worker == worker
+
+    def kill_worker(self, mode):
+        self.kills.append((mode, self.simulator.now))
+
+
+def test_worker_kill_fires_only_in_the_matching_worker():
+    from repro.sim.faults import FaultPlan, WorkerKill
+
+    sim = Simulator()
+    inline = _FakeWorkerHost(sim, worker=None)
+    wrong = _FakeWorkerHost(sim, worker=0)
+    victim = _FakeWorkerHost(sim, worker=1)
+    fault = WorkerKill(worker=1, at_time=5.0)
+    plan = FaultPlan().add(fault)
+    for host in (inline, wrong, victim):
+        plan.install_workers(host)
+    sim.run()
+    # The fault is scheduled on *every* simulator (identical event
+    # heaps across backends) but acts only where the index matches.
+    assert inline.kills == []
+    assert wrong.kills == []
+    assert victim.kills == [("kill", 5.0)]
+    assert fault.kills_fired == 1
+    assert fault.counters() == {"kills": 1}
+
+
+def test_worker_kill_hang_mode_passes_through():
+    from repro.sim.faults import WorkerKill
+
+    sim = Simulator()
+    host = _FakeWorkerHost(sim, worker=0)
+    WorkerKill(worker=0, at_time=3.0, mode="hang").install_worker(host)
+    sim.run()
+    assert host.kills == [("hang", 3.0)]
+
+
+def test_fault_plan_stats_name_storm_and_worker_targets():
+    from repro.sim.faults import FaultPlan, MessageStorm, WorkerKill
+
+    sim, net = make_net()
+    host = _FakeWorkerHost(sim, worker=2)
+    plan = FaultPlan()
+    plan.add(MessageStorm(drop_rate=0.5, seed=1))
+    plan.add(MessageStorm(drop_rate=1.0, endpoint="s0/r1"))
+    plan.add(WorkerKill(worker=2, at_time=1.0))
+    plan.install(net)
+    plan.install_workers(host)
+    net.register("b", lambda message: None)
+    for _ in range(20):
+        net.send("a", "b", "x")
+    sim.run()
+    rows = plan.stats()
+    assert [row["kind"] for row in rows] == [
+        "MessageStorm", "MessageStorm", "WorkerKill",
+    ]
+    assert rows[0]["target"] == "*"          # whole-plane storm
+    assert rows[0]["dropped"] > 0
+    assert rows[1]["target"] == "s0/r1"      # endpoint-narrowed storm
+    assert rows[2] == {"kind": "WorkerKill", "target": "worker-2", "kills": 1}
