@@ -55,9 +55,10 @@ to show it (>= 2x at 4 shards on >= 4 cores, >= 1.3x at 2 shards on
 The report contains simulation quantities only (chain ticks, counts,
 fingerprints), so it is byte-identical across hosts, runs, ``--jobs``
 settings, and ``--exec`` backends.  Wall-clock throughput goes to
-``BENCH_market.json`` (schema ``BENCH_market/v5``: adds
-``exec_backend`` and, under ``--exec processes``, the measured
-``speedup_vs_inline``) via ``main``::
+``BENCH_market.json`` (schema ``BENCH_market/v6``: adds the
+``seal_policy`` / ``fee_priced_out`` / ``fees_accrued`` fee-market
+fields next to v5's ``exec_backend`` and ``speedup_vs_inline``) via
+``main``::
 
     python benchmarks/bench_e16_market.py [--quick] [--jobs N]
                                           [--protocol-mix] [--shards M]
@@ -162,9 +163,16 @@ def make_report(
     trace: str | None = None,
     exec_backend: str = "inline",
     chaos: float = 0.0,
+    seal_policy: str = "fifo",
 ) -> str:
     profile = _pick_profile(quick, mixed=False, shards=shards)
     config = None
+    if seal_policy != "fifo":
+        # The fee-market axis (E19 owns the sweep; this knob prices
+        # the headline run).  "fifo" must not touch the config at all:
+        # CI cmp's --seal-policy fifo output against the default
+        # report to prove the fee machinery is structurally absent.
+        config = MarketConfig(seal_policy=seal_policy)
     telemetry = None
     if trace is not None:
         # Telemetry is byte-neutral by contract: the rendered report
@@ -174,7 +182,11 @@ def make_report(
         from repro.telemetry.export import write_trace_jsonl
 
         telemetry = Telemetry()
-        config = MarketConfig(telemetry=telemetry)
+        config = (
+            replace(config, telemetry=telemetry)
+            if config is not None
+            else MarketConfig(telemetry=telemetry)
+        )
     if chaos > 0:
         # The seeded chaos axis: drop/dup/delay/reorder the headline
         # run's message planes at this intensity.  chaos == 0 must not
@@ -346,6 +358,13 @@ def market_metrics(report: MarketReport, wall_s: float) -> dict:
         "availability": round(report.availability, 6),
         "sore_losers": report.sore_losers,
         "replication": dict(report.replication_stats),
+        # Fee-market axis (schema v6): the sealing policy the run
+        # priced block space with, the deals it priced out (a measured
+        # outcome, like sore losers), and the fee units sealed traffic
+        # paid.  "fifo" / 0 / 0 on every default run.
+        "seal_policy": report.seal_policy,
+        "fee_priced_out": report.fee_priced_out,
+        "fees_accrued": report.fees_accrued,
         "fingerprint": report.fingerprint(),
         "wall_s": round(wall_s, 3),
         "deals_per_wall_s": round(report.committed / wall_s, 2) if wall_s else 0.0,
@@ -405,7 +424,7 @@ def write_market_json(
     if speedup_vs_inline is not None:
         metrics["speedup_vs_inline"] = round(speedup_vs_inline, 3)
     payload = {
-        "schema": "BENCH_market/v5",
+        "schema": "BENCH_market/v6",
         "python": platform.python_version(),
         "quick": quick,
         "profile": {
@@ -459,6 +478,12 @@ def main(argv: list[str]) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the load sweep")
+    parser.add_argument("--seal-policy", dest="seal_policy", default="fifo",
+                        choices=("fifo", "first_price", "base_fee"),
+                        help="sealing policy for the headline run's block "
+                             "space ('fifo' touches nothing — report bytes "
+                             "must match a build without fee machinery; "
+                             "the policy x congestion sweep is E19's)")
     parser.add_argument("--chaos", type=float, default=0.0, metavar="P",
                         help="seeded chaos intensity for the headline run "
                              "(drop/dup/delay/reorder each message plane "
@@ -478,9 +503,10 @@ def main(argv: list[str]) -> int:
         chaos_plan = ChaosPlan.at(args.chaos, seed=profile.seed)
     config = (
         MarketConfig(replication_factor=args.replication,
-                     telemetry=telemetry, chaos=chaos_plan)
+                     telemetry=telemetry, chaos=chaos_plan,
+                     seal_policy=args.seal_policy)
         if args.replication > 1 or telemetry is not None
-        or chaos_plan is not None
+        or chaos_plan is not None or args.seal_policy != "fifo"
         else None
     )
     run = run_market(profile, config, exec_backend=args.exec_backend)
@@ -492,8 +518,9 @@ def main(argv: list[str]) -> int:
         # with the cores the processes backend must be faster.
         baseline_config = (
             MarketConfig(replication_factor=args.replication,
-                         chaos=chaos_plan)
+                         chaos=chaos_plan, seal_policy=args.seal_policy)
             if args.replication > 1 or chaos_plan is not None
+            or args.seal_policy != "fifo"
             else None
         )
         inline_report, inline_wall = run_market(profile, baseline_config)

@@ -1,0 +1,334 @@
+"""E19 — fee markets: sealing policy × adversarial congestion.
+
+PR 10 prices the market's block space: deals co-sign a ``fee_bid`` in
+their order manifest (:mod:`repro.market.order`), every mempool sells
+its slots through a pluggable sealing policy
+(:mod:`repro.market.fees` — FIFO, pay-as-bid ``first_price``, or the
+EIP-1559-style ``base_fee`` congestion controller), and the workload
+generator fields adversarial congestion: spam floods homed on one
+shard, fee-sniping brokers that outbid honest deals' escrow steps
+mid-protocol, and cross-shard starvation rings whose assets all live
+on the congested shard.  E19 measures what the pricing buys and holds
+it to the safety line:
+
+* a **policy × congestion sweep**: each sealing policy against each
+  congestion scenario (clean / spam / snipe / full), reporting honest
+  commits, honest p99 commit latency, fee units accrued, deals
+  fee-priced-out, and invariant violations;
+* a **fee conformance gate**: the full congestion profile (spam flood
+  + fee snipers + starvation rings at 2 shards, with the congested
+  shard's block cap squeezed via ``shard_block_caps``) must commit at
+  least 1,000 sufficiently-funded honest deals (quick: 25) under each
+  priority policy, with **zero** conservation violations under every
+  sealing policy, no stuck deals, honest commit latency bounded
+  relative to the FIFO baseline, and — under ``base_fee`` — the
+  freeloading spam measurably priced out (a reported outcome, like
+  §5's sore losers, never a violation).
+
+Fees are §9-style priority units, not token transfers, so every
+conservation invariant is policy-independent by construction — the
+gate verifies the construction.  Every column is a deterministic
+seeded simulation quantity; CI compares serial vs ``--jobs 2`` output
+with ``cmp``, and a separate leg proves the default FIFO policy leaves
+E16 report bytes untouched.
+
+Usage::
+
+    python benchmarks/bench_e19_fees.py [--quick] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from functools import partial
+
+from repro.analysis.tables import render_table
+from repro.market import MarketConfig, MarketReport, open_market
+from repro.market.fees import SEAL_POLICIES
+from repro.workloads.market import MarketProfile, MarketWorkload
+
+SCENARIOS = ("clean", "spam", "snipe", "full")
+
+#: The congested shard's squeezed block cap (global cap stays 512):
+#: heterogeneous per-shard block space is what makes the spam flood
+#: *bind* — without it the default cap absorbs the whole burst.
+GATE_CAPS = {"quick": 32, "full": 64}
+
+
+def scenario_profile(scenario: str, quick: bool) -> MarketProfile:
+    """The congestion scenario's workload (always fee-priced)."""
+    base = (
+        MarketProfile.congested_smoke(seed=43)
+        if quick
+        else MarketProfile.congested(seed=43, deals=1_200)
+    )
+    if scenario == "clean":
+        return replace(base, spam_deals=0, snipe_rate=0.0, starve_rate=0.0)
+    if scenario == "spam":
+        return replace(base, snipe_rate=0.0, starve_rate=0.0)
+    if scenario == "snipe":
+        return replace(base, spam_deals=0, starve_rate=0.0)
+    if scenario == "full":
+        return base
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def fee_config(policy: str, quick: bool) -> MarketConfig | None:
+    """The run config: sealing policy + squeezed congested-shard cap.
+
+    FIFO still gets the squeezed cap (congestion must bind for every
+    policy or the comparison is vacuous); only ``seal_policy`` varies.
+    """
+    cap = GATE_CAPS["quick" if quick else "full"]
+    return MarketConfig(seal_policy=policy, shard_block_caps={0: cap})
+
+
+def honest_outcomes(report: MarketReport, profile: MarketProfile) -> dict:
+    """Outcome counts for the *honest* slice of the order stream.
+
+    Honest deals occupy indices ``[0, profile.deals)``; spam and
+    sniper orders are appended after.  Every honest deal under the
+    congested profiles bids at least 1 fee unit (``deal_fee_budget``'s
+    floor), i.e. is *sufficiently funded* — its bid can always meet
+    the base-fee floor, so fee pressure may delay it but never evict
+    it.
+    """
+    committed = aborted = 0
+    latencies = []
+    for index, _protocol, outcome, _reason, latency in report.outcome_log:
+        if index >= profile.deals:
+            continue
+        if outcome == "committed":
+            committed += 1
+            latencies.append(latency)
+        elif outcome == "aborted":
+            aborted += 1
+    latencies.sort()
+    p99 = (
+        latencies[max(0, int(len(latencies) * 0.99) - 1)]
+        if latencies
+        else 0.0
+    )
+    return {"committed": committed, "aborted": aborted, "p99": p99}
+
+
+def fee_point(
+    point: tuple[str, str], quick: bool = False
+) -> dict:
+    """One (policy, scenario) sweep record (simulation quantities)."""
+    policy, scenario = point
+    profile = scenario_profile(scenario, quick)
+    report = open_market(
+        MarketWorkload(profile), fee_config(policy, quick)
+    ).run()
+    honest = honest_outcomes(report, profile)
+    return {
+        "policy": policy,
+        "scenario": scenario,
+        "deals": report.deals,
+        "committed": report.committed,
+        "honest_committed": honest["committed"],
+        "honest_aborted": honest["aborted"],
+        "honest_p99": honest["p99"],
+        "priced_out": report.fee_priced_out,
+        "fees_accrued": report.fees_accrued,
+        "stuck": report.stuck,
+        "violations": len(report.invariant_violations),
+    }
+
+
+def fee_sweep(jobs: int | None = None, quick: bool = False) -> list[dict]:
+    """Fan the policy × scenario grid over the process pool."""
+    from repro.analysis.sweep import sweep_parallel
+
+    points = [
+        (policy, scenario)
+        for policy in SEAL_POLICIES
+        for scenario in SCENARIOS
+    ]
+    return sweep_parallel(points, partial(fee_point, quick=quick), jobs=jobs)
+
+
+def fee_table(jobs: int | None = None, quick: bool = False) -> str:
+    records = fee_sweep(jobs=jobs, quick=quick)
+    rows = [
+        [
+            r["policy"],
+            r["scenario"],
+            r["committed"],
+            r["honest_committed"],
+            r["honest_aborted"],
+            f"{r['honest_p99']:.2f}",
+            r["priced_out"],
+            r["fees_accrued"],
+            r["violations"],
+        ]
+        for r in records
+    ]
+    profile = scenario_profile("full", quick)
+    return render_table(
+        ["policy", "congestion", "committed", "honest ok", "honest abort",
+         "honest p99", "priced out", "fees", "violations"],
+        rows,
+        title=f"E19 — sealing policy × congestion ({profile.deals} honest "
+              f"deals + {profile.spam_deals} spam, {profile.shards} shards, "
+              f"congested-shard cap {GATE_CAPS['quick' if quick else 'full']})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fee conformance gate
+# ----------------------------------------------------------------------
+def gate_runs(quick: bool = False) -> dict[str, tuple[MarketReport, dict]]:
+    """The full congestion profile under every sealing policy."""
+    profile = scenario_profile("full", quick)
+    runs = {}
+    for policy in SEAL_POLICIES:
+        report = open_market(
+            MarketWorkload(profile), fee_config(policy, quick)
+        ).run()
+        runs[policy] = (report, honest_outcomes(report, profile))
+    return runs
+
+
+def check_gate(
+    runs: dict[str, tuple[MarketReport, dict]], quick: bool = False
+) -> list[str]:
+    """The E19 acceptance criteria; returns failures (empty = pass).
+
+    * zero conservation violations and zero stuck deals under *every*
+      sealing policy (safety is fee-schedule-independent);
+    * each priority policy commits the funded floor of honest deals
+      (1,000 full / 25 quick) under the full spam + snipe + starve
+      congestion;
+    * funded honest p99 commit latency under a priority policy stays
+      within 3x the FIFO baseline + 5 ticks (fees buy priority; they
+      must not cost unbounded delay);
+    * ``base_fee`` prices out the freeloading spam (bid 0 < floor) —
+      and *only* prices deals out as a measured outcome: those deals
+      are aborted, not stuck, which the stuck check already proves.
+    """
+    floor = 25 if quick else 1_000
+    failures = []
+    fifo_p99 = runs["fifo"][1]["p99"]
+    for policy, (report, honest) in runs.items():
+        if report.invariant_violations:
+            failures.append(
+                f"{policy}: {len(report.invariant_violations)} invariant "
+                f"violations (first: {report.invariant_violations[0]})"
+            )
+        if report.stuck:
+            failures.append(f"{policy}: {report.stuck} stuck deals")
+        if policy == "fifo":
+            continue
+        if honest["committed"] < floor:
+            failures.append(
+                f"{policy}: honest committed {honest['committed']} < {floor}"
+            )
+        bound = 3.0 * fifo_p99 + 5.0
+        if honest["p99"] > bound:
+            failures.append(
+                f"{policy}: honest p99 {honest['p99']:.2f} > "
+                f"{bound:.2f} (3x fifo + 5)"
+            )
+        if report.fees_accrued <= 0:
+            failures.append(f"{policy}: no fees accrued under congestion")
+    if runs["base_fee"][0].fee_priced_out == 0:
+        failures.append("base_fee: freeloading spam was never priced out")
+    if runs["fifo"][0].fee_priced_out != 0:
+        failures.append("fifo: priced out deals under the FIFO policy")
+    return failures
+
+
+def gate_table(
+    quick: bool = False,
+    runs: dict[str, tuple[MarketReport, dict]] | None = None,
+) -> str:
+    if runs is None:
+        runs = gate_runs(quick=quick)
+    failures = check_gate(runs, quick=quick)
+    profile = scenario_profile("full", quick)
+    rows = []
+    for policy, (report, honest) in runs.items():
+        rows.append([f"{policy}: honest committed", honest["committed"]])
+        rows.append([f"{policy}: honest p99 (ticks)", f"{honest['p99']:.2f}"])
+        rows.append([f"{policy}: deals fee-priced-out", report.fee_priced_out])
+        rows.append([f"{policy}: fee units accrued", report.fees_accrued])
+        rows.append(
+            [f"{policy}: invariant violations",
+             len(report.invariant_violations)]
+        )
+        rows.append([f"{policy}: fingerprint", report.fingerprint()])
+    rows.append(["gate", "PASS" if not failures else
+                 "FAIL: " + "; ".join(failures)])
+    return render_table(
+        ["measure", "value"], rows,
+        title=f"E19 — fee conformance gate ({profile.deals} honest deals + "
+              f"{profile.spam_deals} spam + snipers + starvation rings, "
+              f"{profile.shards} shards)",
+    )
+
+
+def make_report(jobs: int | None = None, quick: bool = False) -> str:
+    runs = gate_runs(quick=quick)
+    return (
+        gate_table(quick=quick, runs=runs)
+        + "\n"
+        + fee_table(jobs=jobs, quick=quick)
+    )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small fixed-seed sweep (smoke test)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the sweep")
+    args = parser.parse_args(argv)
+    runs = gate_runs(quick=args.quick)
+    print(gate_table(quick=args.quick, runs=runs))
+    print(fee_table(jobs=args.jobs, quick=args.quick))
+    failures = check_gate(runs, quick=args.quick)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    base_report, base_honest = runs["base_fee"]
+    print("E19 acceptance: "
+          f"{base_honest['committed']} funded honest commits under "
+          f"spam + snipers + starvation at base-fee pricing, "
+          f"{base_report.fee_priced_out} freeloaders priced out "
+          "(measured outcome), 0 conservation violations under every "
+          "sealing policy")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Shape checks (run with the benchmark suite, not tier-1)
+# ----------------------------------------------------------------------
+def test_shape_gate_passes_quick():
+    assert check_gate(gate_runs(quick=True), quick=True) == []
+
+
+def test_shape_priority_outcommits_fifo_under_spam():
+    fifo = fee_point(("fifo", "spam"), quick=True)
+    priced = fee_point(("first_price", "spam"), quick=True)
+    assert priced["violations"] == 0 and fifo["violations"] == 0
+    assert priced["honest_committed"] >= fifo["honest_committed"]
+
+
+def test_shape_base_fee_prices_out_freeloaders_only():
+    record = fee_point(("base_fee", "spam"), quick=True)
+    profile = scenario_profile("spam", True)
+    assert record["priced_out"] > 0
+    assert record["priced_out"] <= profile.spam_deals
+    assert record["stuck"] == 0 and record["violations"] == 0
+
+
+def test_shape_sweep_is_job_count_invariant():
+    assert fee_sweep(jobs=1, quick=True) == fee_sweep(jobs=2, quick=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,8 +5,9 @@ Usage::
     python benchmarks/run_all.py [output-file] [--jobs N] [--quick]
                                  [--shards M] [--trace PREFIX]
                                  [--exec {inline,processes}] [--chaos P]
+                                 [--seal-policy POLICY]
 
-Writes the concatenated paper-style tables for E1..E18 (the full
+Writes the concatenated paper-style tables for E1..E19 (the full
 EXPERIMENTS.md evidence) to stdout and, if given, to ``output-file``.
 
 ``--jobs N`` fans the experiments out over ``N`` worker processes
@@ -17,7 +18,7 @@ A per-experiment timing summary is printed at the end either way
 (it feeds the perf trajectory in BENCHMARKS.md).
 
 ``--quick`` shrinks experiments that support a quick mode (currently
-E16, E17 and E18) so CI's determinism gate — serial vs ``--jobs 2``
+E16, E17, E18 and E19) so CI's determinism gate — serial vs ``--jobs 2``
 reports must be byte-identical — stays cheap.  Quick reports are only
 comparable to other quick reports.
 
@@ -26,6 +27,12 @@ delay / reorder at probability P per transmission) for experiments
 that support the axis (currently E16 and E17; E18 sweeps it
 natively).  ``--chaos 0`` is the default and is byte-identical to a
 chaos-free run — CI cmp's the two to prove it.
+
+``--seal-policy POLICY`` prices block space for experiments that
+support the fee-market axis (currently E16; E19 sweeps the policies
+natively).  The default ``fifo`` must not change a byte of any report
+— the fee machinery is structurally absent — and CI cmp's a
+``--seal-policy fifo`` run against the default to prove it.
 
 ``--exec processes`` runs experiments that support an execution
 backend (currently E16) with one worker process per shard; reports
@@ -68,6 +75,7 @@ EXPERIMENTS = [
     ("E16", "bench_e16_market"),
     ("E17", "bench_e17_faults"),
     ("E18", "bench_e18_chaos"),
+    ("E19", "bench_e19_fees"),
 ]
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
@@ -92,6 +100,7 @@ def run_experiment(
     trace: str | None = None,
     exec_backend: str = "inline",
     chaos: float = 0.0,
+    seal_policy: str = "fifo",
 ) -> tuple[str, str, str, float]:
     """Run one experiment; return (id, module, report, elapsed seconds)."""
     experiment_id, module_name = item
@@ -110,6 +119,8 @@ def run_experiment(
         kwargs["exec_backend"] = exec_backend
     if chaos > 0 and "chaos" in parameters:
         kwargs["chaos"] = chaos
+    if seal_policy != "fifo" and "seal_policy" in parameters:
+        kwargs["seal_policy"] = seal_policy
     report = module.make_report(**kwargs)
     return experiment_id, module_name, report, time.monotonic() - started
 
@@ -170,6 +181,12 @@ def main(argv: list[str]) -> int:
                         help="execution backend for experiments that "
                              "support one (currently E16); reports are "
                              "byte-identical either way")
+    parser.add_argument("--seal-policy", dest="seal_policy",
+                        default="fifo",
+                        choices=("fifo", "first_price", "base_fee"),
+                        help="sealing policy for experiments that support "
+                             "the fee-market axis (currently E16); 'fifo' "
+                             "= off, byte-identical to a fee-less build")
     parser.add_argument("--chaos", type=float, default=0.0, metavar="P",
                         help="seeded message-plane chaos intensity for "
                              "experiments that support the axis "
@@ -200,7 +217,7 @@ def main(argv: list[str]) -> int:
 
     runner = partial(run_experiment, quick=args.quick, shards=args.shards,
                      trace=args.trace, exec_backend=args.exec_backend,
-                     chaos=args.chaos)
+                     chaos=args.chaos, seal_policy=args.seal_policy)
     started = time.monotonic()
     if jobs > 1:
         method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None

@@ -21,6 +21,14 @@ The paper notes that "designing and implementing such incentives is
 an area of ongoing research"; this module reproduces the mechanism
 the paper proposes and the E13 benchmark measures the payoff shift it
 induces.
+
+:func:`deal_fee_budget` extends the same cost model into block-space
+*fee bidding* (the market's congestion axis): just as a rational party
+sizes its good-behaviour deposit against the value the deal puts at
+risk, it sizes its willingness to pay for timely sealing against that
+value spread over the block slots the deal consumes.  The market
+workloads derive every honest fee bid from it, so the E19 fee sweeps
+price deals the way §9 says parties reason.
 """
 
 from __future__ import annotations
@@ -28,6 +36,25 @@ from __future__ import annotations
 from repro.chain.contracts import CallContext, Contract
 from repro.crypto.keys import Address
 from repro.crypto.pathsig import PathSignature, vote_message
+
+
+def deal_fee_budget(steps: int, value_at_risk: int, urgency: float = 1.0) -> int:
+    """A rational party's fee bid for one deal's block space (§9 model).
+
+    ``value_at_risk`` is the total escrowed value the deal ties up
+    (the quantity §9's deposit sketch protects); ``steps`` is how many
+    block slots the deal's transfer plan consumes; ``urgency`` scales
+    the bid the way a deadline would (an impatient party bids a larger
+    slice of the value at risk).  The bid is per sealed step, at least
+    1 fee unit — a funded deal never bids itself below the base-fee
+    floor — and purely deterministic: integer arithmetic on the spec
+    plus one float scale, no randomness.
+    """
+    if steps < 1 or value_at_risk < 0:
+        raise ValueError("fee budget needs steps >= 1, value_at_risk >= 0")
+    if urgency < 0:
+        raise ValueError("urgency must be non-negative")
+    return max(1, int(urgency * value_at_risk / (20 * steps)))
 
 
 class DepositManager(Contract):

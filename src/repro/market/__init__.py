@@ -40,6 +40,13 @@ space.  This package is the runtime for that regime:
   typed message envelopes.  :func:`open_market` is the entry point and
   picks the execution backend (``inline`` or one supervised worker
   process per shard).
+* :mod:`repro.market.fees` — block-space economics: every mempool
+  sells its slots through a pluggable sealing policy (FIFO /
+  first-price priority / EIP-1559-style base fee), deals co-sign a
+  ``fee_bid`` in their order manifest, and a
+  :class:`~repro.market.fees.FeeLedger` accounts what sealed traffic
+  paid and which deals were fee-priced-out — a measured market
+  outcome, like §5's sore losers, never a safety violation.
 * :mod:`repro.market.invariants` — conservation checks: token supply
   is constant across any interleaving, the book's internal ledger
   exactly backs its token holdings, no escrowed asset is double-spent,
@@ -51,6 +58,12 @@ Everything is deterministic given the workload seed; see
 
 from repro.market.book import MarketEscrowBook
 from repro.market.commitlog import MarketCommitLog
+from repro.market.fees import (
+    EXEMPT_PHASES,
+    SEAL_POLICIES,
+    FeeLedger,
+    make_seal_policy,
+)
 from repro.market.invariants import check_market_invariants
 from repro.market.mempool import StepMempool
 from repro.market.order import (
@@ -79,6 +92,10 @@ __all__ = [
     "MarketCommitLog",
     "StepMempool",
     "SignedDealOrder",
+    "FeeLedger",
+    "SEAL_POLICIES",
+    "EXEMPT_PHASES",
+    "make_seal_policy",
     "check_market_invariants",
     "order_message",
     "shard_of_deal",

@@ -34,11 +34,25 @@ re-verify the same order.
 
 A ``max_txs_per_block`` cap models bounded block space: overflow stays
 pending for the next seal (backpressure), and ``max_depth`` records
-the worst backlog for the E16 report.
+the worst backlog for the E16 report.  The pending queue is a
+``deque`` drained from the left — under sustained backlog the
+historical list-slicing drain (``self._pending = self._pending[cap:]``)
+recopied the whole tail every seal, O(n²) across a burst; the deque
+drain is O(cap) per seal with identical batch contents.
+
+Block space is sold by a pluggable sealing policy
+(:mod:`repro.market.fees`): the default FIFO policy is structurally
+absent (``policy is None`` keeps the historical drain, byte for
+byte), ``first_price`` seals highest-bid-first within the cap, and
+``base_fee`` runs EIP-1559-style per-chain congestion pricing,
+returning under-bidding steps to the queue and evicting the
+never-fundable ones (``on_step_evicted`` tells the coordinator, which
+resolves the deal as fee-priced-out).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -66,6 +80,7 @@ class _PendingStep:
     tx: Transaction
     deal_id: bytes
     order: SignedDealOrder | None  # set only on registration steps
+    seq: int = 0  # submission sequence — fee policies tie-break on it
 
 
 class StepMempool:
@@ -81,6 +96,8 @@ class StepMempool:
         aggregator=None,
         telemetry=None,
         verify_service=None,
+        policy=None,
+        on_step_evicted: Callable[[bytes], None] | None = None,
     ):
         if max_txs_per_block <= 0:
             raise MarketError("max_txs_per_block must be positive")
@@ -111,7 +128,14 @@ class StepMempool:
         # mempool never polls a closed gate, so a dead shard costs no
         # simulator events.
         self.seal_gate: Callable[[], bool] | None = None
-        self._pending: list[_PendingStep] = []
+        # Sealing policy (repro.market.fees.SealPolicy) or None for
+        # the historical FIFO drain.  Eviction (base-fee policy only)
+        # reports the step's deal to ``on_step_evicted`` so the
+        # coordinator can settle it as fee-priced-out.
+        self.policy = policy
+        self.on_step_evicted = on_step_evicted
+        self._pending: deque[_PendingStep] = deque()
+        self._seq = 0
         self._seal_scheduled = False
         self.stats = {
             "submitted": 0,
@@ -133,7 +157,8 @@ class StepMempool:
         order: SignedDealOrder | None = None,
     ) -> None:
         """Queue a deal step; registrations carry their signed order."""
-        self._pending.append(_PendingStep(tx, deal_id, order))
+        self._pending.append(_PendingStep(tx, deal_id, order, self._seq))
+        self._seq += 1
         self.stats["submitted"] += 1
         if len(self._pending) > self.stats["max_depth"]:
             self.stats["max_depth"] = len(self._pending)
@@ -165,8 +190,25 @@ class StepMempool:
             if telemetry is not None:
                 telemetry.mempool_gated(self.chain.chain_id)
             return
-        batch = self._pending[: self.max_txs_per_block]
-        self._pending = self._pending[self.max_txs_per_block:]
+        cap = self.max_txs_per_block
+        if self.policy is None:
+            # FIFO: drain the left of the deque, O(cap) per seal
+            # whatever the backlog, batch identical to the historical
+            # list slice.
+            pending = self._pending
+            batch = [pending.popleft() for _ in range(min(cap, len(pending)))]
+        else:
+            batch, leftover, evicted = self.policy.select(
+                list(self._pending), cap
+            )
+            self._pending = deque(leftover)
+            if evicted:
+                self.stats["fee_evicted"] = (
+                    self.stats.get("fee_evicted", 0) + len(evicted)
+                )
+                if self.on_step_evicted is not None:
+                    for step in evicted:
+                        self.on_step_evicted(step.deal_id)
         self.stats["seals"] += 1
         if telemetry is not None:
             telemetry.mempool_seal(
@@ -220,7 +262,9 @@ class StepMempool:
             ):
                 self._reject(order)
                 continue
-            sound.append((order, keys, order_message(order.deal_id)))
+            sound.append(
+                (order, keys, order_message(order.deal_id, order.fee_bid))
+            )
         if not sound:
             self._dispatch(batch)
             return

@@ -86,7 +86,13 @@ class DedupWindow:
     above it.  Because :class:`~repro.sim.network.ChaosBus` stamps
     ``msg_id`` per (sender, recipient) pair, the ids arriving at one
     endpoint from one sender are gap-free once delivery settles, so
-    the floor advances and the set stays small.  ``stats`` (optional)
+    the floor advances and the set stays small.  A *permanently*
+    missing low id (possible only if the transport gave up resending —
+    the ChaosBus never does) would pin the floor below the gap and let
+    ``_seen`` grow with one entry per later id until the gap fills;
+    that growth is bounded by the sender's in-flight window under
+    at-least-once delivery, and the regression tests document the
+    stuck-floor behaviour explicitly.  ``stats`` (optional)
     is a counter dict whose ``"dup_suppressed"`` key is bumped on
     every suppression — the market passes the bus's own stats dict so
     suppression shows up next to the chaos counters.
@@ -107,7 +113,13 @@ class DedupWindow:
         seen = self._seen.setdefault(sender, set())
         if msg_id <= floor or msg_id in seen:
             if self._stats is not None:
-                self._stats["dup_suppressed"] += 1
+                # ``.get``: only the ChaosBus pre-seeds this key, but a
+                # window can sit over a plain LocalBus (whose stats
+                # dict has no chaos keys) and still see a nonzero
+                # msg_id — e.g. replayed or test-injected envelopes.
+                self._stats["dup_suppressed"] = (
+                    self._stats.get("dup_suppressed", 0) + 1
+                )
             return True
         seen.add(msg_id)
         while floor + 1 in seen:

@@ -33,8 +33,20 @@ from repro.crypto.keys import Address, KeyPair
 from repro.errors import MarketError
 
 
-def order_message(deal_id: bytes) -> bytes:
-    """The manifest every party signs to authorize a deal."""
+def order_message(deal_id: bytes, fee_bid: int = 0) -> bytes:
+    """The manifest every party signs to authorize a deal.
+
+    A nonzero ``fee_bid`` is folded into the manifest *outside* the
+    deal id (the id is a pure content hash of the spec — see
+    :class:`~repro.core.deal.DealSpec`), so the parties co-sign the
+    price they are willing to pay for block space and a relayer cannot
+    tamper with it; a fee-less order signs the exact historical
+    manifest, byte for byte.
+    """
+    if fee_bid:
+        return hash_concat(
+            b"repro/market/order-fee", deal_id, fee_bid.to_bytes(8, "big")
+        )
     return hash_concat(b"repro/market/order", deal_id)
 
 
@@ -65,6 +77,12 @@ class SignedDealOrder:
     withhold_votes: frozenset = field(default_factory=frozenset)
     no_show: frozenset = field(default_factory=frozenset)
     stale_proof: frozenset = field(default_factory=frozenset)
+    # Fee market (block-space economics): the deal's bid, in fee units
+    # per sealed step, for priority under a non-FIFO sealing policy.
+    # Folded into the signed manifest but *not* into the deal id, so a
+    # fee-less order (the default) is byte-identical to the historical
+    # shape and FIFO markets never observe the field.
+    fee_bid: int = 0
 
     @property
     def deal_id(self) -> bytes:
@@ -99,14 +117,18 @@ def sign_order(
     no_show: frozenset = frozenset(),
     forge: frozenset = frozenset(),
     stale_proof: frozenset = frozenset(),
+    fee_bid: int = 0,
 ) -> SignedDealOrder:
     """Produce a :class:`SignedDealOrder` with every party's signature.
 
     ``keypairs`` maps each party address to its keypair.  Parties in
     ``forge`` sign the *wrong* message — the resulting order is
     structurally well-shaped but must fail whole-block verification.
+    ``fee_bid`` (non-negative) is co-signed via :func:`order_message`.
     """
-    message = order_message(spec.deal_id)
+    if fee_bid < 0:
+        raise MarketError("fee_bid must be non-negative")
+    message = order_message(spec.deal_id, fee_bid)
     signatures = []
     for party in spec.parties:
         keypair = keypairs.get(party)
@@ -126,4 +148,5 @@ def sign_order(
         withhold_votes=frozenset(withhold_votes),
         no_show=frozenset(no_show),
         stale_proof=frozenset(stale_proof),
+        fee_bid=fee_bid,
     )

@@ -88,6 +88,7 @@ from repro.crypto.schnorr import (
 from repro.errors import MarketError
 from repro.market.book import MarketEscrowBook
 from repro.market.commitlog import MarketCommitLog
+from repro.market.fees import FeeLedger, make_seal_policy
 from repro.market.invariants import check_market_invariants
 from repro.market.mempool import OrderLedger, StepMempool
 from repro.market.messages import (
@@ -166,6 +167,10 @@ class _DealRun:
     # crash-gated sealing can produce it; fault-free runs treat it as
     # an invariant violation.
     sore_loser: bool = False
+    # Fee market: a base-fee mempool evicted one of the deal's steps
+    # (its co-signed bid can never clear the base-fee floor).  A
+    # measured outcome like sore losers, never a safety violation.
+    priced_out: bool = False
     patience_handle: object = None
     # Sharding: the deal's home shard (where it registers and votes)
     # and whether its escrows straddle books owned by other shards.
@@ -230,6 +235,21 @@ class MarketConfig:
     # delta network and switches the layer to reliable shipping.  None
     # (or an all-zero plan) constructs the exact chaos-free objects.
     chaos: object | None = None
+    # Block-space economics (repro.market.fees): how every mempool
+    # sells its block slots.  "fifo" keeps the historical drain with
+    # zero fee machinery constructed (make_seal_policy returns None),
+    # so default reports are byte-identical to a build without fees;
+    # "first_price" seals highest-bid-first; "base_fee" runs the
+    # EIP-1559-style per-chain controller below.
+    seal_policy: str = "fifo"
+    base_fee_initial: float = 1.0
+    base_fee_floor: float = 1.0
+    base_fee_adjust: float = 0.125
+    base_fee_target: float = 0.5
+    # Heterogeneous block space: {shard: max_txs_per_block} overrides.
+    # Chains of a listed shard seal at that cap; every other chain
+    # keeps the global max_txs_per_block.  None means homogeneous.
+    shard_block_caps: dict | None = None
     # A repro.telemetry.Telemetry instance (one per run), or None.
     # Telemetry is strictly observational — it draws no randomness,
     # schedules no events, and mutates no market state — so report
@@ -307,6 +327,16 @@ class MarketReport:
     # fingerprint() like verify_stats): how many typed envelopes the
     # coordinator and runtimes exchanged.  Observability only.
     bus_stats: tuple = ()
+    # Fee market (PR 10): the sealing policy the run priced block
+    # space with, how many deals it priced out of the market entirely
+    # (a measured outcome, like sore losers), and the fee units the
+    # sealed traffic paid.  Rendered only under a non-FIFO policy, so
+    # default reports keep their exact bytes; fee_stats mirrors
+    # verify_stats (sorted counter rows outside render/fingerprint).
+    seal_policy: str = "fifo"
+    fee_priced_out: int = 0
+    fees_accrued: int = 0
+    fee_stats: tuple = ()
 
     @property
     def abort_rate(self) -> float:
@@ -445,6 +475,25 @@ class MarketReport:
                 ["chaos msgs reordered", bus["chaos_reordered"]],
                 ["at-least-once resends", bus["resends"]],
                 ["duplicates suppressed", bus["dup_suppressed"]],
+            ]
+        if "deferred" in bus or "defer_abandoned" in bus:
+            # Causal-deferral outcomes (reordering bus only): how many
+            # early-arriving steps were parked, and how many hit the
+            # retry cap and were abandoned to the patience timeout.
+            # The keys only exist once a runtime actually deferred, so
+            # in-order runs keep their exact bytes.
+            rows += [
+                ["escrow ops deferred (causal)", bus.get("deferred", 0)],
+                ["escrow ops abandoned (defer cap)",
+                 bus.get("defer_abandoned", 0)],
+            ]
+        if self.seal_policy != "fifo":
+            fees = dict(self.fee_stats)
+            rows += [
+                ["sealing policy", self.seal_policy],
+                ["deals fee-priced-out", self.fee_priced_out],
+                ["fee units accrued", self.fees_accrued],
+                ["steps fee-evicted", fees.get("fee_evicted", 0)],
             ]
         rows += [
             ["blocks produced", self.blocks],
@@ -587,15 +636,22 @@ class ShardRuntime:
         chain.publish(book)
         self.books[chain_id] = book
         market.books[chain_id] = book
+        # Per-shard heterogeneous block space: a shard listed in
+        # shard_block_caps seals all its chains at that cap.  The
+        # sealing policy is per chain (base-fee state never leaks
+        # across chains); "fifo" yields None and the historical drain.
+        caps = config.shard_block_caps or {}
         mempool = StepMempool(
             chain,
             market.wallet,
             market.order_ledger,
-            max_txs_per_block=config.max_txs_per_block,
+            max_txs_per_block=caps.get(self.shard, config.max_txs_per_block),
             on_order_rejected=market._on_order_rejected,
             aggregator=market.verify_aggregator,
             telemetry=market.telemetry,
             verify_service=market.verify_service,
+            policy=make_seal_policy(config, market.fee_ledger),
+            on_step_evicted=market._on_step_evicted,
         )
         self.mempools[chain_id] = mempool
         market.mempools[chain_id] = mempool
@@ -744,6 +800,11 @@ class MarketCoordinator:
         self.minted: dict[str, int] = {}  # chain_id -> total token supply
         self.nft_minted: dict[str, tuple] = {}  # chain_id -> ((tid, owner), ...)
         self.order_ledger = OrderLedger()
+        # Fee market: bids posted at admission, charges and evictions
+        # recorded by the sealing policies.  Always constructed (it is
+        # a bare dict holder), but under "fifo" nothing ever touches it
+        # — the policy objects are never built.
+        self.fee_ledger = FeeLedger()
         self.runs: dict[bytes, _DealRun] = {}
         self._receipts_seen = 0
         self._receipts_reverted = 0
@@ -1069,6 +1130,10 @@ class MarketCoordinator:
         touched.add(run.home_shard)
         run.cross_shard = len(touched) > 1
         self.runs[deal_id] = run
+        # The co-signed fee bid enters the ledger at admission; the
+        # mempool sealing policies look it up per step.  A zero bid
+        # (every FIFO-era order) records nothing.
+        self.fee_ledger.post(deal_id, order.fee_bid)
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.deal_admitted(run, self.simulator.now)
@@ -1426,6 +1491,31 @@ class MarketCoordinator:
             return
         self.finish(run, DealPhase.REJECTED, "forged", self.simulator.now)
 
+    def _on_step_evicted(self, deal_id: bytes) -> None:
+        """A base-fee mempool evicted one of the deal's steps.
+
+        Eviction only happens when the bid sits below the base-fee
+        floor, and a deal that ever cleared registration under the
+        base-fee policy bid at least the ceiling of the register-time
+        base fee (>= the floor) — so in practice only registration
+        steps are evicted and the deal dies here with nothing on any
+        chain.  That makes the direct abort below safe: there are no
+        escrows to unwind.  Should a later step ever be evicted (a
+        policy with different eligibility rules), the deal is only
+        *marked* priced-out and the ordinary patience/deadline
+        machinery still terminates and refunds it — the settlement
+        phases are fee-exempt by construction.
+        """
+        run = self.runs.get(deal_id)
+        if run is None or run.terminal:
+            return
+        run.priced_out = True
+        self.fee_ledger.price_out(deal_id)
+        if self.telemetry is not None:
+            self.telemetry.deal_event(deal_id, "fee-priced-out")
+        if run.phase is DealPhase.REGISTERING:
+            self.finish(run, DealPhase.ABORTED, "priced-out", self.simulator.now)
+
     def finish(self, run: _DealRun, phase: DealPhase, reason: str, at: float) -> None:
         run.phase = phase
         run.reason = reason
@@ -1573,6 +1663,18 @@ class MarketCoordinator:
             ),
             sore_losers=sum(1 for run in self.runs.values() if run.sore_loser),
             bus_stats=tuple(sorted(self.bus.stats.items())),
+            seal_policy=self.config.seal_policy,
+            fee_priced_out=sum(
+                1 for run in self.runs.values() if run.priced_out
+            ),
+            fees_accrued=self.fee_ledger.accrued,
+            fee_stats=tuple(sorted(
+                (name, sum(
+                    pool.stats.get(name, 0) for pool in self.mempools.values()
+                ))
+                for name in ("fee_evicted",)
+                if any(name in pool.stats for pool in self.mempools.values())
+            )),
         )
 
 

@@ -44,6 +44,31 @@ the cross-shard traffic PR 5's acceptance gate measures.  A deal's
 (:func:`repro.market.order.shard_of_deal`), so the workload shapes
 where escrows live while routing stays the scheduler's affair.
 
+Fee-market congestion (PR 10) rides the same stream: with
+``fee_rate`` set, honest deals co-sign a ``fee_bid`` derived from the
+§9 cost model (:func:`repro.core.incentives.deal_fee_budget`, scaled
+by a per-deal urgency draw), and three adversarial templates press on
+the sealing policies:
+
+* ``spam_deals`` — a flood of cheap two-party deals *salt-mined*
+  (nonce perturbation) to home on ``spam_shard``, all escrowing on
+  that shard's chains at a flat ``spam_fee`` bid: one shard's block
+  space congests while the others stay clear;
+* ``snipe_rate`` — a slice of brokered deals is shadowed by a
+  *fee-sniping* clone: same parties, same assets, same amounts,
+  arriving just after the victim with its bid boosted
+  ``snipe_fee_boost``-fold, so under priority sealing the sniper's
+  escrow steps seal first and drain the very balances the victim
+  needs mid-protocol;
+* ``starve_rate`` — cross-shard starvation rings: every asset lives
+  on the congested ``spam_shard``'s chains while the nonce is mined
+  to home the deal on a *different* shard — registration clears a
+  cheap commit log, then the escrow plan must fight the flood.
+
+All the fee knobs default off, and every new random draw is gated on
+its knob and uses fresh stream labels, so the default order stream is
+byte-identical to the fee-less market (CI ``cmp``'s exactly that).
+
 All randomness flows through :class:`repro.sim.rng.DeterministicRng`,
 so a profile + seed fully determines the order stream.
 """
@@ -62,9 +87,10 @@ from repro.core.deal import (
     DealSpec,
     TransferStep,
 )
+from repro.core.incentives import deal_fee_budget
 from repro.crypto.keys import Address, KeyPair
 from repro.errors import MarketError
-from repro.market.order import SignedDealOrder, sign_order
+from repro.market.order import SignedDealOrder, shard_of_deal, sign_order
 from repro.sim.rng import DeterministicRng
 
 
@@ -107,6 +133,26 @@ class MarketProfile:
     # stream.
     shards: int = 1
     cross_shard_rate: float = 0.0
+    # Fee market (block-space economics) — all default off, keeping
+    # the default order stream byte-identical to the fee-less market.
+    # fee_rate: the slice of honest deals that co-sign a fee bid
+    # (deal_fee_budget of the deal's escrowed value, scaled by an
+    # urgency draw in [fee_urgency_lo, fee_urgency_hi]).
+    fee_rate: float = 0.0
+    fee_urgency_lo: float = 0.5
+    fee_urgency_hi: float = 2.0
+    # Spam flood: cheap two-party deals salt-mined to home on
+    # spam_shard, escrowing on its chains, each bidding spam_fee.
+    spam_deals: int = 0
+    spam_shard: int = 0
+    spam_fee: int = 0
+    # Fee sniping: the slice of brokered deals shadowed by a clone
+    # arriving just after with snipe_fee_boost times the victim's bid.
+    snipe_rate: float = 0.0
+    snipe_fee_boost: float = 4.0
+    # Cross-shard starvation: the slice of ring deals whose assets all
+    # live on spam_shard's chains while the deal homes elsewhere.
+    starve_rate: float = 0.0
     seed: int = 0
 
     @staticmethod
@@ -174,6 +220,31 @@ class MarketProfile:
         )
 
     @staticmethod
+    def congested(
+        seed: int = 0, deals: int = 1_600, shards: int = 2, spam_fee: int = 0
+    ) -> "MarketProfile":
+        """The E19 adversarial fee workload: every honest deal bids its
+        §9 fee budget while a spam flood (homed on shard 0, bidding
+        ``spam_fee`` — 0 models freeloaders the base-fee policy prices
+        out), fee-sniping brokers, and cross-shard starvation rings
+        press on the sealing policy.  The clean-adversary rates are
+        zeroed so every honest abort is attributable to fee pressure
+        or contention."""
+        return MarketProfile(
+            deals=deals, chains=4, accounts=48, arrival_rate=6.0,
+            initial_balance=9_000, shards=shards, cross_shard_rate=0.2,
+            withhold_rate=0.0, no_show_rate=0.0, forge_rate=0.0,
+            fee_rate=1.0, spam_deals=deals // 4, spam_shard=0,
+            spam_fee=spam_fee, snipe_rate=0.1, starve_rate=0.15,
+            seed=seed,
+        )
+
+    @staticmethod
+    def congested_smoke(seed: int = 0, shards: int = 2) -> "MarketProfile":
+        """Small fixed-seed congestion profile (tests and --quick)."""
+        return MarketProfile.congested(seed=seed, deals=240, shards=shards)
+
+    @staticmethod
     def contended(seed: int = 0) -> "MarketProfile":
         """Deliberately starved balances: frequent escrow conflicts."""
         return MarketProfile(
@@ -202,6 +273,21 @@ class MarketWorkload:
             raise MarketError("shards must be in [1, chains]")
         if not 0.0 <= profile.cross_shard_rate <= 1.0:
             raise MarketError("cross_shard_rate must be in [0, 1]")
+        for name in ("fee_rate", "snipe_rate", "starve_rate"):
+            if not 0.0 <= getattr(profile, name) <= 1.0:
+                raise MarketError(f"{name} must be in [0, 1]")
+        if not 0.0 <= profile.fee_urgency_lo <= profile.fee_urgency_hi:
+            raise MarketError("fee urgency needs 0 <= lo <= hi")
+        if profile.spam_deals < 0 or profile.spam_fee < 0:
+            raise MarketError("spam_deals and spam_fee must be non-negative")
+        if profile.snipe_fee_boost < 1.0:
+            raise MarketError("snipe_fee_boost must be >= 1")
+        if (profile.spam_deals > 0 or profile.starve_rate > 0) and not (
+            0 <= profile.spam_shard < profile.shards
+        ):
+            raise MarketError("spam_shard must name one of the shards")
+        if profile.starve_rate > 0 and profile.shards < 2:
+            raise MarketError("starvation rings need shards >= 2")
         self.profile = profile
         self.seed = profile.seed
         self.book_fund_fraction = profile.book_fund_fraction
@@ -264,6 +350,7 @@ class MarketWorkload:
         protocol_weights = [(p, w) for p, w in profile.protocol_mix if w > 0]
         protocol_total = sum(w for _, w in protocol_weights) or 1.0
         orders = []
+        snipes: list[tuple[DealSpec, float, int]] = []
         clock = 0.0
         for index in range(profile.deals):
             clock += -math.log(1.0 - rng.random("arrivals")) / profile.arrival_rate
@@ -298,7 +385,14 @@ class MarketWorkload:
                     and template in ("ring", "broker")
                     and rng.random("cross-shard") < profile.cross_shard_rate
                 )
-                if template == "ring":
+                starve = (
+                    template == "ring"
+                    and profile.starve_rate > 0
+                    and rng.random("starve") < profile.starve_rate
+                )
+                if starve:
+                    spec = self._starve_ring_spec(index, protocol)
+                elif template == "ring":
                     spec = self._ring_spec(index, protocol, cross=cross)
                 elif template == "broker":
                     spec = self._broker_spec(index, protocol, cross=cross)
@@ -322,6 +416,26 @@ class MarketWorkload:
                 stale_proof = frozenset(
                     {rng.choice("stale-proof-pick", list(spec.parties))}
                 )
+            # Honest fee bid: the §9 budget of the deal's escrowed
+            # value, scaled by a per-deal urgency draw.  Gated on
+            # fee_rate and drawn from fresh labels, so fee-less
+            # profiles produce the exact historical stream.
+            fee_bid = 0
+            if profile.fee_rate > 0 and rng.random("fee") < profile.fee_rate:
+                urgency = rng.uniform(
+                    "fee-urgency",
+                    profile.fee_urgency_lo,
+                    profile.fee_urgency_hi,
+                )
+                value = sum(asset.amount for asset in spec.assets)
+                fee_bid = deal_fee_budget(len(spec.steps), value, urgency)
+            if (
+                profile.snipe_rate > 0
+                and spec.assets
+                and spec.assets[0].asset_id == "goods"
+                and rng.random("snipe") < profile.snipe_rate
+            ):
+                snipes.append((spec, clock, fee_bid))
             orders.append(
                 sign_order(
                     spec,
@@ -332,8 +446,52 @@ class MarketWorkload:
                     no_show=no_show,
                     forge=forge,
                     stale_proof=stale_proof,
+                    fee_bid=fee_bid,
                 )
             )
+        extra_index = profile.deals
+        # Fee-sniping brokers: a clone of the victim deal — same
+        # parties, same assets, same amounts — arriving just behind it
+        # with a boosted bid.  Under priority sealing the sniper's
+        # escrow steps clear first and drain the balances the victim's
+        # plan needs mid-protocol; the victim aborts on conflict.
+        for victim_spec, victim_arrival, victim_fee in snipes:
+            sniper_fee = (
+                int(max(victim_fee, 1) * profile.snipe_fee_boost) + 1
+            )
+            spec = self._spec(
+                victim_spec.parties,
+                victim_spec.assets,
+                victim_spec.steps,
+                extra_index,
+                victim_spec.protocol,
+            )
+            orders.append(
+                sign_order(
+                    spec,
+                    self.accounts,
+                    arrival=victim_arrival + 0.1,
+                    index=extra_index,
+                    fee_bid=sniper_fee,
+                )
+            )
+            extra_index += 1
+        # Spam flood: cheap two-party deals homed (by salt-mining) on
+        # spam_shard, escrowing on its chains, all landing in the
+        # first half of the honest arrival window.
+        window = max(clock, 1.0) * 0.5
+        for _ in range(profile.spam_deals):
+            spec = self._spam_spec(extra_index)
+            orders.append(
+                sign_order(
+                    spec,
+                    self.accounts,
+                    arrival=rng.uniform("spam-arrival", 0.0, window),
+                    index=extra_index,
+                    fee_bid=profile.spam_fee,
+                )
+            )
+            extra_index += 1
         return tuple(orders)
 
     def orders(self) -> tuple[SignedDealOrder, ...]:
@@ -373,6 +531,85 @@ class MarketWorkload:
             nonce=f"market/{self.profile.seed}/deal{index}".encode("utf-8"),
             protocol=protocol,
         )
+
+    def _mined_spec(
+        self, parties, assets, steps, index: int, protocol: str, shard: int
+    ) -> DealSpec:
+        """A spec whose *home* shard is forced by salt-mining the nonce.
+
+        The home shard is a function of the deal id (a content hash),
+        so the only way a workload can aim a deal at a shard is to
+        perturb the nonce until the hash routes there — the same
+        technique the test utilities use.  Expected tries = shards;
+        the bound is a safety net, not a budget.
+        """
+        base = f"market/{self.profile.seed}/deal{index}"
+        labels = {p: self._labels[p] for p in parties}
+        for salt in range(8192):
+            spec = DealSpec(
+                parties=tuple(parties),
+                assets=tuple(assets),
+                steps=tuple(steps),
+                labels=labels,
+                nonce=(base if salt == 0 else f"{base}/s{salt}").encode("utf-8"),
+                protocol=protocol,
+            )
+            if shard_of_deal(spec.deal_id, self.shards) == shard:
+                return spec
+        raise MarketError(  # pragma: no cover - 2^-8192 per deal
+            f"could not mine deal {index} onto shard {shard}"
+        )
+
+    def _spam_spec(self, index: int) -> DealSpec:
+        """One spam-flood deal: a cheap two-party swap confined to the
+        congested shard's chains and salt-mined to home there too, so
+        both its order flow and its escrow steps bid for that shard's
+        block space."""
+        a, b = self._pick_parties(2, f"spam{index}")
+        shard = self.profile.spam_shard
+        chain_id = self._chain_in_shard("spam-chain", shard)
+        amount = self._rng.randint("spam-amount", 1, max(1, self.profile.amount_lo))
+        assets = [
+            Asset(asset_id="spam0", chain_id=chain_id,
+                  token=self.tokens[chain_id], owner=a, amount=amount),
+            Asset(asset_id="spam1", chain_id=chain_id,
+                  token=self.tokens[chain_id], owner=b, amount=amount),
+        ]
+        steps = [
+            TransferStep(asset_id="spam0", giver=a, receiver=b, amount=amount),
+            TransferStep(asset_id="spam1", giver=b, receiver=a, amount=amount),
+        ]
+        return self._mined_spec(
+            [a, b], assets, steps, index, PROTOCOL_UNANIMITY, shard
+        )
+
+    def _starve_ring_spec(self, index: int, protocol: str) -> DealSpec:
+        """Cross-shard starvation: every asset on the congested shard.
+
+        The ring's escrows all live on ``spam_shard``'s chains (the
+        ones the spam flood congests) while the nonce is mined to home
+        the deal on the *next* shard — registration clears a cheap
+        commit log, then the escrow plan must fight the flood.  The
+        E19 gate checks these deals still terminate cleanly.
+        """
+        profile = self.profile
+        n = min(self._rng.randint("ring-n", 2, 4), len(self._addresses))
+        parties = self._pick_parties(n, f"ring{index}")
+        assets, steps = [], []
+        for i, party in enumerate(parties):
+            chain_id = self._chain_in_shard("starve-chain", profile.spam_shard)
+            amount = self._amount("ring-amount")
+            asset_id = f"ring{i}"
+            assets.append(Asset(
+                asset_id=asset_id, chain_id=chain_id,
+                token=self.tokens[chain_id], owner=party, amount=amount,
+            ))
+            steps.append(TransferStep(
+                asset_id=asset_id, giver=party,
+                receiver=parties[(i + 1) % n], amount=amount,
+            ))
+        home = (profile.spam_shard + 1) % self.shards
+        return self._mined_spec(parties, assets, steps, index, protocol, home)
 
     def _nft_sale_spec(self, index: int) -> DealSpec:
         """A ticket sale: seller's unique token against buyer's coins.

@@ -57,6 +57,9 @@ EXPECTED_METRICS = {
     "sore_losers",
     "replication",
     "exec_backend",
+    "seal_policy",
+    "fee_priced_out",
+    "fees_accrued",
 }
 
 
@@ -64,7 +67,7 @@ def test_market_quick_smoke(tmp_path):
     output = tmp_path / "BENCH_market.json"
     assert bench_e16_market.main(["--quick", "--output", str(output)]) == 0
     report = json.loads(output.read_text())
-    assert report["schema"] == "BENCH_market/v5"
+    assert report["schema"] == "BENCH_market/v6"
     assert report["quick"] is True
     metrics = report["metrics"]
     assert set(metrics) == EXPECTED_METRICS
